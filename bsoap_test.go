@@ -1,0 +1,214 @@
+package bsoap_test
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bsoap"
+	"bsoap/internal/server"
+	"bsoap/internal/soapdec"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the README
+// shows it.
+func TestPublicAPIQuickstart(t *testing.T) {
+	msg := bsoap.NewMessage("urn:demo", "sendVector")
+	vec := msg.AddDoubleArray("values", 100)
+	for i := 0; i < vec.Len(); i++ {
+		vec.Set(i, float64(i)+0.5)
+	}
+	sink := bsoap.NewDiscardSink()
+	stub := bsoap.NewStub(bsoap.Config{}, sink)
+
+	ci, err := stub.Call(msg)
+	if err != nil || ci.Match != bsoap.FirstTime {
+		t.Fatalf("first call: %+v, %v", ci, err)
+	}
+	vec.Set(7, 3.5) // same serialized width: rewritten in place
+	ci, err = stub.Call(msg)
+	if err != nil || ci.Match != bsoap.StructuralMatch || ci.ValuesRewritten != 1 {
+		t.Fatalf("second call: %+v, %v", ci, err)
+	}
+	ci, err = stub.Call(msg)
+	if err != nil || ci.Match != bsoap.ContentMatch {
+		t.Fatalf("third call: %+v, %v", ci, err)
+	}
+	if sink.Sends() != 3 {
+		t.Fatalf("sink saw %d sends", sink.Sends())
+	}
+}
+
+// TestPublicAPITypes covers type construction through the facade.
+func TestPublicAPITypes(t *testing.T) {
+	mio := bsoap.StructOf("ns1:MIO",
+		bsoap.Field{Name: "x", Type: bsoap.TInt},
+		bsoap.Field{Name: "y", Type: bsoap.TInt},
+		bsoap.Field{Name: "v", Type: bsoap.TDouble},
+	)
+	arr := bsoap.ArrayOf(mio)
+	if arr.Elem != mio || mio.LeavesPerValue() != 3 {
+		t.Fatal("type construction broken")
+	}
+
+	msg := bsoap.NewMessage("urn:demo", "op")
+	ref := msg.AddStructArray("mios", mio, 4)
+	ref.SetDouble(2, 2, math.Pi)
+	if ref.Double(2, 2) != math.Pi {
+		t.Fatal("struct array accessors broken")
+	}
+}
+
+// TestSharedStoreFacade verifies the future-work template sharing
+// through the public constructors.
+func TestSharedStoreFacade(t *testing.T) {
+	store := bsoap.NewStore(2)
+	sinkA, sinkB := bsoap.NewDiscardSink(), bsoap.NewDiscardSink()
+	a := bsoap.NewStubWithStore(bsoap.Config{}, sinkA, store)
+	b := bsoap.NewStubWithStore(bsoap.Config{}, sinkB, store)
+
+	msg := bsoap.NewMessage("urn:demo", "op")
+	arr := msg.AddDoubleArray("v", 10)
+	arr.Set(0, 1)
+	if _, err := a.Call(msg); err != nil {
+		t.Fatal(err)
+	}
+	ci, err := b.Call(msg)
+	if err != nil || ci.Match != bsoap.ContentMatch {
+		t.Fatalf("shared template not reused: %+v, %v", ci, err)
+	}
+}
+
+// TestEndToEndOverlayStreaming drives the whole stack through the
+// chunk-overlay path: overlay engine → HTTP/1.1 chunked transfer →
+// transport server → SOAP dispatch → handler, verifying the values that
+// arrive.
+func TestEndToEndOverlayStreaming(t *testing.T) {
+	var lastSum atomic.Value
+	endpoint := server.New(server.Options{})
+	resp := wire.NewMessage("urn:calc", "sumResponse")
+	total := resp.AddDouble("total", 0)
+	endpoint.Register(&soapdec.Schema{
+		Namespace: "urn:calc",
+		Op:        "sum",
+		Params:    []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
+	}, func(req *wire.Message) (*wire.Message, error) {
+		var s float64
+		for i := 0; i < req.NumLeaves(); i++ {
+			s += req.LeafDouble(i)
+		}
+		lastSum.Store(s)
+		total.Set(s)
+		return resp, nil
+	})
+
+	srv, err := transport.Listen("127.0.0.1:0", transport.ServerOptions{
+		Handler: endpoint.HTTPHandler(),
+		Respond: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sender, err := bsoap.Dial(srv.Addr(), bsoap.SenderOptions{
+		Version:        transport.HTTP11,
+		ExpectResponse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	// 5000 elements at max stuffing span many 32K portions.
+	msg := bsoap.NewMessage("urn:calc", "sum")
+	vec := msg.AddDoubleArray("values", 5000)
+	want := 0.0
+	for i := 0; i < vec.Len(); i++ {
+		vec.Set(i, float64(i%100))
+		want += float64(i % 100)
+	}
+	stub := bsoap.NewStub(bsoap.Config{
+		Width: bsoap.WidthPolicy{Double: bsoap.MaxWidth},
+	}, sender)
+
+	for round := 0; round < 3; round++ {
+		if _, err := stub.CallOverlay(msg, sender); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		got, _ := lastSum.Load().(float64)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("round %d: server summed %g, want %g", round, got, want)
+		}
+		// Change one value for the next round.
+		vec.Set(round, 1000)
+		want += 1000 - float64(round%100)
+	}
+}
+
+// TestConnectionDropMidStream injects a failure: the server goes away
+// between sends; the client surfaces an error and the message's dirty
+// state survives for a retry against a new connection.
+func TestConnectionDropMidStream(t *testing.T) {
+	srv, err := transport.Listen("127.0.0.1:0", transport.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	sender, err := bsoap.Dial(addr, bsoap.SenderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	msg := bsoap.NewMessage("urn:demo", "op")
+	arr := msg.AddDoubleArray("v", 2000)
+	stub := bsoap.NewStub(bsoap.Config{}, sender)
+	if _, err := stub.Call(msg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server and the connection.
+	srv.Close()
+	sender.Close()
+
+	arr.Set(3, 42)
+	var sawErr bool
+	// A write into a closed socket may need a couple of sends to
+	// surface the error through TCP buffering.
+	for i := 0; i < 10 && !sawErr; i++ {
+		if _, err := stub.Call(msg); err != nil {
+			sawErr = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawErr {
+		t.Fatal("no error from sends into a dead connection")
+	}
+	if !msg.AnyDirty() {
+		t.Fatal("dirty state lost on send failure")
+	}
+
+	// Recovery: new server, new connection, same stub state via a new
+	// stub sharing nothing — message data is intact.
+	srv2, err := transport.Listen("127.0.0.1:0", transport.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	sender2, err := bsoap.Dial(srv2.Addr(), bsoap.SenderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender2.Close()
+	stub2 := bsoap.NewStub(bsoap.Config{}, sender2)
+	if _, err := stub2.Call(msg); err != nil {
+		t.Fatalf("retry after reconnect: %v", err)
+	}
+	if arr.Get(3) != 42 {
+		t.Fatal("data lost across reconnect")
+	}
+}

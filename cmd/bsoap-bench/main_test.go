@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseFigs(t *testing.T) {
+	ids, err := parseFigs("all")
+	if err != nil || len(ids) < 13 {
+		t.Fatalf("all: %v, %v", ids, err)
+	}
+	ids, err = parseFigs("1, 2,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fig01", "fig02", "fig12"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v", ids)
+		}
+	}
+	ids, err = parseFigs("fig07")
+	if err != nil || ids[0] != "fig07" {
+		t.Fatalf("fig07: %v, %v", ids, err)
+	}
+	ids, err = parseFigs("extD1")
+	if err != nil || ids[0] != "extD1" {
+		t.Fatalf("extD1: %v, %v", ids, err)
+	}
+	for _, bad := range []string{"13", "0", "figXX", "banana", "1,banana"} {
+		if _, err := parseFigs(bad); err == nil {
+			t.Errorf("parseFigs(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Command bsoap-server runs the receiving side of the experiments and
+// examples.
+//
+// Modes:
+//
+//	-mode discard   read and drop requests without parsing (the paper's
+//	                dummy server; pair with bsoap-bench -tcp)
+//	-mode sum       SOAP service summing a double array
+//	-mode mcs       Metadata Catalog Service over an in-memory catalog
+//	-mode flock     Condor flock collector printing received ClassAd stats
+//
+// With -diff, SOAP modes decode requests through differential
+// deserialization and report decode statistics on shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bsoap/internal/classad"
+	"bsoap/internal/mcs"
+	"bsoap/internal/server"
+	"bsoap/internal/soapdec"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+	"bsoap/internal/wsdl"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9999", "listen address")
+		mode    = flag.String("mode", "discard", "discard | sum | mcs | flock")
+		respond = flag.Bool("respond", true, "answer every request (discard mode defaults to silent)")
+		diff    = flag.Bool("diff", true, "use differential deserialization in SOAP modes")
+		quiet   = flag.Bool("quiet", false, "suppress per-connection error logging")
+	)
+	flag.Parse()
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "bsoap-server: ", log.LstdFlags)
+	}
+
+	var endpoint *server.SOAP
+	opts := transport.ServerOptions{Logger: logger}
+	switch *mode {
+	case "discard":
+		opts.Respond = false // Send Time measurements never wait
+	case "sum":
+		endpoint = newSumEndpoint(*diff)
+	case "mcs":
+		endpoint = newMCSEndpoint(*diff)
+	case "flock":
+		endpoint = newFlockEndpoint(*diff)
+	default:
+		fmt.Fprintf(os.Stderr, "bsoap-server: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if endpoint != nil {
+		opts.Handler = endpoint.HTTPHandler()
+		opts.Respond = *respond
+	}
+
+	srv, err := transport.Listen(*addr, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsoap-server:", err)
+		os.Exit(1)
+	}
+	if endpoint != nil {
+		switch *mode {
+		case "sum":
+			installWSDL(endpoint, "Calc", "urn:calc", srv.Addr(), []*soapdec.Schema{{
+				Namespace: "urn:calc", Op: "sum",
+				Params: []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
+			}})
+		case "mcs":
+			installWSDL(endpoint, "MetadataCatalog", mcs.Namespace, srv.Addr(),
+				[]*soapdec.Schema{mcs.AddSchema(), mcs.QuerySchema(), mcs.DeleteSchema()})
+		case "flock":
+			installWSDL(endpoint, "FlockCollector", classad.Namespace, srv.Addr(),
+				[]*soapdec.Schema{{
+					Namespace: classad.Namespace, Op: "flockUpdate",
+					Params: []soapdec.ParamSpec{
+						{Name: "pool", Type: wire.TString},
+						{Name: "ads", Type: wire.ArrayOf(classad.AdType())},
+					},
+				}})
+		}
+	}
+	fmt.Printf("bsoap-server: mode=%s listening on %s\n", *mode, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	srv.Close()
+	fmt.Printf("bsoap-server: served %d requests, %d body bytes\n", srv.Requests(), srv.Bytes())
+	if endpoint != nil {
+		st := endpoint.Stats()
+		fmt.Printf("bsoap-server: decodes: %d full parses, %d differential (%d values reparsed)\n",
+			st.FullParses, st.DiffDecodes, st.ValuesReparsed)
+		rs := endpoint.ResponseStats()
+		fmt.Printf("bsoap-server: responses: %d first-time, %d content matches, %d structural\n",
+			rs.FirstTimeSends, rs.ContentMatches, rs.StructuralMatches)
+	}
+}
+
+// installWSDL publishes a GET-able service description for the
+// endpoint's operations.
+func installWSDL(ep *server.SOAP, name, ns, addr string, ops []*soapdec.Schema) {
+	doc, err := wsdl.Generate(&wsdl.Service{
+		Name: name, Namespace: ns, Endpoint: "http://" + addr + "/", Operations: ops,
+	})
+	if err != nil {
+		log.Printf("bsoap-server: wsdl generation failed: %v", err)
+		return
+	}
+	ep.SetWSDL(doc)
+}
+
+// newSumEndpoint registers sum(values: double[]) → sumResponse(total).
+func newSumEndpoint(diff bool) *server.SOAP {
+	ep := server.New(server.Options{DifferentialDeserialization: diff})
+	resp := wire.NewMessage("urn:calc", "sumResponse")
+	total := resp.AddDouble("total", 0)
+	schema := &soapdec.Schema{
+		Namespace: "urn:calc",
+		Op:        "sum",
+		Params:    []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
+	}
+	ep.Register(schema, func(req *wire.Message) (*wire.Message, error) {
+		var s float64
+		for i := 0; i < req.NumLeaves(); i++ {
+			s += req.LeafDouble(i)
+		}
+		total.Set(s)
+		return resp, nil
+	})
+	return ep
+}
+
+// newMCSEndpoint serves the metadata catalog over the standard schema.
+func newMCSEndpoint(diff bool) *server.SOAP {
+	ep := server.New(server.Options{DifferentialDeserialization: diff})
+	catalog := mcs.NewCatalog([]string{"owner", "experiment", "format", "site"})
+	mcs.Bind(ep, catalog)
+	return ep
+}
+
+// newFlockEndpoint accepts Condor flock updates and tracks pool load.
+func newFlockEndpoint(diff bool) *server.SOAP {
+	ep := server.New(server.Options{DifferentialDeserialization: diff})
+	resp := wire.NewMessage(classad.Namespace, "flockUpdateResponse")
+	accepted := resp.AddInt("accepted", 0)
+	ep.Register(&soapdec.Schema{
+		Namespace: classad.Namespace,
+		Op:        "flockUpdate",
+		Params: []soapdec.ParamSpec{
+			{Name: "pool", Type: wire.TString},
+			{Name: "ads", Type: wire.ArrayOf(classad.AdType())},
+		},
+	}, func(req *wire.Message) (*wire.Message, error) {
+		pool, ads, err := classad.DecodeAds(req)
+		if err != nil {
+			return nil, err
+		}
+		busy := 0
+		var load float64
+		for _, ad := range ads {
+			if ad.State == 1 {
+				busy++
+			}
+			load += ad.LoadAvg
+		}
+		log.Printf("flock: pool %q: %d ads, %d busy, avg load %.2f",
+			pool, len(ads), busy, load/float64(max(1, len(ads))))
+		accepted.Set(int32(len(ads)))
+		return resp, nil
+	})
+	return ep
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

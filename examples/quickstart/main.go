@@ -1,0 +1,50 @@
+// Quickstart: the differential serialization effect in thirty lines.
+//
+// A message is sent three times: the first send serializes everything
+// and records the template, the second rewrites exactly one changed
+// value, and the third — with nothing changed — resends the saved bytes
+// without serializing at all.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bsoap"
+)
+
+func main() {
+	// A message: one operation with a 1000-element vector of doubles.
+	msg := bsoap.NewMessage("urn:quickstart", "sendVector")
+	vec := msg.AddDoubleArray("values", 1000)
+	for i := 0; i < vec.Len(); i++ {
+		vec.Set(i, float64(i)*0.125)
+	}
+
+	// Sends go to an in-process sink here; bsoap.Dial gives the same
+	// Stub a real TCP endpoint.
+	sink := bsoap.NewDiscardSink()
+	stub := bsoap.NewStub(bsoap.Config{}, sink)
+
+	report := func(what string) {
+		ci, err := stub.Call(msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s → %-26s %6d bytes, %d values serialized\n",
+			what, ci.Match, ci.Bytes, ci.ValuesRewritten)
+	}
+
+	report("first send")
+
+	vec.Set(42, 3.25) // one update through the tracked accessor
+	report("after one Set")
+
+	report("no changes")
+
+	st := stub.Stats()
+	fmt.Printf("\nstats: %d calls — %d first-time, %d structural match, %d content match\n",
+		st.Calls, st.FirstTimeSends, st.StructuralMatches, st.ContentMatches)
+}

@@ -1,0 +1,3 @@
+module bsoap
+
+go 1.22

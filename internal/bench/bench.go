@@ -1,0 +1,255 @@
+// Package bench regenerates the paper's evaluation: one function per
+// figure (1–12), each producing the same series the paper plots. The
+// timed quantity is the paper's Send Time — the interval from preparing
+// the message for sending until the final write to the transport
+// completes — averaged over repetitions.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"bsoap/internal/core"
+	"bsoap/internal/transport"
+)
+
+// Point is one measurement: array size → average send time.
+type Point struct {
+	X      int
+	Millis float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is one reproduced evaluation figure.
+type Figure struct {
+	ID     string // "fig01" … "fig12"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Options configure a run.
+type Options struct {
+	// Reps is the number of timed repetitions per data point (paper:
+	// 100). Zero selects 25.
+	Reps int
+	// MaxSize caps the array sizes swept (paper: 100000). Zero selects
+	// 10000, which keeps a full run under a minute on a laptop.
+	MaxSize int
+	// Sink receives every send. Nil selects an in-process discard sink;
+	// cmd/bsoap-bench can substitute a TCP sender to a discard server.
+	Sink core.Sink
+	// StreamSink receives overlay sends (Figure 12). Nil selects the
+	// discard sink.
+	StreamSink core.StreamSink
+}
+
+func (o Options) withDefaults() Options {
+	if o.Reps <= 0 {
+		o.Reps = 25
+	}
+	if o.MaxSize <= 0 {
+		o.MaxSize = 10000
+	}
+	if o.Sink == nil {
+		d := transport.NewDiscardSink()
+		o.Sink = d
+		if o.StreamSink == nil {
+			o.StreamSink = d
+		}
+	}
+	if o.StreamSink == nil {
+		o.StreamSink = transport.NewDiscardSink()
+	}
+	return o
+}
+
+// paperSizes is the evaluation's log-scale sweep.
+var paperSizes = []int{1, 100, 500, 1000, 10000, 50000, 100000}
+
+// logSizes returns the paper's sizes clipped to MaxSize.
+func (o Options) logSizes() []int {
+	var out []int
+	for _, s := range paperSizes {
+		if s <= o.MaxSize {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{o.MaxSize}
+	}
+	return out
+}
+
+// linearSizes returns ten evenly spaced sizes up to MaxSize (the
+// paper's linear-axis figures sweep 0–100K).
+func (o Options) linearSizes() []int {
+	out := make([]int, 0, 10)
+	step := o.MaxSize / 10
+	if step < 1 {
+		step = 1
+	}
+	for s := step; s <= o.MaxSize; s += step {
+		out = append(out, s)
+	}
+	return out
+}
+
+// timeCalls measures the average wall time of reps invocations of f.
+func timeCalls(reps int, f func() error) (float64, error) {
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		total += time.Since(start)
+	}
+	return float64(total.Microseconds()) / float64(reps) / 1000.0, nil
+}
+
+// timePrepared measures reps rounds of (untimed prepare, timed send) —
+// used when each repetition must reset template state (worst-case
+// shifting, stuffing tag shifts).
+func timePrepared(reps int, prepare func() error, send func() error) (float64, error) {
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		if err := prepare(); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if err := send(); err != nil {
+			return 0, err
+		}
+		total += time.Since(start)
+	}
+	return float64(total.Microseconds()) / float64(reps) / 1000.0, nil
+}
+
+// WriteText renders the figure as an aligned table: one row per size,
+// one column per series — the same rows/series the paper plots.
+func (f *Figure) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s vs %s (milliseconds per call)\n", f.YLabel, f.XLabel); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "  %28s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for _, x := range f.xs() {
+		fmt.Fprintf(w, "%12d", x)
+		for _, s := range f.Series {
+			if ms, ok := s.at(x); ok {
+				fmt.Fprintf(w, "  %28.4f", ms)
+			} else {
+				fmt.Fprintf(w, "  %28s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the figure as size,series,millis rows.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "figure,size,series,millis\n"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%q,%.6f\n", f.ID, p.X, s.Label, p.Millis); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// xs returns the union of x values across series, ascending.
+func (f *Figure) xs() []int {
+	seen := map[int]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			seen[p.X] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// at looks up the series value at x.
+func (s *Series) at(x int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Millis, true
+		}
+	}
+	return 0, false
+}
+
+// Ratio reports series a's value divided by series b's at the largest
+// common size — the "how many times faster" numbers the paper quotes.
+func (f *Figure) Ratio(labelA, labelB string) (float64, bool) {
+	var a, b *Series
+	for i := range f.Series {
+		switch f.Series[i].Label {
+		case labelA:
+			a = &f.Series[i]
+		case labelB:
+			b = &f.Series[i]
+		}
+	}
+	if a == nil || b == nil {
+		return 0, false
+	}
+	xs := f.xs()
+	for j := len(xs) - 1; j >= 0; j-- {
+		av, aok := a.at(xs[j])
+		bv, bok := b.at(xs[j])
+		if aok && bok && bv != 0 {
+			return av / bv, true
+		}
+	}
+	return 0, false
+}
+
+// Runner maps figure IDs to their functions.
+type Runner func(Options) (*Figure, error)
+
+// Figures lists every reproduction in paper order.
+func Figures() map[string]Runner {
+	return map[string]Runner{
+		"fig01": Fig01, "fig02": Fig02, "fig03": Fig03,
+		"fig04": Fig04, "fig05": Fig05,
+		"fig06": Fig06, "fig07": Fig07,
+		"fig08": Fig08, "fig09": Fig09,
+		"fig10": Fig10, "fig11": Fig11,
+		"fig12": Fig12,
+		"extD1": ExtD1, "extC1": ExtC1,
+	}
+}
+
+// FigureIDs returns the paper figures in order, followed by the
+// extension figures.
+func FigureIDs() []string {
+	return []string{"fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
+		"fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+		"extD1", "extC1"}
+}

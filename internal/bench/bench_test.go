@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns options that make every figure run in milliseconds.
+func tiny() Options { return Options{Reps: 2, MaxSize: 200} }
+
+func TestAllFiguresRun(t *testing.T) {
+	for _, id := range FigureIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			fig, err := Figures()[id](tiny())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if fig.ID != id {
+				t.Fatalf("figure ID %q", fig.ID)
+			}
+			if len(fig.Series) < 3 {
+				t.Fatalf("%s: only %d series", id, len(fig.Series))
+			}
+			for _, s := range fig.Series {
+				if len(s.Points) == 0 {
+					t.Fatalf("%s: series %q has no points", id, s.Label)
+				}
+				for _, p := range s.Points {
+					if p.Millis < 0 {
+						t.Fatalf("%s/%s: negative time", id, s.Label)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFigureIDsMatchRunners(t *testing.T) {
+	rs := Figures()
+	// Twelve paper figures plus the extension figures.
+	if len(rs) != 14 || len(FigureIDs()) != 14 {
+		t.Fatalf("figure count: %d runners, %d IDs", len(rs), len(FigureIDs()))
+	}
+	for _, id := range FigureIDs() {
+		if rs[id] == nil {
+			t.Fatalf("no runner for %s", id)
+		}
+	}
+}
+
+func TestFig01SeriesLabels(t *testing.T) {
+	fig, err := Fig01(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{lblGSOAP, lblFull, lblMCM}
+	for i, s := range fig.Series {
+		if s.Label != want[i] {
+			t.Fatalf("series %d = %q, want %q", i, s.Label, want[i])
+		}
+	}
+}
+
+func TestFig02IncludesXSOAP(t *testing.T) {
+	fig, err := Fig02(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Series[0].Label != lblXSOAP {
+		t.Fatalf("first series %q", fig.Series[0].Label)
+	}
+}
+
+func TestContentMatchBeatsFullSerialization(t *testing.T) {
+	// The headline claim, at a size big enough to dominate overheads.
+	fig, err := Fig02(Options{Reps: 5, MaxSize: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, ok := fig.Ratio(lblFull, lblMCM)
+	if !ok {
+		t.Fatal("missing series")
+	}
+	if ratio < 2 {
+		t.Fatalf("full/MCM ratio = %.2f; differential serialization is not winning", ratio)
+	}
+}
+
+func TestShiftingCostsMoreThanNoShift(t *testing.T) {
+	fig, err := Fig07(Options{Reps: 3, MaxSize: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, ok := fig.Ratio(lblShift32K, lblNoShift)
+	if !ok {
+		t.Fatal("missing series")
+	}
+	if ratio < 1.2 {
+		t.Fatalf("shift/no-shift ratio = %.2f; shifting should cost more", ratio)
+	}
+}
+
+func TestWriteTextAndCSV(t *testing.T) {
+	fig := &Figure{
+		ID: "figXX", Title: "Test", XLabel: "size", YLabel: "Send Time",
+		Series: []Series{
+			{Label: "a", Points: []Point{{1, 0.5}, {10, 5}}},
+			{Label: "b", Points: []Point{{1, 1.5}}},
+		},
+	}
+	var txt bytes.Buffer
+	if err := fig.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	out := txt.String()
+	for _, want := range []string{"figXX", "size", "a", "b", "0.5000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := fig.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), `figXX,1,"a",0.500000`) {
+		t.Errorf("csv output:\n%s", csv.String())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	fig := &Figure{Series: []Series{
+		{Label: "slow", Points: []Point{{10, 10}, {100, 100}}},
+		{Label: "fast", Points: []Point{{10, 1}, {100, 10}}},
+	}}
+	r, ok := fig.Ratio("slow", "fast")
+	if !ok || r != 10 {
+		t.Fatalf("ratio = %v, %v", r, ok)
+	}
+	if _, ok := fig.Ratio("slow", "missing"); ok {
+		t.Fatal("ratio with missing series succeeded")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Reps != 25 || o.MaxSize != 10000 || o.Sink == nil || o.StreamSink == nil {
+		t.Fatalf("defaults: %+v", o)
+	}
+	sizes := o.logSizes()
+	if sizes[len(sizes)-1] != 10000 {
+		t.Fatalf("log sizes: %v", sizes)
+	}
+	lin := o.linearSizes()
+	if len(lin) != 10 || lin[9] != 10000 {
+		t.Fatalf("linear sizes: %v", lin)
+	}
+}

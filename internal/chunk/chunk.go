@@ -1,0 +1,359 @@
+// Package chunk implements the chunked message buffer underlying bSOAP
+// templates. Serialized messages are not stored in contiguous memory;
+// they live in variable-sized, potentially non-contiguous chunks so that
+// on-the-fly message expansion (shifting) is bounded by the size of a
+// chunk rather than the size of the whole message (paper §3.2).
+//
+// Three configurable parameters govern the buffer, exactly the knobs the
+// paper lists: the default initial chunk size, the threshold at which a
+// chunk is split in two, and the slack initially left empty at the end of
+// each chunk so small shifts need no reallocation.
+package chunk
+
+import (
+	"fmt"
+	"io"
+	"net"
+)
+
+// DefaultChunkSize is the default capacity of a freshly allocated chunk.
+// The paper's experiments use 8 KiB and 32 KiB chunks; 32 KiB matches the
+// SO_SNDBUF the authors configure.
+const DefaultChunkSize = 32 * 1024
+
+// Config holds the buffer tuning parameters from paper §3.2.
+type Config struct {
+	// ChunkSize is the capacity of newly allocated chunks. Zero selects
+	// DefaultChunkSize.
+	ChunkSize int
+	// SplitThreshold is the used-byte count beyond which a chunk is split
+	// in two instead of being grown further. Zero selects 2×ChunkSize.
+	SplitThreshold int
+	// TrailingSlack is the space left empty at the end of each chunk
+	// during initial serialization, allowing shifts without reallocation.
+	// Zero selects ChunkSize/8.
+	TrailingSlack int
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.SplitThreshold <= 0 {
+		cfg.SplitThreshold = 2 * cfg.ChunkSize
+	}
+	if cfg.TrailingSlack <= 0 {
+		cfg.TrailingSlack = cfg.ChunkSize / 8
+	}
+	if cfg.TrailingSlack >= cfg.ChunkSize {
+		cfg.TrailingSlack = cfg.ChunkSize / 2
+	}
+	return cfg
+}
+
+// Chunk is one contiguous piece of a serialized message. Its identity is
+// stable: growing a chunk reallocates its backing array but not the Chunk
+// itself, so positions held elsewhere (DUT entries) survive reallocation
+// untouched.
+type Chunk struct {
+	buf        []byte // len = used bytes, cap = allocated
+	prev, next *Chunk
+	owner      *Buffer
+
+	// EntryLo and EntryHi bracket the half-open range of DUT-entry
+	// indexes whose values live in this chunk. The chunk package does not
+	// interpret them; the template layer maintains them so that offset
+	// fix-ups after a shift or split touch only this chunk's entries.
+	EntryLo, EntryHi int
+}
+
+// Len reports the number of used bytes in the chunk.
+func (c *Chunk) Len() int { return len(c.buf) }
+
+// Cap reports the allocated capacity of the chunk.
+func (c *Chunk) Cap() int { return cap(c.buf) }
+
+// Slack reports the unused capacity at the end of the chunk.
+func (c *Chunk) Slack() int { return cap(c.buf) - len(c.buf) }
+
+// Bytes returns the used bytes of the chunk. The slice aliases the chunk's
+// storage; it is invalidated by any mutation of the buffer.
+func (c *Chunk) Bytes() []byte { return c.buf }
+
+// Next returns the following chunk, or nil at the tail.
+func (c *Chunk) Next() *Chunk { return c.next }
+
+// Prev returns the preceding chunk, or nil at the head.
+func (c *Chunk) Prev() *Chunk { return c.prev }
+
+// InsertGap moves the bytes [pos:Len()) right by delta, extending the
+// chunk's used length, and reports whether the chunk had enough slack.
+// The delta bytes opened at [pos:pos+delta) keep their previous contents
+// and must be overwritten by the caller. InsertGap(pos, 0) is a no-op.
+func (c *Chunk) InsertGap(pos, delta int) bool {
+	if delta == 0 {
+		return true
+	}
+	if pos < 0 || pos > len(c.buf) || delta < 0 {
+		panic(fmt.Sprintf("chunk: InsertGap(%d, %d) out of range (len %d)", pos, delta, len(c.buf)))
+	}
+	if c.Slack() < delta {
+		return false
+	}
+	old := len(c.buf)
+	c.buf = c.buf[:old+delta]
+	copy(c.buf[pos+delta:], c.buf[pos:old])
+	c.owner.total += delta
+	return true
+}
+
+// Pos identifies a byte position inside a buffer.
+type Pos struct {
+	C   *Chunk
+	Off int
+}
+
+// Valid reports whether the position refers to a byte (or the end
+// sentinel) within its chunk.
+func (p Pos) Valid() bool { return p.C != nil && p.Off >= 0 && p.Off <= p.C.Len() }
+
+// Buffer is a chunked append buffer with stable interior positions.
+// The zero value is not usable; call New.
+type Buffer struct {
+	head, tail *Chunk
+	nchunks    int
+	total      int
+	cfg        Config
+}
+
+// New returns an empty buffer with the given configuration.
+func New(cfg Config) *Buffer {
+	return &Buffer{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (b *Buffer) Config() Config { return b.cfg }
+
+// Len reports the total number of used bytes across all chunks.
+func (b *Buffer) Len() int { return b.total }
+
+// NumChunks reports the number of chunks.
+func (b *Buffer) NumChunks() int { return b.nchunks }
+
+// Head returns the first chunk, or nil if the buffer is empty.
+func (b *Buffer) Head() *Chunk { return b.head }
+
+// Tail returns the last chunk, or nil if the buffer is empty.
+func (b *Buffer) Tail() *Chunk { return b.tail }
+
+// newChunk allocates a chunk with at least n bytes of capacity and links
+// it after prev (or at the head when prev is nil and the list is empty).
+func (b *Buffer) newChunk(capacity int) *Chunk {
+	if capacity < b.cfg.ChunkSize {
+		capacity = b.cfg.ChunkSize
+	}
+	c := &Chunk{buf: make([]byte, 0, capacity), owner: b}
+	if b.tail == nil {
+		b.head, b.tail = c, c
+	} else {
+		c.prev = b.tail
+		b.tail.next = c
+		b.tail = c
+	}
+	b.nchunks++
+	return c
+}
+
+// appendRoom returns the tail chunk if it can accept n more bytes while
+// honouring the trailing-slack reservation, or a fresh chunk otherwise.
+func (b *Buffer) appendRoom(n int) *Chunk {
+	c := b.tail
+	if c != nil && len(c.buf)+n <= cap(c.buf)-b.cfg.TrailingSlack {
+		return c
+	}
+	// A single item larger than a default chunk gets a dedicated,
+	// appropriately sized chunk.
+	return b.newChunk(n + b.cfg.TrailingSlack)
+}
+
+// Reserve extends the buffer by n contiguous uninitialized bytes and
+// returns their position. The caller must overwrite them. A reserved
+// span never crosses a chunk boundary, so a DUT entry can address it with
+// a single (chunk, offset) pair.
+func (b *Buffer) Reserve(n int) Pos {
+	if n < 0 {
+		panic("chunk: negative Reserve")
+	}
+	c := b.appendRoom(n)
+	off := len(c.buf)
+	c.buf = c.buf[:off+n]
+	b.total += n
+	return Pos{C: c, Off: off}
+}
+
+// Append copies p onto the end of the buffer, contiguously, and returns
+// the position of its first byte.
+func (b *Buffer) Append(p []byte) Pos {
+	pos := b.Reserve(len(p))
+	copy(pos.C.buf[pos.Off:], p)
+	return pos
+}
+
+// AppendString copies s onto the end of the buffer, contiguously.
+func (b *Buffer) AppendString(s string) Pos {
+	pos := b.Reserve(len(s))
+	copy(pos.C.buf[pos.Off:], s)
+	return pos
+}
+
+// AppendByte appends one byte.
+func (b *Buffer) AppendByte(v byte) Pos {
+	pos := b.Reserve(1)
+	pos.C.buf[pos.Off] = v
+	return pos
+}
+
+// CloseChunk forces subsequent appends to start a new chunk. The chunk
+// overlaying engine uses this to align array portions on chunk
+// boundaries.
+func (b *Buffer) CloseChunk() {
+	if b.tail != nil && b.tail.Len() > 0 {
+		b.newChunk(b.cfg.ChunkSize)
+	}
+}
+
+// GrowChunk reallocates c so that it can hold at least need more bytes
+// beyond its current length, plus the configured trailing slack. Chunk
+// identity and existing offsets are unchanged.
+func (b *Buffer) GrowChunk(c *Chunk, need int) {
+	want := len(c.buf) + need + b.cfg.TrailingSlack
+	if want <= cap(c.buf) {
+		return
+	}
+	capacity := cap(c.buf) * 2
+	if capacity < want {
+		capacity = want
+	}
+	nb := make([]byte, len(c.buf), capacity)
+	copy(nb, c.buf)
+	c.buf = nb
+}
+
+// SplitChunk moves the bytes [at:Len()) of c into a freshly allocated
+// chunk inserted immediately after c, and returns the new chunk. The new
+// chunk is allocated with the configured slack so the pending shift that
+// triggered the split has room. Entry-range bookkeeping (EntryLo/EntryHi)
+// is left to the caller, which knows where its entries are.
+func (b *Buffer) SplitChunk(c *Chunk, at int) *Chunk {
+	if at < 0 || at > len(c.buf) {
+		panic(fmt.Sprintf("chunk: SplitChunk at %d out of range (len %d)", at, len(c.buf)))
+	}
+	movedLen := len(c.buf) - at
+	capacity := movedLen + b.cfg.TrailingSlack
+	if capacity < b.cfg.ChunkSize {
+		capacity = b.cfg.ChunkSize
+	}
+	nc := &Chunk{buf: make([]byte, movedLen, capacity), owner: b}
+	copy(nc.buf, c.buf[at:])
+	c.buf = c.buf[:at]
+
+	nc.prev = c
+	nc.next = c.next
+	if c.next != nil {
+		c.next.prev = nc
+	} else {
+		b.tail = nc
+	}
+	c.next = nc
+	b.nchunks++
+	return nc
+}
+
+// Buffers returns the used byte ranges of every chunk, in order, suitable
+// for a vectored write (writev / net.Buffers). The slices alias chunk
+// storage.
+func (b *Buffer) Buffers() net.Buffers {
+	out := make(net.Buffers, 0, b.nchunks)
+	for c := b.head; c != nil; c = c.next {
+		if len(c.buf) > 0 {
+			out = append(out, c.buf)
+		}
+	}
+	return out
+}
+
+// Bytes returns a copy of the buffer's contents as one contiguous slice.
+func (b *Buffer) Bytes() []byte {
+	out := make([]byte, 0, b.total)
+	for c := b.head; c != nil; c = c.next {
+		out = append(out, c.buf...)
+	}
+	return out
+}
+
+// WriteTo writes the buffer's contents to w, chunk by chunk.
+func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for c := b.head; c != nil; c = c.next {
+		if len(c.buf) == 0 {
+			continue
+		}
+		m, err := w.Write(c.buf)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		if m != len(c.buf) {
+			return n, io.ErrShortWrite
+		}
+	}
+	return n, nil
+}
+
+// Footprint reports the total allocated capacity across chunks — the
+// resident-memory cost the paper's chunk overlaying bounds (§3.3).
+func (b *Buffer) Footprint() int {
+	n := 0
+	for c := b.head; c != nil; c = c.next {
+		n += cap(c.buf)
+	}
+	return n
+}
+
+// Reset discards all chunks, keeping the configuration.
+func (b *Buffer) Reset() {
+	b.head, b.tail = nil, nil
+	b.nchunks, b.total = 0, 0
+}
+
+// CheckInvariants validates the internal consistency of the buffer:
+// linkage, byte accounting, and slack bounds. Tests and the fuzzing
+// harness call it after every mutation; it panics on corruption.
+func (b *Buffer) CheckInvariants() {
+	var total, n int
+	var prev *Chunk
+	for c := b.head; c != nil; c = c.next {
+		if c.prev != prev {
+			panic("chunk: broken prev link")
+		}
+		if c.owner != b {
+			panic("chunk: chunk owned by wrong buffer")
+		}
+		if len(c.buf) > cap(c.buf) {
+			panic("chunk: len exceeds cap")
+		}
+		total += len(c.buf)
+		n++
+		prev = c
+	}
+	if prev != b.tail {
+		panic("chunk: tail mismatch")
+	}
+	if total != b.total {
+		panic(fmt.Sprintf("chunk: byte accounting off: counted %d, recorded %d", total, b.total))
+	}
+	if n != b.nchunks {
+		panic(fmt.Sprintf("chunk: chunk accounting off: counted %d, recorded %d", n, b.nchunks))
+	}
+}

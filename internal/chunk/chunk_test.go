@@ -1,0 +1,434 @@
+package chunk
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEmptyBuffer(t *testing.T) {
+	b := New(Config{})
+	if b.Len() != 0 || b.NumChunks() != 0 || b.Head() != nil || b.Tail() != nil {
+		t.Fatal("fresh buffer not empty")
+	}
+	if got := b.Bytes(); len(got) != 0 {
+		t.Fatalf("Bytes() = %q", got)
+	}
+	if bufs := b.Buffers(); len(bufs) != 0 {
+		t.Fatalf("Buffers() = %d entries", len(bufs))
+	}
+	b.CheckInvariants()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.ChunkSize != DefaultChunkSize {
+		t.Errorf("ChunkSize = %d", cfg.ChunkSize)
+	}
+	if cfg.SplitThreshold != 2*DefaultChunkSize {
+		t.Errorf("SplitThreshold = %d", cfg.SplitThreshold)
+	}
+	if cfg.TrailingSlack != DefaultChunkSize/8 {
+		t.Errorf("TrailingSlack = %d", cfg.TrailingSlack)
+	}
+	// Slack must always be smaller than the chunk size.
+	cfg = Config{ChunkSize: 100, TrailingSlack: 1000}.withDefaults()
+	if cfg.TrailingSlack >= cfg.ChunkSize {
+		t.Errorf("slack %d not clamped below chunk size %d", cfg.TrailingSlack, cfg.ChunkSize)
+	}
+}
+
+func TestAppendAndBytes(t *testing.T) {
+	b := New(Config{ChunkSize: 64, TrailingSlack: 8})
+	var want bytes.Buffer
+	for i := 0; i < 100; i++ {
+		s := strings.Repeat("x", i%13+1)
+		b.AppendString(s)
+		want.WriteString(s)
+		b.CheckInvariants()
+	}
+	if got := b.Bytes(); !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("contents diverge: %d vs %d bytes", len(got), want.Len())
+	}
+	if b.NumChunks() < 2 {
+		t.Fatalf("expected multiple chunks for %d bytes with 64-byte chunks, got %d", b.Len(), b.NumChunks())
+	}
+}
+
+func TestAppendIsContiguous(t *testing.T) {
+	b := New(Config{ChunkSize: 64, TrailingSlack: 8})
+	for i := 0; i < 200; i++ {
+		pos := b.AppendString("0123456789")
+		if pos.Off+10 > pos.C.Len() {
+			t.Fatalf("append split across chunks at iteration %d", i)
+		}
+		if got := string(pos.C.Bytes()[pos.Off : pos.Off+10]); got != "0123456789" {
+			t.Fatalf("appended bytes read back %q", got)
+		}
+	}
+}
+
+func TestTrailingSlackHonoured(t *testing.T) {
+	b := New(Config{ChunkSize: 100, TrailingSlack: 20})
+	for i := 0; i < 50; i++ {
+		b.AppendString("0123456789")
+	}
+	for c := b.Head(); c != nil; c = c.Next() {
+		if c.Next() != nil && c.Slack() < 20 {
+			// Every non-tail chunk produced by plain appends must keep
+			// its slack reservation.
+			t.Fatalf("chunk slack %d below reservation 20", c.Slack())
+		}
+	}
+}
+
+func TestOversizedAppendGetsOwnChunk(t *testing.T) {
+	b := New(Config{ChunkSize: 32, TrailingSlack: 4})
+	big := strings.Repeat("A", 100)
+	pos := b.AppendString(big)
+	if pos.Off != 0 || pos.C.Len() != 100 {
+		t.Fatalf("oversized append at off %d in chunk of len %d", pos.Off, pos.C.Len())
+	}
+	if got := string(b.Bytes()); got != big {
+		t.Fatalf("contents %q", got)
+	}
+	b.CheckInvariants()
+}
+
+func TestAppendByte(t *testing.T) {
+	b := New(Config{ChunkSize: 16, TrailingSlack: 2})
+	for i := byte('a'); i <= 'z'; i++ {
+		b.AppendByte(i)
+	}
+	if got := string(b.Bytes()); got != "abcdefghijklmnopqrstuvwxyz" {
+		t.Fatalf("contents %q", got)
+	}
+}
+
+func TestInsertGapWithinSlack(t *testing.T) {
+	b := New(Config{ChunkSize: 64, TrailingSlack: 16})
+	pos := b.AppendString("hello world")
+	c := pos.C
+	if !c.InsertGap(5, 3) {
+		t.Fatal("InsertGap refused despite slack")
+	}
+	copy(c.Bytes()[5:8], "XYZ")
+	if got := string(b.Bytes()); got != "helloXYZ world" {
+		t.Fatalf("after gap: %q", got)
+	}
+	if b.Len() != 14 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.CheckInvariants()
+}
+
+func TestInsertGapAtEnds(t *testing.T) {
+	b := New(Config{ChunkSize: 64, TrailingSlack: 16})
+	pos := b.AppendString("abc")
+	c := pos.C
+	if !c.InsertGap(0, 2) {
+		t.Fatal("gap at head refused")
+	}
+	copy(c.Bytes()[0:2], ">>")
+	if !c.InsertGap(c.Len(), 2) {
+		t.Fatal("gap at tail refused")
+	}
+	copy(c.Bytes()[c.Len()-2:], "<<")
+	if got := string(b.Bytes()); got != ">>abc<<" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestInsertGapZeroIsNoop(t *testing.T) {
+	b := New(Config{ChunkSize: 64})
+	pos := b.AppendString("abc")
+	if !pos.C.InsertGap(1, 0) {
+		t.Fatal("zero gap refused")
+	}
+	if got := string(b.Bytes()); got != "abc" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestInsertGapInsufficientSlack(t *testing.T) {
+	b := New(Config{ChunkSize: 16, TrailingSlack: 2})
+	pos := b.Reserve(14)
+	copy(pos.C.Bytes(), "0123456789abcd")
+	if pos.C.InsertGap(0, 10) {
+		t.Fatal("InsertGap succeeded beyond capacity")
+	}
+	if got := string(b.Bytes()); got != "0123456789abcd" {
+		t.Fatalf("failed gap mutated chunk: %q", got)
+	}
+}
+
+func TestGrowChunkPreservesContentsAndIdentity(t *testing.T) {
+	b := New(Config{ChunkSize: 16, TrailingSlack: 2})
+	pos := b.AppendString("0123456789abcd")
+	c := pos.C
+	b.GrowChunk(c, 100)
+	if c.Cap() < c.Len()+100 {
+		t.Fatalf("cap %d after grow", c.Cap())
+	}
+	if got := string(c.Bytes()); got != "0123456789abcd" {
+		t.Fatalf("contents after grow: %q", got)
+	}
+	if !c.InsertGap(7, 50) {
+		t.Fatal("gap refused after grow")
+	}
+	b.CheckInvariants()
+}
+
+func TestGrowChunkNoopWhenRoomy(t *testing.T) {
+	b := New(Config{ChunkSize: 1024, TrailingSlack: 64})
+	pos := b.AppendString("small")
+	before := pos.C.Cap()
+	b.GrowChunk(pos.C, 4)
+	if pos.C.Cap() != before {
+		t.Fatal("GrowChunk reallocated unnecessarily")
+	}
+}
+
+func TestSplitChunk(t *testing.T) {
+	b := New(Config{ChunkSize: 64, TrailingSlack: 8})
+	pos := b.AppendString("0123456789")
+	c := pos.C
+	nc := b.SplitChunk(c, 4)
+	if string(c.Bytes()) != "0123" || string(nc.Bytes()) != "456789" {
+		t.Fatalf("split contents: %q | %q", c.Bytes(), nc.Bytes())
+	}
+	if c.Next() != nc || nc.Prev() != c {
+		t.Fatal("split linkage wrong")
+	}
+	if got := string(b.Bytes()); got != "0123456789" {
+		t.Fatalf("whole contents after split: %q", got)
+	}
+	if b.NumChunks() != 2 {
+		t.Fatalf("NumChunks = %d", b.NumChunks())
+	}
+	b.CheckInvariants()
+}
+
+func TestSplitChunkInMiddleOfList(t *testing.T) {
+	b := New(Config{ChunkSize: 8, TrailingSlack: 1})
+	b.AppendString("aaaaaa")
+	b.AppendString("bbbbbb")
+	b.AppendString("cccccc")
+	first := b.Head()
+	b.SplitChunk(first, 3)
+	if got := string(b.Bytes()); got != "aaaaaabbbbbbcccccc" {
+		t.Fatalf("contents: %q", got)
+	}
+	b.CheckInvariants()
+	// Tail must still be the original last chunk.
+	if string(b.Tail().Bytes()) != "cccccc" {
+		t.Fatalf("tail contents: %q", b.Tail().Bytes())
+	}
+}
+
+func TestSplitAtEndsProducesEmptySide(t *testing.T) {
+	b := New(Config{ChunkSize: 64})
+	pos := b.AppendString("abcdef")
+	nc := b.SplitChunk(pos.C, 6)
+	if nc.Len() != 0 || pos.C.Len() != 6 {
+		t.Fatalf("split at end: %d | %d", pos.C.Len(), nc.Len())
+	}
+	b.CheckInvariants()
+	if got := string(b.Bytes()); got != "abcdef" {
+		t.Fatalf("contents: %q", got)
+	}
+}
+
+func TestCloseChunk(t *testing.T) {
+	b := New(Config{ChunkSize: 1024})
+	b.AppendString("first")
+	b.CloseChunk()
+	pos := b.AppendString("second")
+	if pos.C == b.Head() {
+		t.Fatal("append after CloseChunk landed in old chunk")
+	}
+	if pos.Off != 0 {
+		t.Fatalf("append after CloseChunk at offset %d", pos.Off)
+	}
+	if got := string(b.Bytes()); got != "firstsecond" {
+		t.Fatalf("contents: %q", got)
+	}
+	// CloseChunk on an empty tail must not pile up empty chunks.
+	n := b.NumChunks()
+	b.CloseChunk()
+	b.CloseChunk()
+	if b.NumChunks() != n+1 {
+		t.Fatalf("repeated CloseChunk grew chunks: %d -> %d", n, b.NumChunks())
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	b := New(Config{ChunkSize: 16, TrailingSlack: 2})
+	var want bytes.Buffer
+	for i := 0; i < 40; i++ {
+		b.AppendString("chunked ")
+		want.WriteString("chunked ")
+	}
+	var got bytes.Buffer
+	n, err := b.WriteTo(&got)
+	if err != nil || n != int64(want.Len()) {
+		t.Fatalf("WriteTo = %d, %v", n, err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("WriteTo contents diverge")
+	}
+}
+
+type shortWriter struct{ fail bool }
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if w.fail {
+		return len(p) / 2, nil
+	}
+	return len(p), nil
+}
+
+func TestWriteToShortWrite(t *testing.T) {
+	b := New(Config{ChunkSize: 16})
+	b.AppendString("0123456789")
+	if _, err := b.WriteTo(&shortWriter{fail: true}); err != io.ErrShortWrite {
+		t.Fatalf("err = %v, want ErrShortWrite", err)
+	}
+}
+
+func TestBuffersMatchesBytes(t *testing.T) {
+	b := New(Config{ChunkSize: 32, TrailingSlack: 4})
+	for i := 0; i < 30; i++ {
+		b.AppendString("0123456789")
+	}
+	var joined []byte
+	for _, seg := range b.Buffers() {
+		joined = append(joined, seg...)
+	}
+	if !bytes.Equal(joined, b.Bytes()) {
+		t.Fatal("Buffers() and Bytes() diverge")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(Config{ChunkSize: 32})
+	b.AppendString("data")
+	b.Reset()
+	if b.Len() != 0 || b.NumChunks() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	b.AppendString("fresh")
+	if got := string(b.Bytes()); got != "fresh" {
+		t.Fatalf("after reset: %q", got)
+	}
+	b.CheckInvariants()
+}
+
+// TestRandomOperationSequence drives the buffer through random appends,
+// gaps, grows and splits, mirroring every mutation against a flat byte
+// slice, and checks the buffer always matches the model.
+func TestRandomOperationSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		b := New(Config{ChunkSize: 64, TrailingSlack: 8})
+		var model []byte
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0: // append
+				n := rng.Intn(20) + 1
+				p := make([]byte, n)
+				for i := range p {
+					p[i] = byte('a' + rng.Intn(26))
+				}
+				b.Append(p)
+				model = append(model, p...)
+			case 1: // gap in a random chunk
+				c, base := randomChunk(rng, b)
+				if c == nil || c.Len() == 0 {
+					continue
+				}
+				pos := rng.Intn(c.Len() + 1)
+				delta := rng.Intn(8) + 1
+				if c.Slack() < delta {
+					b.GrowChunk(c, delta)
+				}
+				if !c.InsertGap(pos, delta) {
+					t.Fatal("gap refused after grow")
+				}
+				fill := bytes.Repeat([]byte{'#'}, delta)
+				copy(c.Bytes()[pos:pos+delta], fill)
+				model = append(model[:base+pos], append(append([]byte{}, fill...), model[base+pos:]...)...)
+			case 2: // split a random chunk
+				c, _ := randomChunk(rng, b)
+				if c == nil {
+					continue
+				}
+				b.SplitChunk(c, rng.Intn(c.Len()+1))
+			case 3: // grow a random chunk
+				c, _ := randomChunk(rng, b)
+				if c == nil {
+					continue
+				}
+				b.GrowChunk(c, rng.Intn(64))
+			}
+			b.CheckInvariants()
+			if !bytes.Equal(b.Bytes(), model) {
+				t.Fatalf("trial %d op %d: buffer diverged from model (%d vs %d bytes)",
+					trial, op, b.Len(), len(model))
+			}
+		}
+	}
+}
+
+// randomChunk picks a uniformly random chunk and returns it along with the
+// byte offset of its start within the whole buffer.
+func randomChunk(rng *rand.Rand, b *Buffer) (*Chunk, int) {
+	if b.NumChunks() == 0 {
+		return nil, 0
+	}
+	idx := rng.Intn(b.NumChunks())
+	base := 0
+	c := b.Head()
+	for i := 0; i < idx; i++ {
+		base += c.Len()
+		c = c.Next()
+	}
+	return c, base
+}
+
+func TestPosValid(t *testing.T) {
+	b := New(Config{ChunkSize: 32})
+	pos := b.AppendString("xyz")
+	if !pos.Valid() {
+		t.Fatal("fresh position invalid")
+	}
+	if (Pos{}).Valid() {
+		t.Fatal("zero position valid")
+	}
+	if (Pos{C: pos.C, Off: pos.C.Len() + 1}).Valid() {
+		t.Fatal("out-of-range position valid")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	b := New(Config{ChunkSize: 64, TrailingSlack: 8})
+	if b.Footprint() != 0 {
+		t.Fatal("empty buffer has footprint")
+	}
+	b.AppendString("data")
+	if b.Footprint() < 64 {
+		t.Fatalf("footprint %d below chunk capacity", b.Footprint())
+	}
+	before := b.Footprint()
+	b.CloseChunk()
+	b.AppendString("more")
+	if b.Footprint() <= before {
+		t.Fatal("footprint did not grow with a second chunk")
+	}
+	// Footprint counts capacity, not use.
+	if b.Footprint() < b.Len() {
+		t.Fatal("footprint below used bytes")
+	}
+}

@@ -1,0 +1,139 @@
+// Package classad models the Condor flocking exchange from paper §3.4:
+// flocks of Condor pools periodically exchange ClassAd descriptions of
+// their resources. The static attributes (name, architecture, OS,
+// CPUs, memory) rarely change, and even the dynamic ones (load, state)
+// are often stable between exchanges — so consecutive flock updates are
+// message content matches or sparse structural matches for bSOAP.
+package classad
+
+import (
+	"fmt"
+
+	"bsoap/internal/wire"
+)
+
+// Namespace is the flocking exchange namespace.
+const Namespace = "urn:condor-flock"
+
+// Ad describes one execution resource (a fixed-schema ClassAd).
+type Ad struct {
+	Cpus     int32
+	MemoryMB int32
+	// State is 0 = idle, 1 = busy, 2 = owner.
+	State int32
+	// LoadAvg is the 1-minute load average.
+	LoadAvg float64
+}
+
+// AdType is the wire struct type of one ClassAd.
+func AdType() *wire.Type {
+	return wire.StructOf("ns1:ClassAd",
+		wire.Field{Name: "cpus", Type: wire.TInt},
+		wire.Field{Name: "memoryMB", Type: wire.TInt},
+		wire.Field{Name: "state", Type: wire.TInt},
+		wire.Field{Name: "loadAvg", Type: wire.TDouble},
+	)
+}
+
+// Pool is one Condor pool whose resources are advertised to the flock.
+type Pool struct {
+	Name string
+	Ads  []Ad
+	rng  uint64
+}
+
+// NewPool builds a deterministic pool of n machines.
+func NewPool(name string, n int, seed uint64) *Pool {
+	p := &Pool{Name: name, Ads: make([]Ad, n), rng: seed | 1}
+	for i := range p.Ads {
+		p.Ads[i] = Ad{
+			Cpus:     int32(1 << (p.next() % 4)), // 1..8
+			MemoryMB: int32(1024 * (1 + p.next()%16)),
+			State:    0,
+			LoadAvg:  0,
+		}
+	}
+	return p
+}
+
+func (p *Pool) next() uint64 {
+	p.rng ^= p.rng << 13
+	p.rng ^= p.rng >> 7
+	p.rng ^= p.rng << 17
+	return p.rng
+}
+
+// Tick advances the simulation: a churn fraction of machines change
+// state and load; the rest are unchanged (the common case the paper
+// argues makes flocking exchanges differential-friendly). It returns
+// how many ads changed.
+func (p *Pool) Tick(churn float64) int {
+	k := int(float64(len(p.Ads))*churn + 0.5)
+	if k > len(p.Ads) {
+		k = len(p.Ads)
+	}
+	for i := 0; i < k; i++ {
+		idx := int(p.next() % uint64(len(p.Ads)))
+		ad := &p.Ads[idx]
+		ad.State = int32(p.next() % 3)
+		// Quantized load keeps lexical width small and realistic.
+		ad.LoadAvg = float64(p.next()%800) / 100
+	}
+	return k
+}
+
+// Exchange binds a pool to an outgoing flock message. The update path
+// writes through wire accessors, so unchanged ads never dirty the
+// template.
+type Exchange struct {
+	Msg  *wire.Message
+	pool *Pool
+	arr  wire.StructArrayRef
+}
+
+// NewExchange builds the flock message for p's current resources.
+func NewExchange(p *Pool) *Exchange {
+	m := wire.NewMessage(Namespace, "flockUpdate")
+	m.AddString("pool", p.Name)
+	arr := m.AddStructArray("ads", AdType(), len(p.Ads))
+	e := &Exchange{Msg: m, pool: p, arr: arr}
+	e.Sync()
+	m.ClearDirty()
+	return e
+}
+
+// Sync copies the pool's current ads into the message; only genuinely
+// changed fields become dirty.
+func (e *Exchange) Sync() {
+	if e.arr.Len() != len(e.pool.Ads) {
+		e.arr.Resize(len(e.pool.Ads))
+	}
+	for i, ad := range e.pool.Ads {
+		e.arr.SetInt(i, 0, ad.Cpus)
+		e.arr.SetInt(i, 1, ad.MemoryMB)
+		e.arr.SetInt(i, 2, ad.State)
+		e.arr.SetDouble(i, 3, ad.LoadAvg)
+	}
+}
+
+// DecodeAds extracts the ads from a decoded flockUpdate message.
+func DecodeAds(m *wire.Message) (pool string, ads []Ad, err error) {
+	params := m.Params()
+	if len(params) != 2 || params[1].Type.Kind != wire.Array {
+		return "", nil, fmt.Errorf("classad: unexpected message shape")
+	}
+	pool = m.LeafString(0)
+	n := params[1].Count
+	per := params[1].Type.LeavesPerValue()
+	ads = make([]Ad, n)
+	for i := 0; i < n; i++ {
+		base := params[1].First + i*per
+		ads[i] = Ad{
+			Cpus:     m.LeafInt(base),
+			MemoryMB: m.LeafInt(base + 1),
+			State:    m.LeafInt(base + 2),
+			LoadAvg:  m.LeafDouble(base + 3),
+		}
+	}
+	return pool, ads, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"bsoap/internal/wire"
+)
+
+// TestOverlayBoundsMemory verifies the paper's §3.3 claim numerically:
+// the resident cost of chunk overlaying stays bounded by the chunk size
+// while a full template grows with the message.
+func TestOverlayBoundsMemory(t *testing.T) {
+	const n = 100000
+	cfg := overlayConfig() // 512-byte chunks, max-width stuffing
+
+	build := func() *wire.Message {
+		m := wire.NewMessage("urn:t", "big")
+		arr := m.AddDoubleArray("v", n)
+		for i := 0; i < n; i++ {
+			arr.Set(i, float64(i))
+		}
+		return m
+	}
+
+	// Resident template.
+	tmplStub := NewStub(cfg, &captureSink{})
+	mT := build()
+	if _, err := tmplStub.Call(mT); err != nil {
+		t.Fatal(err)
+	}
+	tmplCost := tmplStub.Template(mT.Operation(), mT.Signature()).MemoryFootprint()
+
+	// Overlay.
+	ovStub := NewStub(cfg, &captureSink{})
+	mO := build()
+	sink := &captureStream{}
+	if _, err := ovStub.CallOverlay(mO, sink); err != nil {
+		t.Fatal(err)
+	}
+	ovCost := ovStub.OverlayFootprint(mO.Operation())
+
+	if ovCost == 0 || tmplCost == 0 {
+		t.Fatalf("footprints: overlay %d, template %d", ovCost, tmplCost)
+	}
+	// A 100K-double message at max width is several megabytes resident;
+	// the overlay state holds head+tail+frame+one chunk's buffers.
+	if tmplCost < 100*ovCost {
+		t.Fatalf("overlay does not bound memory: template %d bytes, overlay %d bytes",
+			tmplCost, ovCost)
+	}
+	t.Logf("template %d bytes resident vs overlay %d bytes (%.0fx reduction)",
+		tmplCost, ovCost, float64(tmplCost)/float64(ovCost))
+}
+
+// TestFootprintGrowsWithMessage sanity-checks the accounting itself.
+func TestFootprintGrowsWithMessage(t *testing.T) {
+	cost := func(n int) int {
+		m := wire.NewMessage("urn:t", "op")
+		m.AddDoubleArray("v", n)
+		s := NewStub(Config{}, &captureSink{})
+		if _, err := s.Call(m); err != nil {
+			t.Fatal(err)
+		}
+		return s.Template(m.Operation(), m.Signature()).MemoryFootprint()
+	}
+	small, large := cost(100), cost(10000)
+	if large <= small {
+		t.Fatalf("footprint not monotone: %d vs %d", small, large)
+	}
+}

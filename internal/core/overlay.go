@@ -1,0 +1,332 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bsoap/internal/fastconv"
+	"bsoap/internal/soapenv"
+	"bsoap/internal/wire"
+	"bsoap/internal/xsdlex"
+)
+
+// Chunk overlaying (paper §3.3) bounds the memory cost of differential
+// serialization for very large arrays: instead of keeping the whole
+// serialized array resident, one chunk's worth of items is serialized,
+// streamed to the transport, and then the *same memory* is overlaid with
+// the next portion of the array. The item tags are written once when the
+// resident chunk is first laid out; every later portion rewrites only
+// the values, so — as the paper observes — overlay performance tracks
+// 100% value re-serialization.
+//
+// Overlaying requires every item to have a fixed serialized span, so the
+// stub's WidthPolicy must give each scalar kind a bound (fixed or
+// MaxWidth); strings are not supported.
+
+// overlayState is the resident-chunk layout for one operation, rebuilt
+// whenever the message structure changes.
+type overlayState struct {
+	sig          string
+	head, tail   string
+	itemSpan     int   // bytes per item in the resident chunk
+	perItem      int   // scalar leaves per item
+	valueOff     []int // per-leaf value offset within the item span
+	valueWidth   []int // per-leaf field width
+	valueClose   []string
+	frame        []byte // static item frame: tags plus blank value fields
+	itemsPerMbuf int    // items per resident chunk
+	// Two resident buffers: CallOverlay uses only the first; the
+	// pipelined variant alternates so serialization of one portion
+	// overlaps the transport write of the previous one.
+	resident [2][]byte
+	laidOut  [2]int // items laid out per resident buffer
+}
+
+// MemoryFootprint reports the overlay engine's resident cost for one
+// operation: the head/tail strings, the item frame, and the resident
+// buffers — independent of array length, unlike a full template.
+func (st *overlayState) MemoryFootprint() int {
+	n := len(st.head) + len(st.tail) + len(st.frame)
+	for _, r := range st.resident {
+		n += cap(r)
+	}
+	return n
+}
+
+// OverlayFootprint reports the resident memory of the overlay state for
+// an operation, or 0 if none exists.
+func (s *Stub) OverlayFootprint(op string) int {
+	if st, ok := s.overlays[op]; ok {
+		return st.MemoryFootprint()
+	}
+	return 0
+}
+
+// ErrOverlayUnsupported reports a message shape the overlay engine does
+// not handle.
+var ErrOverlayUnsupported = errors.New("core: overlay requires a message whose final parameter is an array of bounded-width scalars or structs; scalar parameters may precede it")
+
+// CallOverlay sends m through sink using chunk overlaying. The message's
+// final parameter must be an array; any preceding parameters are scalars
+// serialized into the message head. The template store is not used: the
+// resident chunk *is* the (single-portion) template, kept across calls.
+func (s *Stub) CallOverlay(m *wire.Message, sink StreamSink) (CallInfo, error) {
+	var ci CallInfo
+	st, err := s.overlayStateFor(m)
+	if err != nil {
+		return ci, err
+	}
+	arr := m.Params()[len(m.Params())-1]
+
+	if err := sink.BeginStream(); err != nil {
+		return ci, fmt.Errorf("core: overlay begin: %w", err)
+	}
+	if err := sink.StreamChunk([]byte(st.head)); err != nil {
+		return ci, fmt.Errorf("core: overlay head: %w", err)
+	}
+	ci.Bytes += len(st.head)
+
+	for base := 0; base < arr.Count; base += st.itemsPerMbuf {
+		n := arr.Count - base
+		if n > st.itemsPerMbuf {
+			n = st.itemsPerMbuf
+		}
+		portion, err := st.fillPortion(m, arr, base, n, 0, &ci)
+		if err != nil {
+			return ci, err
+		}
+		if err := sink.StreamChunk(portion); err != nil {
+			return ci, fmt.Errorf("core: overlay portion: %w", err)
+		}
+		ci.Bytes += len(portion)
+	}
+
+	if err := sink.StreamChunk([]byte(st.tail)); err != nil {
+		return ci, fmt.Errorf("core: overlay tail: %w", err)
+	}
+	ci.Bytes += len(st.tail)
+	if err := sink.EndStream(); err != nil {
+		return ci, fmt.Errorf("core: overlay end: %w", err)
+	}
+	ci.Match = StructuralMatch
+	m.ClearDirty()
+	s.stats.add(ci)
+	return ci, nil
+}
+
+// overlayStateFor returns (building if needed) the overlay layout for m.
+func (s *Stub) overlayStateFor(m *wire.Message) (*overlayState, error) {
+	if s.overlays == nil {
+		s.overlays = make(map[string]*overlayState)
+	}
+	if st, ok := s.overlays[m.Operation()]; ok && st.sig == m.Signature() {
+		return st, nil
+	}
+	st, err := buildOverlayState(m, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.overlays[m.Operation()] = st
+	return st, nil
+}
+
+// buildOverlayState validates the message shape and computes the fixed
+// per-item layout.
+func buildOverlayState(m *wire.Message, cfg Config) (*overlayState, error) {
+	params := m.Params()
+	if len(params) == 0 || params[len(params)-1].Type.Kind != wire.Array {
+		return nil, ErrOverlayUnsupported
+	}
+	arr := params[len(params)-1]
+	for _, p := range params[:len(params)-1] {
+		if !p.Type.Kind.Scalar() {
+			return nil, ErrOverlayUnsupported
+		}
+	}
+
+	st := &overlayState{sig: m.Signature()}
+
+	// Head: envelope, operation, leading scalar params, array open tag.
+	head := soapenv.EnvelopeStart(m.Namespace()) + soapenv.OperationStart(m.Operation())
+	var scratch [xsdlex.MaxDoubleWidth]byte
+	for _, p := range params[:len(params)-1] {
+		enc := encodeLeaf(m, p.First, p.Type, scratch[:])
+		head += soapenv.ScalarStart(p.Name, p.Type) + string(enc) + soapenv.CloseTag(p.Name)
+	}
+	head += soapenv.ArrayStart(arr.Name, arr.Type.Elem, arr.Count)
+	st.head = head
+	st.tail = soapenv.ArrayEnd(arr.Name) + soapenv.OperationEnd(m.Operation()) + soapenv.EnvelopeEnd
+
+	// Per-item layout: collect scalar fields in document order and build
+	// the static frame (tags plus blank value fields) as one pass.
+	var walk func(t *wire.Type, tag string) error
+	walk = func(t *wire.Type, tag string) error {
+		if t.Kind == wire.Struct {
+			st.frame = append(st.frame, soapenv.OpenTag(tag)...)
+			for _, f := range t.Fields {
+				if err := walk(f.Type, f.Name); err != nil {
+					return err
+				}
+			}
+			st.frame = append(st.frame, soapenv.CloseTag(tag)...)
+			return nil
+		}
+		var w int
+		switch p := cfg.Width.policyFor(t); {
+		case t.Kind == wire.String:
+			return ErrOverlayUnsupported
+		case p == MaxWidth:
+			w = t.MaxWidth()
+		case p > 0:
+			w = p
+		default:
+			// Exact-width fields cannot be overlaid: the next portion's
+			// values would not fit a previously laid-out frame.
+			return ErrOverlayUnsupported
+		}
+		cls := soapenv.CloseTag(tag)
+		st.frame = append(st.frame, soapenv.OpenTag(tag)...)
+		st.valueOff = append(st.valueOff, len(st.frame))
+		st.valueWidth = append(st.valueWidth, w)
+		st.valueClose = append(st.valueClose, cls)
+		for i := 0; i < w+len(cls); i++ {
+			st.frame = append(st.frame, ' ')
+		}
+		return nil
+	}
+	if err := walk(arr.Type.Elem, soapenv.ItemTag); err != nil {
+		return nil, err
+	}
+	st.itemSpan = len(st.frame)
+	st.perItem = arr.Type.LeavesPerValue()
+
+	chunkSize := cfg.Chunk.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = 32 * 1024
+	}
+	st.itemsPerMbuf = chunkSize / st.itemSpan
+	if st.itemsPerMbuf < 1 {
+		st.itemsPerMbuf = 1
+	}
+	st.resident[0] = make([]byte, st.itemsPerMbuf*st.itemSpan)
+	return st, nil
+}
+
+// fillPortion serializes items [base, base+n) of arr into resident
+// buffer buf and returns the filled slice. Item frames (tags, padding)
+// are laid out the first time the buffer must hold that many items;
+// afterwards only the values are rewritten — "the tags that describe
+// the data need not be rewritten" (§3.3).
+func (st *overlayState) fillPortion(m *wire.Message, arr wire.Param, base, n, buf int, ci *CallInfo) ([]byte, error) {
+	res := st.resident[buf]
+	if res == nil {
+		res = make([]byte, st.itemsPerMbuf*st.itemSpan)
+		st.resident[buf] = res
+	}
+	for st.laidOut[buf] < n {
+		copy(res[st.laidOut[buf]*st.itemSpan:], st.frame)
+		st.laidOut[buf]++
+	}
+	var scratch [xsdlex.MaxDoubleWidth]byte
+	for it := 0; it < n; it++ {
+		ibase := it * st.itemSpan
+		leaf := arr.First + (base+it)*st.perItem
+		for f := 0; f < st.perItem; f++ {
+			off := ibase + st.valueOff[f]
+			enc := encodeLeaf(m, leaf+f, m.LeafType(leaf+f), scratch[:])
+			if len(enc) > st.valueWidth[f] {
+				return nil, fmt.Errorf("core: overlay value wider (%d) than field (%d); use a bounded WidthPolicy", len(enc), st.valueWidth[f])
+			}
+			copy(res[off:], enc)
+			cls := st.valueClose[f]
+			copy(res[off+len(enc):], cls)
+			fastconv.Pad(res, off+len(enc)+len(cls), off+st.valueWidth[f]+len(cls))
+			ci.ValuesRewritten++
+		}
+	}
+	return res[:n*st.itemSpan], nil
+}
+
+// CallOverlayPipelined is CallOverlay with pipelined send (companion
+// paper [3], "Chunk-Overlaying and Pipelined-Send"): a writer goroutine
+// streams portion k while the caller serializes portion k+1 into the
+// alternate resident buffer, overlapping conversion with transport I/O.
+func (s *Stub) CallOverlayPipelined(m *wire.Message, sink StreamSink) (CallInfo, error) {
+	var ci CallInfo
+	st, err := s.overlayStateFor(m)
+	if err != nil {
+		return ci, err
+	}
+	arr := m.Params()[len(m.Params())-1]
+
+	if err := sink.BeginStream(); err != nil {
+		return ci, fmt.Errorf("core: overlay begin: %w", err)
+	}
+
+	writeCh := make(chan []byte)
+	errCh := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range writeCh {
+			if err := sink.StreamChunk(p); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	// send hands a portion to the writer; false means the writer died.
+	send := func(p []byte) bool {
+		select {
+		case writeCh <- p:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	finish := func() error {
+		close(writeCh)
+		<-done
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+
+	ok := send([]byte(st.head))
+	ci.Bytes += len(st.head)
+	buf := 0
+	for base := 0; ok && base < arr.Count; base += st.itemsPerMbuf {
+		n := arr.Count - base
+		if n > st.itemsPerMbuf {
+			n = st.itemsPerMbuf
+		}
+		portion, ferr := st.fillPortion(m, arr, base, n, buf, &ci)
+		if ferr != nil {
+			werr := finish()
+			if werr != nil {
+				return ci, fmt.Errorf("core: overlay: %v (writer: %w)", ferr, werr)
+			}
+			return ci, ferr
+		}
+		ok = send(portion)
+		ci.Bytes += len(portion)
+		buf ^= 1
+	}
+	if ok {
+		send([]byte(st.tail))
+		ci.Bytes += len(st.tail)
+	}
+	if err := finish(); err != nil {
+		return ci, fmt.Errorf("core: overlay portion: %w", err)
+	}
+	if err := sink.EndStream(); err != nil {
+		return ci, fmt.Errorf("core: overlay end: %w", err)
+	}
+	ci.Match = StructuralMatch
+	m.ClearDirty()
+	s.stats.add(ci)
+	return ci, nil
+}

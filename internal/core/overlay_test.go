@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"bsoap/internal/chunk"
+	"bsoap/internal/wire"
+)
+
+// captureStream records a streamed message and its portion boundaries.
+type captureStream struct {
+	data     []byte
+	portions int
+	begun    bool
+	ended    bool
+	failAt   int // fail on the Nth StreamChunk (1-based); 0 = never
+}
+
+func (c *captureStream) BeginStream() error {
+	c.begun = true
+	c.data = c.data[:0]
+	c.portions = 0
+	c.ended = false
+	return nil
+}
+
+func (c *captureStream) StreamChunk(p []byte) error {
+	c.portions++
+	if c.failAt != 0 && c.portions == c.failAt {
+		return errors.New("stream broken")
+	}
+	c.data = append(c.data, p...)
+	return nil
+}
+
+func (c *captureStream) EndStream() error {
+	c.ended = true
+	return nil
+}
+
+// Send satisfies Sink so the same object can be handed to NewStub; the
+// overlay tests never use the non-streaming path.
+func (c *captureStream) Send(bufs net.Buffers) error {
+	for _, b := range bufs {
+		c.data = append(c.data, b...)
+	}
+	return nil
+}
+
+func overlayConfig() Config {
+	return Config{
+		Chunk: chunk.Config{ChunkSize: 512},
+		Width: WidthPolicy{Double: MaxWidth, Int: MaxWidth},
+	}
+}
+
+func TestOverlayRendersCorrectValues(t *testing.T) {
+	m := wire.NewMessage("urn:t", "bigsend")
+	n := 200 // several portions at 512-byte chunks
+	arr := m.AddDoubleArray("v", n)
+	for i := 0; i < n; i++ {
+		arr.Set(i, float64(i)+0.5)
+	}
+	sink := &captureStream{}
+	s := NewStub(overlayConfig(), sink)
+	ci, err := s.CallOverlay(m, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.begun || !sink.ended {
+		t.Fatal("stream not framed")
+	}
+	if sink.portions < 4 {
+		t.Fatalf("only %d portions; overlay did not chunk", sink.portions)
+	}
+	if ci.ValuesRewritten != n {
+		t.Fatalf("rewrote %d values, want %d", ci.ValuesRewritten, n)
+	}
+	if ci.Bytes != len(sink.data) {
+		t.Fatalf("ci.Bytes = %d, stream got %d", ci.Bytes, len(sink.data))
+	}
+	checkRendered(t, m, sink.data)
+}
+
+func TestOverlayMatchesNonOverlayValues(t *testing.T) {
+	build := func() *wire.Message {
+		m := wire.NewMessage("urn:t", "bigsend")
+		arr := m.AddDoubleArray("v", 150)
+		for i := 0; i < 150; i++ {
+			arr.Set(i, float64(i)*1.5)
+		}
+		return m
+	}
+	mOv, mFull := build(), build()
+
+	ovSink := &captureStream{}
+	sOv := NewStub(overlayConfig(), ovSink)
+	if _, err := sOv.CallOverlay(mOv, ovSink); err != nil {
+		t.Fatal(err)
+	}
+	fullSink := &captureSink{}
+	sFull := NewStub(overlayConfig(), fullSink)
+	if _, err := sFull.Call(mFull); err != nil {
+		t.Fatal(err)
+	}
+	ovLeaves := leafTexts(t, ovSink.data)
+	fullLeaves := leafTexts(t, fullSink.data)
+	if len(ovLeaves) != len(fullLeaves) {
+		t.Fatalf("leaf counts differ: %d vs %d", len(ovLeaves), len(fullLeaves))
+	}
+	for i := range ovLeaves {
+		if ovLeaves[i] != fullLeaves[i] {
+			t.Fatalf("leaf %d: overlay %q vs full %q", i, ovLeaves[i], fullLeaves[i])
+		}
+	}
+}
+
+func TestOverlayRepeatSendsReuseFrames(t *testing.T) {
+	m := wire.NewMessage("urn:t", "bigsend")
+	n := 100
+	arr := m.AddDoubleArray("v", n)
+	for i := 0; i < n; i++ {
+		arr.Set(i, 1)
+	}
+	sink := &captureStream{}
+	s := NewStub(overlayConfig(), sink)
+	if _, err := s.CallOverlay(m, sink); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		arr.Set(i, float64(i)+0.25)
+	}
+	if _, err := s.CallOverlay(m, sink); err != nil {
+		t.Fatal(err)
+	}
+	checkRendered(t, m, sink.data)
+}
+
+func TestOverlayMIOArray(t *testing.T) {
+	m := wire.NewMessage("urn:t", "meshsend")
+	n := 60
+	arr := m.AddStructArray("mios", mioType(), n)
+	for i := 0; i < n; i++ {
+		arr.SetInt(i, 0, int32(i))
+		arr.SetInt(i, 1, int32(-i))
+		arr.SetDouble(i, 2, float64(i)/3)
+	}
+	sink := &captureStream{}
+	s := NewStub(overlayConfig(), sink)
+	if _, err := s.CallOverlay(m, sink); err != nil {
+		t.Fatal(err)
+	}
+	checkRendered(t, m, sink.data)
+}
+
+func TestOverlayWithLeadingScalars(t *testing.T) {
+	m := wire.NewMessage("urn:t", "headersend")
+	m.AddInt("iteration", 7)
+	m.AddDouble("tolerance", 0.001)
+	arr := m.AddDoubleArray("v", 40)
+	for i := 0; i < 40; i++ {
+		arr.Set(i, float64(i))
+	}
+	sink := &captureStream{}
+	s := NewStub(overlayConfig(), sink)
+	if _, err := s.CallOverlay(m, sink); err != nil {
+		t.Fatal(err)
+	}
+	checkRendered(t, m, sink.data)
+	if !strings.Contains(string(sink.data), `<iteration xsi:type="xsd:int">7</iteration>`) {
+		t.Fatal("leading scalar missing from head")
+	}
+}
+
+func TestOverlayLastPartialPortion(t *testing.T) {
+	m := wire.NewMessage("urn:t", "bigsend")
+	// Pick a count that does not divide evenly into portions.
+	n := 37
+	arr := m.AddDoubleArray("v", n)
+	for i := 0; i < n; i++ {
+		arr.Set(i, float64(i))
+	}
+	cfg := overlayConfig()
+	cfg.Chunk.ChunkSize = 300 // ~9 items of 31 bytes per portion
+	sink := &captureStream{}
+	s := NewStub(cfg, sink)
+	if _, err := s.CallOverlay(m, sink); err != nil {
+		t.Fatal(err)
+	}
+	got := leafTexts(t, sink.data)
+	if len(got) != n {
+		t.Fatalf("streamed %d leaves, want %d", len(got), n)
+	}
+	checkRendered(t, m, sink.data)
+}
+
+func TestOverlayUnsupportedShapes(t *testing.T) {
+	sink := &captureStream{}
+
+	// No array parameter.
+	m := wire.NewMessage("urn:t", "op")
+	m.AddInt("x", 1)
+	s := NewStub(overlayConfig(), sink)
+	if _, err := s.CallOverlay(m, sink); !errors.Is(err, ErrOverlayUnsupported) {
+		t.Fatalf("scalar-only message: err = %v", err)
+	}
+
+	// Exact-width policy cannot be overlaid.
+	m2 := wire.NewMessage("urn:t", "op")
+	m2.AddDoubleArray("v", 10)
+	s2 := NewStub(Config{}, sink)
+	if _, err := s2.CallOverlay(m2, sink); !errors.Is(err, ErrOverlayUnsupported) {
+		t.Fatalf("exact widths: err = %v", err)
+	}
+
+	// String arrays are unbounded.
+	m3 := wire.NewMessage("urn:t", "op")
+	m3.AddStringArray("s", 4)
+	s3 := NewStub(overlayConfig(), sink)
+	if _, err := s3.CallOverlay(m3, sink); !errors.Is(err, ErrOverlayUnsupported) {
+		t.Fatalf("string array: err = %v", err)
+	}
+}
+
+func TestOverlayStreamError(t *testing.T) {
+	m := wire.NewMessage("urn:t", "bigsend")
+	arr := m.AddDoubleArray("v", 100)
+	for i := 0; i < 100; i++ {
+		arr.Set(i, float64(i))
+	}
+	sink := &captureStream{failAt: 2}
+	s := NewStub(overlayConfig(), sink)
+	if _, err := s.CallOverlay(m, sink); err == nil {
+		t.Fatal("stream error not propagated")
+	}
+}
+
+func TestOverlayIntermediateFixedWidth(t *testing.T) {
+	m := wire.NewMessage("urn:t", "bigsend")
+	arr := m.AddDoubleArray("v", 50)
+	for i := 0; i < 50; i++ {
+		arr.Set(i, 1.5)
+	}
+	cfg := overlayConfig()
+	cfg.Width = WidthPolicy{Double: 18}
+	sink := &captureStream{}
+	s := NewStub(cfg, sink)
+	if _, err := s.CallOverlay(m, sink); err != nil {
+		t.Fatal(err)
+	}
+	checkRendered(t, m, sink.data)
+
+	// A 24-char value cannot fit an 18-char overlay frame.
+	arr.Set(0, -1.7976931348623157e+308)
+	if _, err := s.CallOverlay(m, sink); err == nil {
+		t.Fatal("overflowing value accepted by fixed-width overlay")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bsoap/internal/fastconv"
+	"bsoap/internal/soapenv"
+	"bsoap/internal/wire"
+	"bsoap/internal/xsdlex"
+)
+
+// flatRenderer serializes a message from scratch into one reusable flat
+// buffer — the DisableDiff ("bSOAP Full Serialization") path. It is the
+// same single-pass strategy as the gSOAP baseline: no template, no DUT
+// table, so the measured comparison between the two modes isolates
+// differential serialization itself.
+type flatRenderer struct {
+	buf []byte
+}
+
+// render serializes m, reusing the renderer's buffer.
+func (r *flatRenderer) render(m *wire.Message) []byte {
+	b := r.buf[:0]
+	b = append(b, soapenv.EnvelopeStart(m.Namespace())...)
+	b = append(b, soapenv.OperationStart(m.Operation())...)
+	leaf := 0
+	for _, p := range m.Params() {
+		switch p.Type.Kind {
+		case wire.Array:
+			b = append(b, soapenv.ArrayStart(p.Name, p.Type.Elem, p.Count)...)
+			for i := 0; i < p.Count; i++ {
+				b, leaf = renderValue(b, m, p.Type.Elem, soapenv.ItemTag, leaf)
+			}
+			b = append(b, soapenv.ArrayEnd(p.Name)...)
+		case wire.Struct:
+			b = append(b, soapenv.StructStart(p.Name, p.Type)...)
+			for _, f := range p.Type.Fields {
+				b, leaf = renderValue(b, m, f.Type, f.Name, leaf)
+			}
+			b = append(b, soapenv.CloseTag(p.Name)...)
+		default:
+			b = append(b, soapenv.ScalarStart(p.Name, p.Type)...)
+			b, leaf = renderScalar(b, m, p.Type, leaf)
+			b = append(b, soapenv.CloseTag(p.Name)...)
+		}
+	}
+	b = append(b, soapenv.OperationEnd(m.Operation())...)
+	b = append(b, soapenv.EnvelopeEnd...)
+	r.buf = b
+	return b
+}
+
+func renderValue(b []byte, m *wire.Message, t *wire.Type, tag string, leaf int) ([]byte, int) {
+	b = append(b, '<')
+	b = append(b, tag...)
+	b = append(b, '>')
+	if t.Kind == wire.Struct {
+		for _, f := range t.Fields {
+			b, leaf = renderValue(b, m, f.Type, f.Name, leaf)
+		}
+	} else {
+		b, leaf = renderScalar(b, m, t, leaf)
+	}
+	b = append(b, '<', '/')
+	b = append(b, tag...)
+	b = append(b, '>')
+	return b, leaf
+}
+
+func renderScalar(b []byte, m *wire.Message, t *wire.Type, leaf int) ([]byte, int) {
+	switch t.Kind {
+	case wire.Int:
+		var tmp [xsdlex.MaxIntWidth]byte
+		n := fastconv.WriteInt(tmp[:], m.LeafInt(leaf))
+		b = append(b, tmp[:n]...)
+	case wire.Double:
+		var tmp [xsdlex.MaxDoubleWidth]byte
+		n := fastconv.WriteDouble(tmp[:], m.LeafDouble(leaf))
+		b = append(b, tmp[:n]...)
+	case wire.Bool:
+		b = xsdlex.AppendBool(b, m.LeafBool(leaf))
+	case wire.String:
+		b = xsdlex.EscapeText(b, m.LeafString(leaf))
+	}
+	return b, leaf + 1
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"net"
+	"testing"
+
+	"bsoap/internal/wire"
+)
+
+// stealStub builds a stub with stuffed 10-char double fields and
+// stealing enabled over a capture sink.
+func stealStub(t *testing.T, n int) (*Stub, *captureSink, *wire.Message, wire.DoubleArrayRef) {
+	t.Helper()
+	m := wire.NewMessage("urn:t", "send")
+	arr := m.AddDoubleArray("v", n)
+	for i := 0; i < n; i++ {
+		arr.Set(i, 1)
+	}
+	sink := &captureSink{}
+	s := NewStub(Config{Width: WidthPolicy{Double: 10}, EnableStealing: true}, sink)
+	if _, err := s.Call(m); err != nil {
+		t.Fatal(err)
+	}
+	return s, sink, m, arr
+}
+
+func TestStealFromLeftNeighbour(t *testing.T) {
+	s, sink, m, arr := stealStub(t, 4)
+	// Exhaust the padding of every entry to the RIGHT of index 3 (none
+	// exist), so growing the last element must steal from the left.
+	arr.Set(3, 1.234567890123) // 15 chars into a 10-char field
+	ci, err := s.Call(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Steals != 1 || ci.Shifts != 0 {
+		t.Fatalf("expected a left steal, got %+v", ci)
+	}
+	checkRendered(t, m, sink.data)
+	checkTemplate(t, s, m)
+}
+
+func TestStealPrefersRightThenLeft(t *testing.T) {
+	s, sink, m, arr := stealStub(t, 5)
+	// First expansion of element 2 steals from element 3 (right).
+	arr.Set(2, 1.234567890123)
+	ci, err := s.Call(m)
+	if err != nil || ci.Steals != 1 {
+		t.Fatalf("first steal: %+v, %v", ci, err)
+	}
+	// "1.234567890123" is 14 chars: deficit 4 against the 10-char field,
+	// taken from element 3's padding (9 → 5).
+	tpl := s.Template(m.Operation(), m.Signature())
+	if tpl.Table().At(3).Pad() != 5 {
+		t.Fatalf("right neighbour pad = %d, want 5", tpl.Table().At(3).Pad())
+	}
+	checkRendered(t, m, sink.data)
+
+	// Element 3's pad is now too small; growing element 3 itself must
+	// look further right (element 4) and still steal, not shift.
+	arr.Set(3, 1.234567890123)
+	ci, err = s.Call(m)
+	if err != nil || ci.Steals != 1 || ci.Shifts != 0 {
+		t.Fatalf("second steal: %+v, %v", ci, err)
+	}
+	checkRendered(t, m, sink.data)
+
+	// Element 4 donated already (width now 2); elements 3 and 2 are
+	// full. Growing element 4 to a 10-char value (deficit 8) must steal
+	// LEFT from element 1, which still has its full 9-char padding.
+	arr.Set(4, 1.23456789)
+	ci, err = s.Call(m)
+	if err != nil || ci.Steals != 1 || ci.Shifts != 0 {
+		t.Fatalf("left steal: %+v, %v", ci, err)
+	}
+	checkRendered(t, m, sink.data)
+	checkTemplate(t, s, m)
+}
+
+func TestStealExhaustionFallsBackToShift(t *testing.T) {
+	s, sink, m, arr := stealStub(t, 3)
+	// Consume everyone's padding.
+	for i := 0; i < 3; i++ {
+		arr.Set(i, 1.234567890123) // 15 chars each; total pad is 3×9=27, each grow takes 5
+	}
+	if _, err := s.Call(m); err != nil {
+		t.Fatal(err)
+	}
+	checkRendered(t, m, sink.data)
+	// Now no entry has ≥6 spare chars; the next growth must shift.
+	arr.Set(1, -1.7976931348623157e+308) // 24 chars
+	ci, err := s.Call(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Shifts != 1 {
+		t.Fatalf("expected shift fallback after pad exhaustion, got %+v", ci)
+	}
+	checkRendered(t, m, sink.data)
+	checkTemplate(t, s, m)
+}
+
+func TestStealScanLimitRespected(t *testing.T) {
+	m := wire.NewMessage("urn:t", "send")
+	arr := m.AddDoubleArray("v", 12)
+	for i := 0; i < 12; i++ {
+		arr.Set(i, 1)
+	}
+	sink := &captureSink{}
+	// Widths: first/last elements have pad, middle band none. Scan
+	// limit 2 cannot reach a donor from the centre.
+	s := NewStub(Config{Width: WidthPolicy{Double: 10}, EnableStealing: true, StealScan: 2}, sink)
+	if _, err := s.Call(m); err != nil {
+		t.Fatal(err)
+	}
+	// Drain pads of elements 3..9 by growing each to exactly 10 chars.
+	for i := 3; i <= 9; i++ {
+		arr.Set(i, 1.23456789) // 10 chars: fills the field, no expansion
+	}
+	if _, err := s.Call(m); err != nil {
+		t.Fatal(err)
+	}
+	// Element 6 grows; donors (0..2, 10..11) are beyond scan distance 2.
+	arr.Set(6, 1.234567890123)
+	ci, err := s.Call(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Steals != 0 || ci.Shifts != 1 {
+		t.Fatalf("scan limit ignored: %+v", ci)
+	}
+	checkRendered(t, m, sink.data)
+}
+
+// pipeSink exercises the pipelined writer against a slow consumer and
+// records what arrives.
+type pipeSink struct {
+	data   []byte
+	chunks int
+	failAt int
+}
+
+func (p *pipeSink) BeginStream() error { p.data = p.data[:0]; p.chunks = 0; return nil }
+func (p *pipeSink) StreamChunk(b []byte) error {
+	p.chunks++
+	if p.failAt != 0 && p.chunks == p.failAt {
+		return net.ErrClosed
+	}
+	p.data = append(p.data, b...)
+	return nil
+}
+func (p *pipeSink) EndStream() error { return nil }
+
+func TestPipelinedOverlayMatchesSequential(t *testing.T) {
+	build := func() *wire.Message {
+		m := wire.NewMessage("urn:t", "big")
+		arr := m.AddDoubleArray("v", 900)
+		for i := 0; i < 900; i++ {
+			arr.Set(i, float64(i)+0.5)
+		}
+		return m
+	}
+	cfg := overlayConfig()
+
+	seq := &captureStream{}
+	sSeq := NewStub(cfg, seq)
+	if _, err := sSeq.CallOverlay(build(), seq); err != nil {
+		t.Fatal(err)
+	}
+
+	pip := &pipeSink{}
+	sPip := NewStub(cfg, &captureSink{})
+	ci, err := sPip.CallOverlayPipelined(build(), pip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pip.data) != string(seq.data) {
+		t.Fatalf("pipelined bytes diverge: %d vs %d", len(pip.data), len(seq.data))
+	}
+	if ci.Bytes != len(pip.data) {
+		t.Fatalf("ci.Bytes = %d, sink got %d", ci.Bytes, len(pip.data))
+	}
+}
+
+func TestPipelinedOverlayRepeatSends(t *testing.T) {
+	m := wire.NewMessage("urn:t", "big")
+	arr := m.AddDoubleArray("v", 500)
+	for i := 0; i < 500; i++ {
+		arr.Set(i, 1)
+	}
+	pip := &pipeSink{}
+	s := NewStub(overlayConfig(), &captureSink{})
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 500; i++ {
+			arr.Set(i, float64(i+round))
+		}
+		if _, err := s.CallOverlayPipelined(m, pip); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		checkRendered(t, m, pip.data)
+	}
+}
+
+func TestPipelinedOverlayWriterError(t *testing.T) {
+	m := wire.NewMessage("urn:t", "big")
+	arr := m.AddDoubleArray("v", 2000)
+	for i := 0; i < 2000; i++ {
+		arr.Set(i, 1)
+	}
+	pip := &pipeSink{failAt: 3}
+	s := NewStub(overlayConfig(), &captureSink{})
+	if _, err := s.CallOverlayPipelined(m, pip); err == nil {
+		t.Fatal("writer error not propagated")
+	}
+}
+
+func TestPipelinedOverlayUnsupportedShape(t *testing.T) {
+	m := wire.NewMessage("urn:t", "op")
+	m.AddInt("x", 1)
+	s := NewStub(overlayConfig(), &captureSink{})
+	if _, err := s.CallOverlayPipelined(m, &pipeSink{}); err == nil {
+		t.Fatal("unsupported shape accepted")
+	}
+}

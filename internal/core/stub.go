@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"net"
+
+	"bsoap/internal/wire"
+)
+
+// Store holds templates keyed by operation. Each Stub owns one by
+// default; passing the same Store to several stubs shares templates
+// across destinations, amortizing serialization across services that
+// receive the same data (paper §6 future work).
+type Store struct {
+	byOp map[string][]*Template
+	cap  int
+}
+
+// NewStore returns an empty template store retaining at most perOp
+// structurally distinct templates per operation (0 selects 4).
+func NewStore(perOp int) *Store {
+	if perOp <= 0 {
+		perOp = 4
+	}
+	return &Store{byOp: make(map[string][]*Template), cap: perOp}
+}
+
+// lookup finds a template with the given structural signature, moving it
+// to the front (LRU position) when found.
+func (st *Store) lookup(op, sig string) *Template {
+	list := st.byOp[op]
+	for i, t := range list {
+		if t.sig == sig {
+			if i != 0 {
+				copy(list[1:i+1], list[0:i])
+				list[0] = t
+			}
+			return t
+		}
+	}
+	return nil
+}
+
+// insert records a new template at the LRU front, evicting the least
+// recently used beyond capacity.
+func (st *Store) insert(op string, t *Template) {
+	list := st.byOp[op]
+	list = append([]*Template{t}, list...)
+	if len(list) > st.cap {
+		list = list[:st.cap]
+	}
+	st.byOp[op] = list
+}
+
+// TemplateCount reports the number of stored templates (all operations).
+func (st *Store) TemplateCount() int {
+	n := 0
+	for _, l := range st.byOp {
+		n += len(l)
+	}
+	return n
+}
+
+// Stub is a client-side SOAP endpoint employing differential
+// serialization. It is not safe for concurrent use; create one stub per
+// sending goroutine (they may share a Store only if externally
+// synchronized).
+type Stub struct {
+	cfg      Config
+	sink     Sink
+	store    *Store
+	stats    Stats
+	overlays map[string]*overlayState
+	flat     flatRenderer // DisableDiff reusable buffer
+}
+
+// NewStub returns a stub sending through sink.
+func NewStub(cfg Config, sink Sink) *Stub {
+	c := cfg.withDefaults()
+	return &Stub{cfg: c, sink: sink, store: NewStore(c.MaxTemplatesPerOp)}
+}
+
+// NewStubWithStore returns a stub using a shared template store.
+func NewStubWithStore(cfg Config, sink Sink, store *Store) *Stub {
+	return &Stub{cfg: cfg.withDefaults(), sink: sink, store: store}
+}
+
+// Stats returns cumulative counters.
+func (s *Stub) Stats() Stats { return s.stats }
+
+// Store exposes the template store (tests, inspector tool).
+func (s *Stub) Store() *Store { return s.store }
+
+// Template returns the current template for an operation+signature, or
+// nil (tests, inspector tool).
+func (s *Stub) Template(op, sig string) *Template { return s.store.lookup(op, sig) }
+
+// Call serializes and sends m, reusing the saved template when possible.
+// On success the message's dirty bits are cleared; on a send error they
+// are preserved so a retry re-serializes the same changes.
+func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
+	var ci CallInfo
+
+	if s.cfg.DisableDiff {
+		ci.Match = FullSerialization
+		data := s.flat.render(m)
+		ci.Bytes = len(data)
+		if err := s.sink.Send(net.Buffers{data}); err != nil {
+			return ci, fmt.Errorf("core: send: %w", err)
+		}
+		m.ClearDirty()
+		s.stats.add(ci)
+		return ci, nil
+	}
+
+	op := m.Operation()
+	tpl := s.store.lookup(op, m.Signature())
+	switch {
+	case tpl == nil:
+		// First-Time Send: serialize fully and save the template.
+		ci.Match = FirstTime
+		tpl = newTemplate(m, s.cfg)
+		s.store.insert(op, tpl)
+
+	case tpl.msg == m && tpl.version == m.Version():
+		if !m.AnyDirty() {
+			ci.Match = ContentMatch
+		} else {
+			ci.Match = StructuralMatch
+			tpl.applyDiff(m, &ci)
+			if ci.Shifts > 0 || ci.Steals > 0 {
+				ci.Match = PartialMatch
+			}
+		}
+
+	default:
+		// Same structure, different message object (or the bound message
+		// was structurally rebuilt to an identical shape): the template
+		// bytes are reusable but the dirty bits are not — re-serialize
+		// every value, still skipping all tag generation.
+		tpl.msg = m
+		tpl.version = m.Version()
+		m.MarkAllDirty()
+		ci.Match = StructuralMatch
+		tpl.applyDiff(m, &ci)
+		if ci.Shifts > 0 || ci.Steals > 0 {
+			ci.Match = PartialMatch
+		}
+	}
+
+	ci.Bytes = tpl.buf.Len()
+	if err := s.sink.Send(tpl.buf.Buffers()); err != nil {
+		return ci, fmt.Errorf("core: send: %w", err)
+	}
+	m.ClearDirty()
+	s.stats.add(ci)
+	return ci, nil
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+
+	"bsoap/internal/chunk"
+	"bsoap/internal/dut"
+	"bsoap/internal/fastconv"
+	"bsoap/internal/soapenv"
+	"bsoap/internal/wire"
+	"bsoap/internal/xsdlex"
+)
+
+// Template is a saved serialized message: the chunked bytes of the last
+// send plus the DUT table pointing into them. It stays bound to the
+// message object whose dirty bits it trusts; a structurally identical but
+// distinct message rebinds with every value treated as dirty.
+type Template struct {
+	sig     string
+	msg     *wire.Message
+	version int
+
+	buf *chunk.Buffer
+	tab dut.Table
+	cfg Config
+
+	// tags caches "<name>"/"</name>" pairs so emission does not
+	// concatenate per leaf.
+	tags map[string][2]string
+}
+
+// tagPair returns the cached open/close tags for name.
+func (t *Template) tagPair(name string) (string, string) {
+	if p, ok := t.tags[name]; ok {
+		return p[0], p[1]
+	}
+	p := [2]string{"<" + name + ">", "</" + name + ">"}
+	t.tags[name] = p
+	return p[0], p[1]
+}
+
+// Buffer exposes the template's chunk buffer (transports and tests).
+func (t *Template) Buffer() *chunk.Buffer { return t.buf }
+
+// Table exposes the DUT table (tests and the inspector tool).
+func (t *Template) Table() *dut.Table { return &t.tab }
+
+// Signature returns the structural signature the template was built for.
+func (t *Template) Signature() string { return t.sig }
+
+// Bytes returns a contiguous copy of the serialized message.
+func (t *Template) Bytes() []byte { return t.buf.Bytes() }
+
+// MemoryFootprint estimates the template's resident cost in bytes:
+// chunk capacity plus the DUT table — the storage the paper's §3.3
+// identifies as differential serialization's price, and what chunk
+// overlaying bounds to a single chunk.
+func (t *Template) MemoryFootprint() int {
+	const entrySize = 64 // approximate per-entry size of dut.Entry
+	return t.buf.Footprint() + t.tab.Len()*entrySize
+}
+
+// encodeLeaf renders leaf i's lexical form into scratch (which must have
+// capacity ≥ MaxDoubleWidth for numeric kinds); strings may allocate.
+func encodeLeaf(m *wire.Message, i int, typ *wire.Type, scratch []byte) []byte {
+	switch typ.Kind {
+	case wire.Int:
+		n := fastconv.WriteInt(scratch, m.LeafInt(i))
+		return scratch[:n]
+	case wire.Double:
+		n := fastconv.WriteDouble(scratch, m.LeafDouble(i))
+		return scratch[:n]
+	case wire.Bool:
+		n := fastconv.WriteBool(scratch, m.LeafBool(i))
+		return scratch[:n]
+	case wire.String:
+		return xsdlex.EscapeText(scratch[:0], m.LeafString(i))
+	}
+	panic("core: encodeLeaf of non-scalar " + typ.Name)
+}
+
+// newTemplate fully serializes m and records the DUT table — the
+// paper's First-Time Send.
+func newTemplate(m *wire.Message, cfg Config) *Template {
+	t := &Template{
+		sig:     m.Signature(),
+		msg:     m,
+		version: m.Version(),
+		buf:     chunk.New(cfg.Chunk),
+		cfg:     cfg,
+		tags:    make(map[string][2]string, 8),
+	}
+	t.buf.AppendString(soapenv.EnvelopeStart(m.Namespace()))
+	t.buf.AppendString(soapenv.OperationStart(m.Operation()))
+	leaf := 0
+	for _, p := range m.Params() {
+		leaf = t.emitParam(m, &p, leaf)
+	}
+	t.buf.AppendString(soapenv.OperationEnd(m.Operation()))
+	t.buf.AppendString(soapenv.EnvelopeEnd)
+	if leaf != m.NumLeaves() {
+		panic(fmt.Sprintf("core: emitted %d leaves, message has %d", leaf, m.NumLeaves()))
+	}
+	return t
+}
+
+// emitParam serializes one parameter starting at leaf index `leaf` and
+// returns the next leaf index.
+func (t *Template) emitParam(m *wire.Message, p *wire.Param, leaf int) int {
+	switch p.Type.Kind {
+	case wire.Array:
+		t.buf.AppendString(soapenv.ArrayStart(p.Name, p.Type.Elem, p.Count))
+		for i := 0; i < p.Count; i++ {
+			leaf = t.emitValue(m, p.Type.Elem, soapenv.ItemTag, leaf)
+		}
+		t.buf.AppendString(soapenv.ArrayEnd(p.Name))
+	case wire.Struct:
+		t.buf.AppendString(soapenv.StructStart(p.Name, p.Type))
+		for _, f := range p.Type.Fields {
+			leaf = t.emitValue(m, f.Type, f.Name, leaf)
+		}
+		t.buf.AppendString(soapenv.CloseTag(p.Name))
+	default:
+		open := soapenv.ScalarStart(p.Name, p.Type)
+		leaf = t.emitScalar(m, p.Type, open, soapenv.CloseTag(p.Name), leaf)
+	}
+	return leaf
+}
+
+// emitValue serializes one value of type typ wrapped in <tag>…</tag>.
+func (t *Template) emitValue(m *wire.Message, typ *wire.Type, tag string, leaf int) int {
+	if typ.Kind == wire.Struct {
+		open, cls := t.tagPair(tag)
+		t.buf.AppendString(open)
+		for _, f := range typ.Fields {
+			leaf = t.emitValue(m, f.Type, f.Name, leaf)
+		}
+		t.buf.AppendString(cls)
+		return leaf
+	}
+	open, cls := t.tagPair(tag)
+	return t.emitScalar(m, typ, open, cls, leaf)
+}
+
+// emitScalar serializes one scalar leaf with the configured stuffing and
+// records its DUT entry.
+func (t *Template) emitScalar(m *wire.Message, typ *wire.Type, open, cls string, leaf int) int {
+	t.buf.AppendString(open)
+	var scratch [xsdlex.MaxDoubleWidth]byte
+	enc := encodeLeaf(m, leaf, typ, scratch[:])
+	width := t.cfg.Width.widthFor(typ, len(enc))
+	span := width + len(cls)
+	pos := t.buf.Reserve(span)
+	b := pos.C.Bytes()
+	copy(b[pos.Off:], enc)
+	copy(b[pos.Off+len(enc):], cls)
+	fastconv.Pad(b, pos.Off+len(enc)+len(cls), pos.Off+span)
+	t.tab.Append(dut.Entry{
+		Type:     typ,
+		Chunk:    pos.C,
+		Off:      pos.Off,
+		SerLen:   len(enc),
+		Width:    width,
+		CloseTag: cls,
+	})
+	return leaf + 1
+}
+
+// applyDiff re-serializes exactly the dirty leaves of m into the
+// template, expanding fields as needed, and updates ci.
+func (t *Template) applyDiff(m *wire.Message, ci *CallInfo) {
+	var scratch [xsdlex.MaxDoubleWidth]byte
+	n := t.tab.Len()
+	for i := 0; i < n; i++ {
+		if !m.Dirty(i) {
+			continue
+		}
+		t.rewriteLeaf(m, i, scratch[:], ci)
+	}
+}
+
+// rewriteLeaf writes leaf i's current value into its template field.
+func (t *Template) rewriteLeaf(m *wire.Message, i int, scratch []byte, ci *CallInfo) {
+	e := t.tab.At(i)
+	enc := encodeLeaf(m, i, e.Type, scratch)
+	if len(enc) > e.Width {
+		// Partial structural match: the field must be expanded.
+		deficit := len(enc) - e.Width
+		if t.cfg.EnableStealing && t.trySteal(i, deficit) {
+			ci.Steals++
+		} else {
+			t.shiftGrow(i, deficit, ci)
+			ci.Shifts++
+		}
+		e = t.tab.At(i) // the entry's chunk may have changed
+	}
+	b := e.Chunk.Bytes()
+	copy(b[e.Off:], enc)
+	if len(enc) != e.SerLen {
+		// Closing-tag shift: rewrite the tag right after the value and
+		// pad the remainder of the field with whitespace (paper §3.2).
+		copy(b[e.Off+len(enc):], e.CloseTag)
+		fastconv.Pad(b, e.Off+len(enc)+len(e.CloseTag), e.SpanEnd())
+		e.SerLen = len(enc)
+		ci.TagShifts++
+	}
+	ci.ValuesRewritten++
+}
+
+// shiftGrow expands entry i's field by deficit bytes using on-the-fly
+// message expansion: consume the chunk's slack, grow the chunk up to the
+// split threshold, or split the chunk and expand there (paper §3.2).
+func (t *Template) shiftGrow(i, deficit int, ci *CallInfo) {
+	e := t.tab.At(i)
+	c := e.Chunk
+	pos := e.SpanEnd()
+
+	if c.Slack() < deficit {
+		if c.Len()+deficit <= t.buf.Config().SplitThreshold {
+			t.buf.GrowChunk(c, deficit)
+			ci.Grows++
+		} else {
+			// Split the chunk into two smaller chunks (paper §3.2),
+			// peeling at the entry boundary nearest the middle — but
+			// never inside this entry's span — so both halves, and all
+			// future shifts within them, stay bounded by half the
+			// threshold.
+			at := pos
+			if target := c.Len() / 2; target > pos {
+				if off, ok := t.tab.FirstOffAtOrAfter(c, target); ok && off > pos {
+					at = off
+				}
+			}
+			nc := t.buf.SplitChunk(c, at)
+			t.tab.FixupSplit(c, nc, at)
+			ci.Splits++
+			if c.Slack() < deficit {
+				t.buf.GrowChunk(c, deficit)
+				ci.Grows++
+			}
+		}
+	}
+	if !c.InsertGap(pos, deficit) {
+		panic("core: InsertGap failed after ensuring room")
+	}
+	t.tab.FixupShift(c, pos, deficit)
+	e.Width += deficit
+}
+
+// trySteal serves a field expansion by taking padding from a nearby
+// entry in the same chunk, moving only the bytes between the grower and
+// the donor's padding instead of shifting the whole chunk tail
+// (companion paper [4] explores this dynamic field resizing). Donors to
+// the right are preferred — the move there excludes the grower's own
+// bytes — then donors to the left.
+func (t *Template) trySteal(i, deficit int) bool {
+	return t.stealRight(i, deficit) || t.stealLeft(i, deficit)
+}
+
+// stealRight takes padding from a donor after the grower.
+func (t *Template) stealRight(i, deficit int) bool {
+	e := t.tab.At(i)
+	c := e.Chunk
+	limit := i + 1 + t.cfg.StealScan
+	if limit > c.EntryHi {
+		limit = c.EntryHi
+	}
+	for j := i + 1; j < limit; j++ {
+		d := t.tab.At(j)
+		if d.Pad() < deficit {
+			continue
+		}
+		// Move [grower's span end, donor's pad start) right by deficit.
+		src := e.SpanEnd()
+		padStart := d.Off + d.SerLen + len(d.CloseTag)
+		b := c.Bytes()
+		copy(b[src+deficit:padStart+deficit], b[src:padStart])
+		// Entries strictly between grower and donor, and the donor
+		// itself, moved right; the donor's width shrinks by what it
+		// donated, the grower's grows.
+		for k := i + 1; k <= j; k++ {
+			t.tab.At(k).Off += deficit
+		}
+		d.Width -= deficit
+		e.Width += deficit
+		return true
+	}
+	return false
+}
+
+// stealLeft takes padding from a donor before the grower: the bytes
+// from the donor's trimmed span end up to the grower's value start move
+// left, and the grower's field opens toward lower offsets.
+func (t *Template) stealLeft(i, deficit int) bool {
+	e := t.tab.At(i)
+	c := e.Chunk
+	limit := i - t.cfg.StealScan
+	if limit < c.EntryLo {
+		limit = c.EntryLo
+	}
+	for j := i - 1; j >= limit; j-- {
+		d := t.tab.At(j)
+		if d.Pad() < deficit {
+			continue
+		}
+		// Move [donor's span end, grower's value start) left by deficit,
+		// consuming the tail of the donor's padding. The grower's open
+		// tag travels with the moved region.
+		src := d.SpanEnd()
+		b := c.Bytes()
+		copy(b[src-deficit:e.Off-deficit], b[src:e.Off])
+		for k := j + 1; k <= i; k++ {
+			t.tab.At(k).Off -= deficit
+		}
+		d.Width -= deficit
+		e.Width += deficit
+		return true
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+// Package diffdeser implements differential deserialization, the
+// server-side mirror of bSOAP proposed in the paper's future work (§6):
+// storing messages at the SOAP server suggests the structure of future
+// arrivals, letting the server avoid complete parsing.
+//
+// The deserializer keeps, per operation, the raw bytes and parse result
+// of the last message, plus each scalar leaf's variable byte region
+// (value + floating closing tag + padding, recorded by soapdec). A new
+// message of identical length is diffed region by region: static regions
+// (all markup) must match byte-for-byte; changed leaf regions are
+// re-lexed locally — a handful of bytes — instead of re-running the full
+// parser. Any mismatch falls back to a full parse that also refreshes
+// the template.
+package diffdeser
+
+import (
+	"bytes"
+	"fmt"
+
+	"bsoap/internal/soapdec"
+	"bsoap/internal/wire"
+	"bsoap/internal/xsdlex"
+)
+
+// Info reports how one Decode was served.
+type Info struct {
+	// FullParse is set when the whole envelope was parsed.
+	FullParse bool
+	// ValuesReparsed counts leaf regions re-lexed on the fast path.
+	ValuesReparsed int
+	// Reason explains why a full parse happened ("" on the fast path).
+	Reason string
+}
+
+// template is the stored last message for one operation.
+type template struct {
+	body   []byte
+	msg    *wire.Message
+	ranges []soapdec.LeafRange
+}
+
+// MaxTemplatesPerKey bounds how many structurally distinct message
+// templates are retained per key — the server-side analogue of the
+// paper's "multiple templates per remote service" future work, letting
+// a client that alternates between a few message shapes keep hitting
+// the fast path.
+const MaxTemplatesPerKey = 4
+
+// Deserializer is the stateful server-side decoder. Not safe for
+// concurrent use; guard it per connection or with the server's dispatch
+// lock.
+type Deserializer struct {
+	lookup    soapdec.Lookup
+	templates map[string][]*template // LRU front first
+}
+
+// New returns a deserializer resolving operations through lookup.
+func New(lookup soapdec.Lookup) *Deserializer {
+	return &Deserializer{lookup: lookup, templates: make(map[string][]*template)}
+}
+
+// Decode parses body, differentially when a previous message for key
+// had identical framing. The returned message is owned by the
+// deserializer and valid until the next Decode with the same key.
+func (d *Deserializer) Decode(key string, body []byte) (*wire.Message, Info, error) {
+	list := d.templates[key]
+	if len(list) == 0 {
+		return d.fullParse(key, body, "no template")
+	}
+	reason := "length mismatch"
+	for idx, tpl := range list {
+		if len(body) != len(tpl.body) {
+			continue
+		}
+		msg, info, ok, why := d.tryFast(tpl, body)
+		if !ok {
+			reason = why
+			continue
+		}
+		// Move the hit to the LRU front.
+		if idx != 0 {
+			copy(list[1:idx+1], list[0:idx])
+			list[0] = tpl
+		}
+		return msg, info, nil
+	}
+	return d.fullParse(key, body, reason)
+}
+
+// tryFast attempts the differential decode of body against one
+// template: static regions must match byte-for-byte, changed leaf
+// regions are re-lexed in place.
+func (d *Deserializer) tryFast(tpl *template, body []byte) (*wire.Message, Info, bool, string) {
+	info := Info{}
+	prev := 0
+	// First verify all static regions; only then mutate the message, so
+	// a mismatching template is left untouched for other candidates.
+	for _, r := range tpl.ranges {
+		if !bytes.Equal(body[prev:r.Start], tpl.body[prev:r.Start]) {
+			return nil, info, false, "markup changed"
+		}
+		prev = r.End
+	}
+	if !bytes.Equal(body[prev:], tpl.body[prev:]) {
+		return nil, info, false, "trailing markup changed"
+	}
+	// Validate and parse every changed region before mutating anything:
+	// a failure mid-way must leave the template (message and bytes)
+	// exactly as it was, or a later fast-path hit against the unchanged
+	// tpl.body baseline would serve stale values.
+	type update struct {
+		leaf  int
+		value any
+	}
+	var updates []update
+	for i, r := range tpl.ranges {
+		if bytes.Equal(body[r.Start:r.End], tpl.body[r.Start:r.End]) {
+			continue
+		}
+		v, err := relexRegion(tpl.msg, i, body[r.Start:r.End])
+		if err != nil {
+			return nil, info, false, err.Error()
+		}
+		updates = append(updates, update{leaf: i, value: v})
+	}
+	for _, u := range updates {
+		switch tpl.msg.LeafType(u.leaf).Kind {
+		case wire.Int:
+			tpl.msg.SetLeafInt(u.leaf, u.value.(int32))
+		case wire.Double:
+			tpl.msg.SetLeafDouble(u.leaf, u.value.(float64))
+		case wire.Bool:
+			tpl.msg.SetLeafBool(u.leaf, u.value.(bool))
+		case wire.String:
+			tpl.msg.SetLeafString(u.leaf, u.value.(string))
+		}
+		info.ValuesReparsed++
+	}
+	// Adopt the new bytes as the template for the next arrival.
+	tpl.body = append(tpl.body[:0], body...)
+	return tpl.msg, info, true, ""
+}
+
+// relexRegion re-parses one variable region: VALUE</tag>␣␣… — the value
+// text up to the first '<', the expected closing tag, then whitespace —
+// and returns the parsed value without mutating the message.
+func relexRegion(msg *wire.Message, leaf int, seg []byte) (any, error) {
+	lt := bytes.IndexByte(seg, '<')
+	if lt < 0 {
+		return nil, fmt.Errorf("leaf %d: no closing tag in region", leaf)
+	}
+	rest := seg[lt:]
+	closeTag := "</" + msg.LeafTag(leaf) + ">"
+	if len(rest) < len(closeTag) || string(rest[:len(closeTag)]) != closeTag {
+		return nil, fmt.Errorf("leaf %d: closing tag changed", leaf)
+	}
+	for _, b := range rest[len(closeTag):] {
+		if !xsdlex.IsSpace(b) {
+			return nil, fmt.Errorf("leaf %d: non-whitespace padding", leaf)
+		}
+	}
+	raw := string(seg[:lt])
+	t := msg.LeafType(leaf)
+	if t.Kind == wire.String {
+		unescaped, err := xsdlex.UnescapeText(raw)
+		if err != nil {
+			return nil, fmt.Errorf("leaf %d: %w", leaf, err)
+		}
+		return unescaped, nil
+	}
+	v, err := soapdec.ParseScalar(t, raw)
+	if err != nil {
+		return nil, fmt.Errorf("leaf %d: %w", leaf, err)
+	}
+	return v, nil
+}
+
+// fullParse runs the complete schema-driven parse and refreshes the
+// template for key.
+func (d *Deserializer) fullParse(key string, body []byte, reason string) (*wire.Message, Info, error) {
+	res, err := soapdec.Decode(body, d.lookup, true)
+	if err != nil {
+		return nil, Info{FullParse: true, Reason: reason}, err
+	}
+	tpl := &template{
+		body:   append([]byte(nil), body...),
+		msg:    res.Msg,
+		ranges: res.Ranges,
+	}
+	list := append([]*template{tpl}, d.templates[key]...)
+	if len(list) > MaxTemplatesPerKey {
+		list = list[:MaxTemplatesPerKey]
+	}
+	d.templates[key] = list
+	return res.Msg, Info{FullParse: true, Reason: reason}, nil
+}
+
+// TemplateCount reports how many templates are resident (all keys).
+func (d *Deserializer) TemplateCount() int {
+	n := 0
+	for _, l := range d.templates {
+		n += len(l)
+	}
+	return n
+}

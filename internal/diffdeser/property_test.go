@@ -1,0 +1,86 @@
+package diffdeser
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bsoap/internal/core"
+	"bsoap/internal/wire"
+)
+
+// TestRandomSequenceEquivalence is the deserializer's golden property:
+// for random mutation/send sequences produced by a stuffing client, the
+// differentially decoded message must always equal the sender's message
+// — regardless of which decodes took the fast path.
+func TestRandomSequenceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		n := rng.Intn(60) + 1
+		m := wire.NewMessage("urn:prop", "send")
+		arr := m.AddDoubleArray("v", n)
+		ints := m.AddIntArray("k", n)
+		for i := 0; i < n; i++ {
+			arr.Set(i, rng.Float64())
+			ints.Set(i, int32(rng.Intn(1000)))
+		}
+
+		sink := &captureSink{}
+		stub := core.NewStub(core.Config{
+			Width: core.WidthPolicy{Double: core.MaxWidth, Int: core.MaxWidth},
+		}, sink)
+		d := New(testSchema(m))
+
+		fastPathHits := 0
+		for send := 0; send < 15; send++ {
+			for k := rng.Intn(5); k > 0; k-- {
+				if rng.Intn(2) == 0 {
+					arr.Set(rng.Intn(n), randomDouble(rng))
+				} else {
+					ints.Set(rng.Intn(n), int32(rng.Uint32()))
+				}
+			}
+			if _, err := stub.Call(m); err != nil {
+				t.Fatal(err)
+			}
+			got, info, err := d.Decode("k", sink.data)
+			if err != nil {
+				t.Fatalf("trial %d send %d: %v", trial, send, err)
+			}
+			if !info.FullParse {
+				fastPathHits++
+			}
+			for i := 0; i < m.NumLeaves(); i++ {
+				switch m.LeafType(i).Kind {
+				case wire.Double:
+					gv, wv := got.LeafDouble(i), m.LeafDouble(i)
+					if gv != wv && !(math.IsNaN(gv) && math.IsNaN(wv)) {
+						t.Fatalf("trial %d send %d leaf %d: %g != %g", trial, send, i, gv, wv)
+					}
+				case wire.Int:
+					if got.LeafInt(i) != m.LeafInt(i) {
+						t.Fatalf("trial %d send %d leaf %d: %d != %d",
+							trial, send, i, got.LeafInt(i), m.LeafInt(i))
+					}
+				}
+			}
+		}
+		if fastPathHits == 0 {
+			t.Fatalf("trial %d: stuffed client never hit the fast path", trial)
+		}
+	}
+}
+
+// randomDouble mixes widths and specials.
+func randomDouble(rng *rand.Rand) float64 {
+	switch rng.Intn(4) {
+	case 0:
+		return float64(rng.Intn(10))
+	case 1:
+		return -math.MaxFloat64
+	case 2:
+		return math.Inf(1)
+	default:
+		return rng.NormFloat64() * 1e10
+	}
+}

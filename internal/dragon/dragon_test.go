@@ -1,0 +1,144 @@
+package dragon
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// ref is the oracle: Go's strconv shortest %G formatting.
+func ref(v float64) string {
+	return strconv.FormatFloat(v, 'G', -1, 64)
+}
+
+func check(t *testing.T, v float64) {
+	t.Helper()
+	got := string(AppendShortest(nil, v))
+	want := ref(v)
+	if got != want {
+		t.Fatalf("AppendShortest(%b / %x) = %q, want %q",
+			v, math.Float64bits(v), got, want)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	for _, v := range []float64{
+		0, math.Copysign(0, -1),
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		1, -1, 10, 100, 0.1, 0.5, 2.5, -2.5,
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.Pi, math.E, math.Sqrt2,
+		5e-324, 2.2250738585072014e-308, // smallest denormal & normal
+		1.7976931348623157e308,
+		123456, 1234567, // around the %f / %E threshold
+		1e-4, 1e-5, 9.999e5, 1e6,
+		1e21, 1e20, 1e22,
+	} {
+		check(t, v)
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	for e := -1074; e <= 1023; e++ {
+		check(t, math.Ldexp(1, e))
+	}
+}
+
+func TestPowersOfTen(t *testing.T) {
+	for e := -308; e <= 308; e++ {
+		check(t, math.Pow(10, float64(e)))
+	}
+}
+
+func TestMantissaBoundaries(t *testing.T) {
+	// Values just above/below powers of two exercise the unequal-gap
+	// boundary logic.
+	for e := -1000; e <= 1000; e += 7 {
+		v := math.Ldexp(1, e)
+		check(t, math.Nextafter(v, math.Inf(1)))
+		check(t, math.Nextafter(v, math.Inf(-1)))
+	}
+}
+
+func TestSmallIntegers(t *testing.T) {
+	for i := -2000; i <= 2000; i++ {
+		check(t, float64(i))
+	}
+}
+
+func TestRandomBitPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		v := math.Float64frombits(rng.Uint64())
+		check(t, v)
+	}
+}
+
+func TestRandomDenormals(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		bits := rng.Uint64() & (1<<52 - 1) // biased exponent 0
+		if bits == 0 {
+			continue
+		}
+		check(t, math.Float64frombits(bits))
+		check(t, math.Float64frombits(bits|1<<63))
+	}
+}
+
+func TestQuickEquality(t *testing.T) {
+	f := func(v float64) bool {
+		return string(AppendShortest(nil, v)) == ref(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripsThroughParse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		got, err := strconv.ParseFloat(string(AppendShortest(nil, v)), 64)
+		if err != nil || got != v {
+			t.Fatalf("round trip of %x failed: %v, %v", math.Float64bits(v), got, err)
+		}
+	}
+}
+
+func TestShortness(t *testing.T) {
+	// The output must never be longer than strconv's shortest form —
+	// equality tests imply this, but assert the 24-char bound directly.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		v := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if n := len(AppendShortest(nil, v)); n > 24 {
+			t.Fatalf("%x encodes in %d chars", math.Float64bits(v), n)
+		}
+	}
+}
+
+func BenchmarkDragonShortest(b *testing.B) {
+	var buf [32]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AppendShortest(buf[:0], 3.141592653589793)
+	}
+}
+
+func BenchmarkStrconvShortest(b *testing.B) {
+	var buf [32]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		strconv.AppendFloat(buf[:0], 3.141592653589793, 'G', -1, 64)
+	}
+}

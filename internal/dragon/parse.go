@@ -1,0 +1,183 @@
+package dragon
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+)
+
+// Parse converts a decimal string to the nearest IEEE 754 binary64,
+// correctly rounded (round-to-nearest, ties-to-even), using exact
+// big-integer arithmetic — the decode-side counterpart of
+// AppendShortest, and like it independent of strconv.
+//
+// The accepted grammar matches the XSD double lexical space handled by
+// xsdlex: optional sign, decimal digits with an optional point, an
+// optional e/E exponent, and the special names INF, +INF, -INF, NaN.
+func Parse(s string) (float64, error) {
+	switch s {
+	case "INF", "+INF", "Inf", "+Inf":
+		return math.Inf(1), nil
+	case "-INF", "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+
+	rest := s
+	neg := false
+	if len(rest) > 0 && (rest[0] == '+' || rest[0] == '-') {
+		neg = rest[0] == '-'
+		rest = rest[1:]
+	}
+
+	// Split mantissa digits and decimal exponent.
+	var digits strings.Builder
+	exp10 := 0
+	sawDigit := false
+	sawPoint := false
+	i := 0
+	for ; i < len(rest); i++ {
+		c := rest[i]
+		switch {
+		case c >= '0' && c <= '9':
+			sawDigit = true
+			digits.WriteByte(c)
+			if sawPoint {
+				exp10--
+			}
+		case c == '.':
+			if sawPoint {
+				return 0, fmt.Errorf("dragon: two decimal points in %q", s)
+			}
+			sawPoint = true
+		default:
+			goto expPart
+		}
+	}
+expPart:
+	if i < len(rest) {
+		if rest[i] != 'e' && rest[i] != 'E' {
+			return 0, fmt.Errorf("dragon: invalid character %q in %q", rest[i], s)
+		}
+		i++
+		eneg := false
+		if i < len(rest) && (rest[i] == '+' || rest[i] == '-') {
+			eneg = rest[i] == '-'
+			i++
+		}
+		if i >= len(rest) {
+			return 0, fmt.Errorf("dragon: empty exponent in %q", s)
+		}
+		e := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c < '0' || c > '9' {
+				return 0, fmt.Errorf("dragon: invalid exponent in %q", s)
+			}
+			if e < 1<<30 { // saturate; |e| beyond this is ±Inf/0 anyway
+				e = e*10 + int(c-'0')
+			}
+		}
+		if eneg {
+			e = -e
+		}
+		exp10 += e
+	}
+	if !sawDigit {
+		return 0, fmt.Errorf("dragon: no digits in %q", s)
+	}
+
+	d, ok := new(big.Int).SetString(digits.String(), 10)
+	if !ok {
+		return 0, fmt.Errorf("dragon: internal digit parse of %q", s)
+	}
+	v := roundDecimal(d, exp10)
+	if neg {
+		v = -v
+	}
+	if math.IsInf(v, 0) {
+		// Mirror strconv: overflow yields ±Inf together with a range
+		// error.
+		return v, fmt.Errorf("dragon: %q out of range", s)
+	}
+	return v, nil
+}
+
+// roundDecimal returns the binary64 nearest to d × 10^exp10 (d ≥ 0).
+func roundDecimal(d *big.Int, exp10 int) float64 {
+	if d.Sign() == 0 {
+		return 0
+	}
+	// Clamp absurd exponents cheaply: the value is certainly 0 or +Inf.
+	if exp10 > 400 {
+		return math.Inf(1)
+	}
+	if exp10 < -400-len(d.Text(10)) {
+		return 0
+	}
+
+	// value = num / den exactly.
+	num := new(big.Int).Set(d)
+	den := big.NewInt(1)
+	if exp10 > 0 {
+		num.Mul(num, new(big.Int).Exp(ten, big.NewInt(int64(exp10)), nil))
+	} else if exp10 < 0 {
+		den.Exp(ten, big.NewInt(int64(-exp10)), nil)
+	}
+
+	// Normalize so that 2^52 ≤ num/den < 2^53; e2 tracks the binary
+	// exponent of the units place.
+	e2 := 0
+	if shift := num.BitLen() - den.BitLen() - 54; shift > 0 {
+		den.Lsh(den, uint(shift))
+		e2 += shift
+	} else if shift < 0 {
+		num.Lsh(num, uint(-shift))
+		e2 += shift
+	}
+	two53 := new(big.Int).Lsh(big.NewInt(1), 53)
+	two52 := new(big.Int).Lsh(big.NewInt(1), 52)
+	q := new(big.Int)
+	for q.Quo(num, den); q.Cmp(two53) >= 0; q.Quo(num, den) {
+		den.Lsh(den, 1)
+		e2++
+	}
+	for ; q.Cmp(two52) < 0; q.Quo(num, den) {
+		num.Lsh(num, 1)
+		e2--
+	}
+
+	// Denormal range: the quotient must be taken at the fixed binary
+	// exponent −1074 with fewer mantissa bits, so the single rounding
+	// below happens at the right position (no double rounding).
+	if e2 < -1074 {
+		den.Lsh(den, uint(-1074-e2))
+		e2 = -1074
+	}
+
+	r := new(big.Int)
+	q.QuoRem(num, den, r)
+	// Round half to even.
+	r.Lsh(r, 1)
+	switch cmp := r.Cmp(den); {
+	case cmp > 0:
+		q.Add(q, one)
+	case cmp == 0 && q.Bit(0) == 1:
+		q.Add(q, one)
+	}
+	if q.Cmp(two53) >= 0 { // rounding overflowed the mantissa
+		q.Rsh(q, 1)
+		e2++
+	}
+	if q.Sign() == 0 {
+		return 0
+	}
+
+	// Assemble: value = q × 2^e2 with q < 2^53 exactly representable;
+	// Ldexp saturates overflow to ±Inf per IEEE.
+	return math.Ldexp(float64(q.Uint64()), e2)
+}
+
+var one = big.NewInt(1)

@@ -1,0 +1,193 @@
+package dragon
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// checkParse compares against strconv.ParseFloat, the correctly rounded
+// oracle.
+func checkParse(t *testing.T, s string) {
+	t.Helper()
+	want, werr := strconv.ParseFloat(s, 64)
+	got, gerr := Parse(s)
+	if werr != nil {
+		if gerr == nil {
+			t.Fatalf("Parse(%q) = %v, oracle rejects (%v)", s, got, werr)
+		}
+		return
+	}
+	if gerr != nil {
+		t.Fatalf("Parse(%q): %v, oracle accepts %v", s, gerr, want)
+	}
+	if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+		t.Fatalf("Parse(%q) = %x, want %x", s, math.Float64bits(got), math.Float64bits(want))
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	for _, s := range []string{
+		"0", "-0", "1", "-1", "0.5", "2.5", "1e10", "1E-10", "+3.25",
+		"123456789012345678901234567890", "0.000000000000000000001",
+		"1.7976931348623157e308", "1.7976931348623159e308", // max, overflow
+		"4.9e-324", "2.47e-324", "2.4e-324", "1e-400", // denormal edge
+		"2.2250738585072014e-308", "2.2250738585072011e-308",
+		"9007199254740993", "9007199254740992", "9007199254740991",
+		"1e309", "1e-309", "1e400",
+		"0.1", "0.2", "0.3", "0.7",
+		"5e-324", "1.5e-323",
+	} {
+		checkParse(t, s)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "-", "+", ".", "1..2", "1e", "1e+", "abc", "1x", "--1", "1.2.3", "1e5x"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseSpecials(t *testing.T) {
+	if v, err := Parse("INF"); err != nil || !math.IsInf(v, 1) {
+		t.Fatalf("INF: %v, %v", v, err)
+	}
+	if v, err := Parse("-INF"); err != nil || !math.IsInf(v, -1) {
+		t.Fatalf("-INF: %v, %v", v, err)
+	}
+	if v, err := Parse("NaN"); err != nil || !math.IsNaN(v) {
+		t.Fatalf("NaN: %v, %v", v, err)
+	}
+}
+
+func TestParseRoundTripsShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		s := string(AppendShortest(nil, v))
+		got, err := Parse(s)
+		if err != nil || got != v {
+			t.Fatalf("Parse(AppendShortest(%x)) = %x, %v",
+				math.Float64bits(v), math.Float64bits(got), err)
+		}
+	}
+}
+
+func TestParseRandomDecimalStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 10000; i++ {
+		// Random digit strings with random points and exponents,
+		// stressing the correctly-rounded path (17+ digits).
+		nd := rng.Intn(25) + 1
+		b := make([]byte, 0, 40)
+		if rng.Intn(2) == 0 {
+			b = append(b, '-')
+		}
+		point := rng.Intn(nd + 1)
+		for j := 0; j < nd; j++ {
+			if j == point {
+				b = append(b, '.')
+			}
+			b = append(b, byte('0'+rng.Intn(10)))
+		}
+		if rng.Intn(2) == 0 {
+			b = append(b, 'e')
+			b = strconv.AppendInt(b, int64(rng.Intn(700)-350), 10)
+		}
+		checkParse(t, string(b))
+	}
+}
+
+func TestParseHalfwayCases(t *testing.T) {
+	// Exact midpoints between adjacent floats must round to even.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		v := math.Float64frombits(rng.Uint64() & (1<<63 - 1)) // positive
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		next := math.Nextafter(v, math.Inf(1))
+		if math.IsInf(next, 1) {
+			continue
+		}
+		// Midpoint = (v + next) / 2, exactly representable in decimal.
+		checkParse(t, midpointDecimal(v, next))
+	}
+}
+
+// midpointDecimal renders the exact decimal expansion of the midpoint
+// of two adjacent positive floats (always a finite decimal: m × 2^e).
+func midpointDecimal(v, next float64) string {
+	decompose := func(f float64) (uint64, int) {
+		bits := math.Float64bits(f)
+		frac := bits & (1<<52 - 1)
+		be := int(bits >> 52 & 0x7FF)
+		if be == 0 {
+			return frac, -1074
+		}
+		return frac | 1<<52, be - 1075
+	}
+	m, e := decompose(v)
+	nm, ne := decompose(next)
+	// Align exponents and average:
+	// mid = (m·2^(e−min) + nm·2^(ne−min)) · 2^(min−1).
+	min := e
+	if ne < min {
+		min = ne
+	}
+	sum := m<<uint(e-min) + nm<<uint(ne-min) // both < 2^54
+	return exactDecimalBig(sum, min-1)
+}
+
+// exactDecimalBig renders m × 2^e exactly as a plain decimal string
+// (binary fractions always terminate: m·2^−k = m·5^k / 10^k).
+func exactDecimalBig(m uint64, e int) string {
+	n := new(big.Int).SetUint64(m)
+	if e >= 0 {
+		n.Lsh(n, uint(e))
+		return n.String()
+	}
+	k := -e
+	n.Mul(n, new(big.Int).Exp(big.NewInt(5), big.NewInt(int64(k)), nil))
+	s := n.String()
+	if len(s) <= k {
+		s = strings.Repeat("0", k-len(s)+1) + s
+	}
+	return s[:len(s)-k] + "." + s[len(s)-k:]
+}
+
+func TestParseVersusOracleQuick(t *testing.T) {
+	// Cross-check the internal exactDecimalBig helper too.
+	if got := exactDecimalBig(3, 1); got != "6" {
+		t.Fatalf("exactDecimalBig(3,1) = %q", got)
+	}
+	if got := exactDecimalBig(1, -1); got != "0.5" {
+		t.Fatalf("exactDecimalBig(1,-1) = %q", got)
+	}
+	checkParse(t, exactDecimalBig(1, -1074))
+	checkParse(t, exactDecimalBig((1<<53)+1, -1)) // midpoint above 2^52 scale
+}
+
+func BenchmarkDragonParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("3.141592653589793"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStrconvParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := strconv.ParseFloat("3.141592653589793", 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

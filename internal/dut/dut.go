@@ -1,0 +1,171 @@
+// Package dut implements the Data Update Tracking table (paper §3.1).
+// Each entry associates one in-memory scalar leaf with its location in
+// the serialized message template and carries the paper's five fields:
+//
+//   - a pointer to type information, including the maximum serialized size
+//   - the dirty bit (held on the wire.Message, whose Set accessors
+//     maintain it — the table and the message's leaves are index-aligned,
+//     entry i ↔ leaf i)
+//   - a pointer (chunk, offset) to the value's current location in the
+//     serialized message
+//   - the serialized length: characters currently used by the value
+//   - the field width: characters allocated to the value (width ≥ length)
+//
+// Because entries point directly into the serialized form, finding a
+// value's bytes is O(1); shifting and splitting fix the affected entries
+// through the per-chunk entry ranges maintained here.
+package dut
+
+import (
+	"fmt"
+	"sort"
+
+	"bsoap/internal/chunk"
+	"bsoap/internal/wire"
+)
+
+// Entry tracks one scalar leaf of the message inside the template.
+//
+// The bytes owned by an entry are laid out as
+//
+//	VALUE</tag>␣␣␣…␣
+//	^Off  ^Off+SerLen        ^Off+Width+len(CloseTag)
+//
+// the value, its floating closing tag, and whitespace padding filling the
+// rest of the field width (stuffing). The opening tag precedes Off and is
+// never rewritten.
+type Entry struct {
+	// Type is the scalar type descriptor (holds the maximum width).
+	Type *wire.Type
+	// Chunk and Off locate the first byte of the serialized value.
+	Chunk *chunk.Chunk
+	Off   int
+	// SerLen is the character count of the most recently written value.
+	SerLen int
+	// Width is the allocated field width; always ≥ SerLen.
+	Width int
+	// CloseTag is the pre-rendered closing tag ("</item>"), rewritten in
+	// place whenever the value's serialized length changes.
+	CloseTag string
+}
+
+// SpanEnd returns the offset one past the entry's padded span (value,
+// closing tag, padding).
+func (e *Entry) SpanEnd() int { return e.Off + e.Width + len(e.CloseTag) }
+
+// Pad reports the entry's unused width (stuffed whitespace).
+func (e *Entry) Pad() int { return e.Width - e.SerLen }
+
+// Table is the ordered collection of entries for one template. Entry i
+// corresponds to message leaf i; entries appear in document order, and
+// the entries residing in one chunk form a contiguous index range kept on
+// the chunk (EntryLo/EntryHi).
+type Table struct {
+	Entries []Entry
+}
+
+// Append registers the next entry (for leaf len(Entries)) and updates the
+// owning chunk's entry range.
+func (t *Table) Append(e Entry) {
+	i := len(t.Entries)
+	t.Entries = append(t.Entries, e)
+	c := e.Chunk
+	if c.EntryHi <= c.EntryLo { // no entries yet
+		c.EntryLo, c.EntryHi = i, i+1
+		return
+	}
+	if c.EntryHi != i {
+		panic(fmt.Sprintf("dut: non-contiguous append: chunk range [%d,%d), appending %d",
+			c.EntryLo, c.EntryHi, i))
+	}
+	c.EntryHi = i + 1
+}
+
+// Len reports the number of entries.
+func (t *Table) Len() int { return len(t.Entries) }
+
+// At returns a pointer to entry i.
+func (t *Table) At(i int) *Entry { return &t.Entries[i] }
+
+// FixupShift adds delta to the offsets of every entry in chunk c whose
+// value starts at or after pos. Called after c.InsertGap(pos, delta).
+func (t *Table) FixupShift(c *chunk.Chunk, pos, delta int) {
+	if c.EntryHi <= c.EntryLo {
+		return
+	}
+	k := t.searchOff(c, pos)
+	for i := k; i < c.EntryHi; i++ {
+		t.Entries[i].Off += delta
+	}
+}
+
+// FixupSplit re-points the entries moved by Buffer.SplitChunk(c, at) to
+// the new chunk nc, adjusting their offsets and both chunks' entry
+// ranges. Entries whose value begins at or after at belong to nc.
+func (t *Table) FixupSplit(c, nc *chunk.Chunk, at int) {
+	if c.EntryHi <= c.EntryLo {
+		nc.EntryLo, nc.EntryHi = 0, 0
+		return
+	}
+	k := t.searchOff(c, at)
+	nc.EntryLo, nc.EntryHi = k, c.EntryHi
+	c.EntryHi = k
+	for i := k; i < nc.EntryHi; i++ {
+		t.Entries[i].Chunk = nc
+		t.Entries[i].Off -= at
+	}
+	if nc.EntryHi <= nc.EntryLo {
+		nc.EntryLo, nc.EntryHi = 0, 0
+	}
+	if c.EntryHi <= c.EntryLo {
+		c.EntryLo, c.EntryHi = 0, 0
+	}
+}
+
+// FirstOffAtOrAfter returns the offset of the first entry in chunk c
+// whose value starts at or after pos, if any. The template layer uses it
+// to pick entry-aligned chunk split points.
+func (t *Table) FirstOffAtOrAfter(c *chunk.Chunk, pos int) (int, bool) {
+	if c.EntryHi <= c.EntryLo {
+		return 0, false
+	}
+	k := t.searchOff(c, pos)
+	if k >= c.EntryHi {
+		return 0, false
+	}
+	return t.Entries[k].Off, true
+}
+
+// searchOff returns the index of the first entry in c's range whose Off
+// is ≥ pos.
+func (t *Table) searchOff(c *chunk.Chunk, pos int) int {
+	lo, hi := c.EntryLo, c.EntryHi
+	return lo + sort.Search(hi-lo, func(i int) bool {
+		return t.Entries[lo+i].Off >= pos
+	})
+}
+
+// CheckInvariants validates entry ordering, chunk ranges and span
+// disjointness; tests call it after mutations. It panics on corruption.
+func (t *Table) CheckInvariants() {
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if e.SerLen > e.Width {
+			panic(fmt.Sprintf("dut: entry %d SerLen %d > Width %d", i, e.SerLen, e.Width))
+		}
+		if e.Off < 0 || e.SpanEnd() > e.Chunk.Len() {
+			panic(fmt.Sprintf("dut: entry %d span [%d,%d) outside chunk len %d",
+				i, e.Off, e.SpanEnd(), e.Chunk.Len()))
+		}
+		if e.Chunk.EntryLo > i || i >= e.Chunk.EntryHi {
+			panic(fmt.Sprintf("dut: entry %d outside its chunk's range [%d,%d)",
+				i, e.Chunk.EntryLo, e.Chunk.EntryHi))
+		}
+		if i > 0 {
+			p := &t.Entries[i-1]
+			if p.Chunk == e.Chunk && p.SpanEnd() > e.Off {
+				panic(fmt.Sprintf("dut: entries %d and %d overlap", i-1, i))
+			}
+		}
+	}
+}

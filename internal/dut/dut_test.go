@@ -1,0 +1,223 @@
+package dut
+
+import (
+	"testing"
+
+	"bsoap/internal/chunk"
+	"bsoap/internal/wire"
+)
+
+// buildTemplateLike appends n fixed-width double entries into one chunk,
+// mimicking first-time serialization: <v>VAL</v> spans with width w.
+func buildTemplateLike(t *testing.T, n, w int) (*chunk.Buffer, *Table) {
+	t.Helper()
+	b := chunk.New(chunk.Config{ChunkSize: 4096, TrailingSlack: 256})
+	tab := &Table{}
+	for i := 0; i < n; i++ {
+		b.AppendString("<v>")
+		pos := b.Reserve(w + len("</v>"))
+		for j := 0; j < w; j++ {
+			pos.C.Bytes()[pos.Off+j] = '1'
+		}
+		copy(pos.C.Bytes()[pos.Off+w:], "</v>")
+		tab.Append(Entry{
+			Type: wire.TDouble, Chunk: pos.C, Off: pos.Off,
+			SerLen: w, Width: w, CloseTag: "</v>",
+		})
+	}
+	tab.CheckInvariants()
+	return b, tab
+}
+
+func TestAppendMaintainsChunkRanges(t *testing.T) {
+	_, tab := buildTemplateLike(t, 10, 5)
+	if tab.Len() != 10 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	c := tab.At(0).Chunk
+	if c.EntryLo != 0 || c.EntryHi != 10 {
+		t.Fatalf("chunk range [%d,%d)", c.EntryLo, c.EntryHi)
+	}
+}
+
+func TestEntryGeometry(t *testing.T) {
+	e := Entry{Off: 100, SerLen: 3, Width: 10, CloseTag: "</v>"}
+	if e.SpanEnd() != 100+10+4 {
+		t.Fatalf("SpanEnd = %d", e.SpanEnd())
+	}
+	if e.Pad() != 7 {
+		t.Fatalf("Pad = %d", e.Pad())
+	}
+}
+
+func TestFixupShift(t *testing.T) {
+	b, tab := buildTemplateLike(t, 5, 4)
+	c := b.Head()
+	// Grow entry 2: the engine's convention is to open the gap at the
+	// entry's SpanEnd, so the growing entry itself never moves.
+	e2 := tab.At(2)
+	pos := e2.SpanEnd()
+	if !c.InsertGap(pos, 3) {
+		t.Fatal("gap refused")
+	}
+	tab.FixupShift(c, pos, 3)
+	e2.Width += 3
+	// Rewrite entry 2's region: a 7-char value plus closing tag.
+	copy(c.Bytes()[e2.Off:], "2222222</v>")
+	e2.SerLen = 7
+	tab.CheckInvariants()
+	for i := 0; i < 5; i++ {
+		e := tab.At(i)
+		wantOff := 3 + i*11 // len("<v>") + i*span
+		if i > 2 {
+			wantOff += 3
+		}
+		if e.Off != wantOff {
+			t.Errorf("entry %d Off = %d, want %d", i, e.Off, wantOff)
+		}
+	}
+}
+
+func TestFixupShiftOnlyAffectsSameChunk(t *testing.T) {
+	b := chunk.New(chunk.Config{ChunkSize: 64, TrailingSlack: 8})
+	tab := &Table{}
+	// Two entries in two separate chunks.
+	for i := 0; i < 2; i++ {
+		b.CloseChunk()
+		b.AppendString("<v>")
+		pos := b.Reserve(4 + 4)
+		copy(pos.C.Bytes()[pos.Off:], "1234</v>")
+		tab.Append(Entry{Type: wire.TDouble, Chunk: pos.C, Off: pos.Off, SerLen: 4, Width: 4, CloseTag: "</v>"})
+	}
+	second := tab.At(1)
+	before := second.Off
+	first := tab.At(0)
+	firstOff := first.Off
+	if !first.Chunk.InsertGap(first.SpanEnd(), 2) {
+		t.Fatal("gap refused")
+	}
+	tab.FixupShift(first.Chunk, first.SpanEnd(), 2)
+	first.Width += 2
+	if second.Off != before {
+		t.Fatal("entry in other chunk moved")
+	}
+	if first.Off != firstOff {
+		t.Fatalf("growing entry moved: Off = %d", first.Off)
+	}
+}
+
+func TestFixupSplit(t *testing.T) {
+	b, tab := buildTemplateLike(t, 6, 4)
+	c := b.Head()
+	// Split at the value start of entry 3.
+	at := tab.At(3).Off
+	nc := b.SplitChunk(c, at)
+	tab.FixupSplit(c, nc, at)
+	tab.CheckInvariants()
+
+	if c.EntryLo != 0 || c.EntryHi != 3 {
+		t.Fatalf("old chunk range [%d,%d)", c.EntryLo, c.EntryHi)
+	}
+	if nc.EntryLo != 3 || nc.EntryHi != 6 {
+		t.Fatalf("new chunk range [%d,%d)", nc.EntryLo, nc.EntryHi)
+	}
+	for i := 3; i < 6; i++ {
+		e := tab.At(i)
+		if e.Chunk != nc {
+			t.Fatalf("entry %d not re-pointed", i)
+		}
+	}
+	if tab.At(3).Off != 0 {
+		t.Fatalf("entry 3 Off = %d, want 0", tab.At(3).Off)
+	}
+	// Values must still read back.
+	e := tab.At(3)
+	if got := string(e.Chunk.Bytes()[e.Off : e.Off+e.SerLen]); got != "1111" {
+		t.Fatalf("entry 3 value %q", got)
+	}
+}
+
+func TestFixupSplitAllEntriesStay(t *testing.T) {
+	b, tab := buildTemplateLike(t, 4, 4)
+	c := b.Head()
+	// Split after the last entry's span: no entries move.
+	at := tab.At(3).SpanEnd()
+	nc := b.SplitChunk(c, at)
+	tab.FixupSplit(c, nc, at)
+	if c.EntryLo != 0 || c.EntryHi != 4 {
+		t.Fatalf("old chunk range [%d,%d)", c.EntryLo, c.EntryHi)
+	}
+	if nc.EntryLo != 0 || nc.EntryHi != 0 {
+		t.Fatalf("new chunk range [%d,%d), want empty", nc.EntryLo, nc.EntryHi)
+	}
+	tab.CheckInvariants()
+}
+
+func TestFixupSplitAllEntriesMove(t *testing.T) {
+	b, tab := buildTemplateLike(t, 4, 4)
+	c := b.Head()
+	nc := b.SplitChunk(c, 0)
+	tab.FixupSplit(c, nc, 0)
+	if nc.EntryLo != 0 || nc.EntryHi != 4 {
+		t.Fatalf("new chunk range [%d,%d)", nc.EntryLo, nc.EntryHi)
+	}
+	if c.EntryLo != 0 || c.EntryHi != 0 {
+		t.Fatalf("old chunk range [%d,%d), want empty", c.EntryLo, c.EntryHi)
+	}
+	tab.CheckInvariants()
+}
+
+func TestNonContiguousAppendPanics(t *testing.T) {
+	b, tab := buildTemplateLike(t, 2, 4)
+	c := b.Head()
+	c.EntryHi = 1 // corrupt the range
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append accepted non-contiguous entry")
+		}
+	}()
+	tab.Append(Entry{Type: wire.TInt, Chunk: c, Off: 50, SerLen: 1, Width: 1, CloseTag: "</v>"})
+}
+
+func TestCheckInvariantsCatchesOverlap(t *testing.T) {
+	_, tab := buildTemplateLike(t, 3, 4)
+	tab.At(1).Off = tab.At(0).Off // force overlap
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlap not caught")
+		}
+	}()
+	tab.CheckInvariants()
+}
+
+func TestCheckInvariantsCatchesWidthViolation(t *testing.T) {
+	_, tab := buildTemplateLike(t, 1, 4)
+	tab.At(0).SerLen = 10
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SerLen > Width not caught")
+		}
+	}()
+	tab.CheckInvariants()
+}
+
+func TestFirstOffAtOrAfter(t *testing.T) {
+	b, tab := buildTemplateLike(t, 4, 4)
+	c := b.Head()
+	// Entry spans start at 3, 14, 25, 36 (len("<v>") + i*11).
+	if off, ok := tab.FirstOffAtOrAfter(c, 0); !ok || off != 3 {
+		t.Fatalf("at 0: %d, %v", off, ok)
+	}
+	if off, ok := tab.FirstOffAtOrAfter(c, 15); !ok || off != 25 {
+		t.Fatalf("at 15: %d, %v", off, ok)
+	}
+	if _, ok := tab.FirstOffAtOrAfter(c, 1000); ok {
+		t.Fatal("past-end lookup succeeded")
+	}
+	empty := b.Tail()
+	if empty != c {
+		if _, ok := tab.FirstOffAtOrAfter(empty, 0); ok {
+			t.Fatal("entry-less chunk lookup succeeded")
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package lsa is a miniature Linear System Analyzer (paper §3.4): a
+// problem-solving environment for Ax = b in which scientists connect
+// interchangeable solver components in a cycle, repeatedly refining the
+// solution vector until convergence. Each refinement produces a vector
+// of the same size and form as the last — exactly the repeated
+// perfect-structural-match traffic bSOAP accelerates.
+package lsa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// System is a dense linear system Ax = b.
+type System struct {
+	A [][]float64
+	B []float64
+}
+
+// N returns the system dimension.
+func (s *System) N() int { return len(s.B) }
+
+// Validate checks the system is square and consistent.
+func (s *System) Validate() error {
+	n := len(s.B)
+	if len(s.A) != n {
+		return fmt.Errorf("lsa: A has %d rows for %d unknowns", len(s.A), n)
+	}
+	for i, row := range s.A {
+		if len(row) != n {
+			return fmt.Errorf("lsa: row %d has %d columns, want %d", i, len(row), n)
+		}
+		if row[i] == 0 {
+			return fmt.Errorf("lsa: zero diagonal at row %d", i)
+		}
+	}
+	return nil
+}
+
+// NewDiagonallyDominant builds a random diagonally dominant system of
+// dimension n — guaranteed convergent for both included solvers. The
+// generator is deterministic in seed.
+func NewDiagonallyDominant(n int, seed uint64) *System {
+	if n <= 0 {
+		panic("lsa: non-positive dimension")
+	}
+	rng := seed | 1
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng%2000)/1000 - 1 // [-1, 1)
+	}
+	s := &System{A: make([][]float64, n), B: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.A[i] = make([]float64, n)
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := next()
+			s.A[i][j] = v
+			sum += math.Abs(v)
+		}
+		s.A[i][i] = sum + 1 + math.Abs(next()) // strict dominance
+		s.B[i] = next() * float64(n)
+	}
+	return s
+}
+
+// Solver is one interchangeable linear-solver component.
+type Solver interface {
+	// Name identifies the component.
+	Name() string
+	// Step computes the next iterate from x into next (both length n).
+	Step(s *System, x, next []float64)
+}
+
+// Jacobi is the Jacobi iteration component.
+type Jacobi struct{}
+
+// Name implements Solver.
+func (Jacobi) Name() string { return "jacobi" }
+
+// Step implements Solver.
+func (Jacobi) Step(s *System, x, next []float64) {
+	n := s.N()
+	for i := 0; i < n; i++ {
+		sum := s.B[i]
+		row := s.A[i]
+		for j := 0; j < n; j++ {
+			if j != i {
+				sum -= row[j] * x[j]
+			}
+		}
+		next[i] = sum / row[i]
+	}
+}
+
+// GaussSeidel is the Gauss–Seidel iteration component, typically
+// converging in fewer iterations than Jacobi.
+type GaussSeidel struct{}
+
+// Name implements Solver.
+func (GaussSeidel) Name() string { return "gauss-seidel" }
+
+// Step implements Solver.
+func (GaussSeidel) Step(s *System, x, next []float64) {
+	n := s.N()
+	copy(next, x)
+	for i := 0; i < n; i++ {
+		sum := s.B[i]
+		row := s.A[i]
+		for j := 0; j < n; j++ {
+			if j != i {
+				sum -= row[j] * next[j]
+			}
+		}
+		next[i] = sum / row[i]
+	}
+}
+
+// Residual returns the infinity norm of b − Ax.
+func Residual(s *System, x []float64) float64 {
+	worst := 0.0
+	for i := 0; i < s.N(); i++ {
+		r := s.B[i]
+		for j, a := range s.A[i] {
+			r -= a * x[j]
+		}
+		if v := math.Abs(r); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// ErrNoConvergence reports that maxIter iterations did not reach the
+// tolerance.
+var ErrNoConvergence = errors.New("lsa: no convergence within iteration budget")
+
+// Solve iterates the solver component until the residual's infinity
+// norm falls below tol or maxIter iterations elapse. After every
+// iteration onIteration (if non-nil) observes the current iterate —
+// this is where the example streams the vector over bSOAP. An error
+// from the callback aborts the solve.
+func Solve(s *System, solver Solver, tol float64, maxIter int,
+	onIteration func(iter int, x []float64, residual float64) error) ([]float64, int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := s.N()
+	x := make([]float64, n)
+	next := make([]float64, n)
+	for iter := 1; iter <= maxIter; iter++ {
+		solver.Step(s, x, next)
+		x, next = next, x
+		res := Residual(s, x)
+		if onIteration != nil {
+			if err := onIteration(iter, x, res); err != nil {
+				return x, iter, fmt.Errorf("lsa: iteration callback: %w", err)
+			}
+		}
+		if res < tol {
+			return x, iter, nil
+		}
+	}
+	return x, maxIter, ErrNoConvergence
+}

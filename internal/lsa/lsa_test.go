@@ -1,0 +1,143 @@
+package lsa
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestJacobiConverges(t *testing.T) {
+	s := NewDiagonallyDominant(50, 7)
+	x, iters, err := Solve(s, Jacobi{}, 1e-9, 1000, nil)
+	if err != nil {
+		t.Fatalf("Jacobi: %v after %d iters", err, iters)
+	}
+	if r := Residual(s, x); r >= 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestGaussSeidelConvergesFaster(t *testing.T) {
+	s := NewDiagonallyDominant(50, 7)
+	_, jIters, err := Solve(s, Jacobi{}, 1e-9, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, gsIters, err := Solve(s, GaussSeidel{}, 1e-9, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gsIters > jIters {
+		t.Fatalf("Gauss-Seidel took %d iters, Jacobi %d", gsIters, jIters)
+	}
+	if r := Residual(s, x); r >= 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestSolversAgree(t *testing.T) {
+	s := NewDiagonallyDominant(30, 42)
+	xj, _, err := Solve(s, Jacobi{}, 1e-12, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xg, _, err := Solve(s, GaussSeidel{}, 1e-12, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xj {
+		if math.Abs(xj[i]-xg[i]) > 1e-8 {
+			t.Fatalf("solutions diverge at %d: %g vs %g", i, xj[i], xg[i])
+		}
+	}
+}
+
+func TestResidualDecreasesMonotonically(t *testing.T) {
+	s := NewDiagonallyDominant(40, 3)
+	last := math.Inf(1)
+	_, _, err := Solve(s, GaussSeidel{}, 1e-10, 1000, func(iter int, x []float64, res float64) error {
+		if res > last*1.01 { // allow tiny numeric wobble
+			t.Fatalf("iter %d: residual rose %g -> %g", iter, last, res)
+		}
+		last = res
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallbackSeesEveryIteration(t *testing.T) {
+	s := NewDiagonallyDominant(10, 1)
+	var seen int
+	_, iters, err := Solve(s, Jacobi{}, 1e-8, 500, func(iter int, x []float64, res float64) error {
+		seen++
+		if iter != seen {
+			t.Fatalf("iteration numbering: got %d want %d", iter, seen)
+		}
+		if len(x) != 10 {
+			t.Fatalf("vector length %d", len(x))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != iters {
+		t.Fatalf("callback saw %d of %d iterations", seen, iters)
+	}
+}
+
+func TestCallbackErrorAborts(t *testing.T) {
+	s := NewDiagonallyDominant(10, 1)
+	boom := errors.New("boom")
+	_, iters, err := Solve(s, Jacobi{}, 1e-8, 500, func(iter int, x []float64, res float64) error {
+		if iter == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || iters != 3 {
+		t.Fatalf("err=%v iters=%d", err, iters)
+	}
+}
+
+func TestNoConvergenceBudget(t *testing.T) {
+	s := NewDiagonallyDominant(30, 9)
+	_, iters, err := Solve(s, Jacobi{}, 0, 5, nil) // tol 0 is unreachable
+	if !errors.Is(err, ErrNoConvergence) || iters != 5 {
+		t.Fatalf("err=%v iters=%d", err, iters)
+	}
+}
+
+func TestValidateRejectsBadSystems(t *testing.T) {
+	bad := []*System{
+		{A: [][]float64{{1}}, B: []float64{1, 2}},            // non-square
+		{A: [][]float64{{1, 2}}, B: []float64{1}},            // ragged row
+		{A: [][]float64{{0, 1}, {1, 0}}, B: []float64{1, 1}}, // zero diagonal
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("system %d validated", i)
+		}
+	}
+	if _, _, err := Solve(bad[0], Jacobi{}, 1e-6, 10, nil); err == nil {
+		t.Error("Solve accepted invalid system")
+	}
+}
+
+func TestDeterministicGenerator(t *testing.T) {
+	a := NewDiagonallyDominant(20, 5)
+	b := NewDiagonallyDominant(20, 5)
+	for i := range a.B {
+		if a.B[i] != b.B[i] || a.A[i][0] != b.A[i][0] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestSolverNames(t *testing.T) {
+	if (Jacobi{}).Name() != "jacobi" || (GaussSeidel{}).Name() != "gauss-seidel" {
+		t.Fatal("component names changed")
+	}
+}

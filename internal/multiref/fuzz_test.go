@@ -1,0 +1,30 @@
+package multiref
+
+import "testing"
+
+// FuzzInline asserts multi-ref resolution never panics and that its
+// output, when produced without error, contains no unresolved refs.
+func FuzzInline(f *testing.F) {
+	seeds := []string{
+		``,
+		`<a href="#mr0"/><multiRef id="mr0">v</multiRef>`,
+		`<a href="#mr0"/>`,
+		`<multiRef id="mr0">v</multiRef>`,
+		`<a href="#`,
+		`href="#x"`,
+		`<a href="#mr0"/><multiRef id="mr0">nested &lt;x&gt;</multiRef>`,
+		`<a><b href="#m"/><c href="#m"/><multiRef id="m">shared</multiRef></a>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Inline(data)
+		if err != nil {
+			return
+		}
+		if HasRefs(out) {
+			t.Fatalf("inlined output still has refs: %q", out)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+// Package rpc is the request/response client built on differential
+// serialization: Call sends a message through a bSOAP stub, waits for
+// the HTTP response, and decodes the response envelope against a
+// schema. Examples and applications use it instead of hand-rolling the
+// round-trip plumbing.
+package rpc
+
+import (
+	"fmt"
+	"net"
+
+	"bsoap/internal/core"
+	"bsoap/internal/soapdec"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+	"bsoap/internal/wsdl"
+)
+
+// Client couples a differential stub with a round-tripping sender and
+// a set of response schemas. Not safe for concurrent use.
+type Client struct {
+	sender    *transport.Sender
+	stub      *core.Stub
+	sink      *roundtripSink
+	responses map[string]*soapdec.Schema // response op local name → schema
+}
+
+// roundtripSink routes stub sends through Sender.Roundtrip, keeping the
+// response body.
+type roundtripSink struct {
+	sender *transport.Sender
+	last   []byte
+}
+
+// Send implements core.Sink.
+func (r *roundtripSink) Send(bufs net.Buffers) error {
+	resp, err := r.sender.Roundtrip(bufs)
+	if err != nil {
+		return err
+	}
+	if resp.Status/100 != 2 {
+		return fmt.Errorf("rpc: server returned %d: %s", resp.Status, resp.Body)
+	}
+	r.last = resp.Body
+	return nil
+}
+
+// Dial connects to a SOAP endpoint and returns a client.
+func Dial(addr string, cfg core.Config) (*Client, error) {
+	sender, err := transport.Dial(addr, transport.SenderOptions{Version: transport.HTTP11})
+	if err != nil {
+		return nil, err
+	}
+	sink := &roundtripSink{sender: sender}
+	return &Client{
+		sender:    sender,
+		stub:      core.NewStub(cfg, sink),
+		sink:      sink,
+		responses: make(map[string]*soapdec.Schema),
+	}, nil
+}
+
+// DiscoverAndDial fetches the WSDL from addr, then dials. The parsed
+// service description is returned so callers can build request
+// messages from it.
+func DiscoverAndDial(addr string, cfg core.Config) (*Client, *wsdl.Service, error) {
+	resp, err := transport.Fetch(addr, "/?wsdl")
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpc: fetching WSDL: %w", err)
+	}
+	if resp.Status != 200 {
+		return nil, nil, fmt.Errorf("rpc: WSDL fetch returned %d", resp.Status)
+	}
+	svc, err := wsdl.Parse(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpc: parsing WSDL: %w", err)
+	}
+	c, err := Dial(addr, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, svc, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.sender.Close() }
+
+// Stats returns the stub's differential counters.
+func (c *Client) Stats() core.Stats { return c.stub.Stats() }
+
+// ExpectResponse registers the schema used to decode responses whose
+// operation element has the given local name (e.g. "sumResponse").
+func (c *Client) ExpectResponse(schema *soapdec.Schema) {
+	c.responses[schema.Op] = schema
+}
+
+// Call sends req differentially and decodes the response, returning
+// the decoded message (nil for one-way calls whose server sends an
+// empty 2xx) and the call classification.
+func (c *Client) Call(req *wire.Message) (*wire.Message, core.CallInfo, error) {
+	ci, err := c.stub.Call(req)
+	if err != nil {
+		return nil, ci, err
+	}
+	if len(c.sink.last) == 0 {
+		return nil, ci, nil
+	}
+	res, err := soapdec.Decode(c.sink.last, c.lookupResponse, false)
+	if err != nil {
+		return nil, ci, fmt.Errorf("rpc: decoding response: %w", err)
+	}
+	return res.Msg, ci, nil
+}
+
+// RawResponse exposes the last response body (diagnostics).
+func (c *Client) RawResponse() []byte { return c.sink.last }
+
+func (c *Client) lookupResponse(opLocal string) (*soapdec.Schema, bool) {
+	s, ok := c.responses[opLocal]
+	return s, ok
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"bsoap/internal/multiref"
+	"bsoap/internal/soapdec"
+	"bsoap/internal/wire"
+)
+
+// TestMultiRefRequestsAreInlined drives a multi-ref-encoded request
+// (the format a gSOAP client emits for shared values) through the
+// endpoint and verifies dispatch sees the resolved values.
+func TestMultiRefRequestsAreInlined(t *testing.T) {
+	endpoint := New(Options{})
+	var seen []string
+	resp := wire.NewMessage("urn:mr", "tagResponse")
+	count := resp.AddInt("count", 0)
+	endpoint.Register(&soapdec.Schema{
+		Namespace: "urn:mr",
+		Op:        "tag",
+		Params:    []soapdec.ParamSpec{{Name: "labels", Type: wire.ArrayOf(wire.TString)}},
+	}, func(req *wire.Message) (*wire.Message, error) {
+		seen = seen[:0]
+		for i := 0; i < req.NumLeaves(); i++ {
+			seen = append(seen, req.LeafString(i))
+		}
+		count.Set(int32(len(seen)))
+		return resp, nil
+	})
+
+	// A client using multi-ref encoding for repeated labels.
+	m := wire.NewMessage("urn:mr", "tag")
+	arr := m.AddStringArray("labels", 6)
+	for i := 0; i < 6; i++ {
+		arr.Set(i, "shared-label-value-alpha")
+	}
+	body := multiref.NewEncoder().Serialize(m)
+	if !multiref.HasRefs(body) {
+		t.Fatal("test setup: no refs emitted")
+	}
+
+	respBody, err := endpoint.Handle(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(respBody), ">6<") {
+		t.Fatalf("response: %s", respBody)
+	}
+	for i, s := range seen {
+		if s != "shared-label-value-alpha" {
+			t.Fatalf("label %d = %q", i, s)
+		}
+	}
+	if st := endpoint.Stats(); st.MultiRefInlined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestMalformedMultiRefRejected verifies dangling references error out
+// instead of dispatching garbage.
+func TestMalformedMultiRefRejected(t *testing.T) {
+	endpoint, _ := newSumEndpoint(Options{})
+	body := []byte(`<E:Envelope><E:Body><ns1:sum>` +
+		`<values SOAP-ENC:arrayType="xsd:double[1]"><item href="#nope"/></values>` +
+		`</ns1:sum></E:Body></E:Envelope>`)
+	if _, err := endpoint.Handle(body); err == nil {
+		t.Fatal("dangling multi-ref accepted")
+	}
+}

@@ -1,0 +1,224 @@
+// Package server is the SOAP service endpoint: it dispatches incoming
+// envelopes to registered operations, deserializing either with a full
+// schema-driven parse or — when enabled — with differential
+// deserialization, and serializes responses through a differential stub
+// so repeated similar responses benefit exactly as client sends do (the
+// paper notes the technique "could be used equally well by a server
+// sending identical (or similar) responses").
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"bsoap/internal/core"
+	"bsoap/internal/diffdeser"
+	"bsoap/internal/multiref"
+	"bsoap/internal/soapdec"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+	"bsoap/internal/xsdlex"
+)
+
+// Handler processes one decoded request message and returns a response
+// message, or nil for one-way operations. The request message is owned
+// by the server and valid only for the duration of the call.
+type Handler func(req *wire.Message) (*wire.Message, error)
+
+// Options configure a SOAP endpoint.
+type Options struct {
+	// DifferentialDeserialization enables the diffdeser fast path.
+	DifferentialDeserialization bool
+	// Core configures the response-side differential stub.
+	Core core.Config
+}
+
+// SOAP routes operations to handlers. Dispatch is serialized by an
+// internal lock, so one endpoint can back a multi-connection
+// transport.Server.
+type SOAP struct {
+	mu      sync.Mutex
+	ops     map[string]*operation
+	differ  *diffdeser.Deserializer
+	wsdl    []byte
+	respBuf bytes.Buffer
+	stub    *core.Stub
+	stats   ServerStats
+}
+
+type operation struct {
+	schema  *soapdec.Schema
+	handler Handler
+}
+
+// ServerStats counts decode outcomes.
+type ServerStats struct {
+	Requests        int64
+	FullParses      int64
+	DiffDecodes     int64
+	ValuesReparsed  int64
+	MultiRefInlined int64
+}
+
+// New returns an empty endpoint.
+func New(opts Options) *SOAP {
+	s := &SOAP{ops: make(map[string]*operation)}
+	if opts.DifferentialDeserialization {
+		s.differ = diffdeser.New(s.lookupSchema)
+	}
+	s.stub = core.NewStub(opts.Core, transport.WriterSink{W: &s.respBuf})
+	return s
+}
+
+// Register adds an operation.
+func (s *SOAP) Register(schema *soapdec.Schema, h Handler) {
+	s.ops[schema.Op] = &operation{schema: schema, handler: h}
+}
+
+// Stats returns decode counters.
+func (s *SOAP) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *SOAP) lookupSchema(opLocal string) (*soapdec.Schema, bool) {
+	op, ok := s.ops[opLocal]
+	if !ok {
+		return nil, false
+	}
+	return op.schema, true
+}
+
+// SetWSDL installs the service description served on GET requests.
+func (s *SOAP) SetWSDL(doc []byte) {
+	s.mu.Lock()
+	s.wsdl = append([]byte(nil), doc...)
+	s.mu.Unlock()
+}
+
+// HTTPHandler adapts the endpoint to the transport server: POSTs are
+// dispatched as SOAP calls, GETs answered with the WSDL document when
+// one has been installed.
+func (s *SOAP) HTTPHandler() transport.Handler {
+	return func(req *transport.Request) ([]byte, error) {
+		if req.Method == "GET" {
+			s.mu.Lock()
+			doc := s.wsdl
+			s.mu.Unlock()
+			if doc == nil {
+				return nil, fmt.Errorf("server: no WSDL installed")
+			}
+			return doc, nil
+		}
+		return s.Handle(req.Body)
+	}
+}
+
+// Handle decodes one envelope, dispatches it, and returns the serialized
+// response (nil for one-way operations). Requests carrying SOAP
+// multi-ref accessors are inlined first (gSOAP-compatible clients).
+func (s *SOAP) Handle(body []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Requests++
+
+	if multiref.HasRefs(body) {
+		inlined, err := multiref.Inline(body)
+		if err != nil {
+			return nil, fmt.Errorf("server: multi-ref: %w", err)
+		}
+		body = inlined
+		s.stats.MultiRefInlined++
+	}
+
+	var msg *wire.Message
+	var err error
+	if s.differ != nil {
+		var info diffdeser.Info
+		// Key by operation: the fast path matches same-shaped repeats.
+		opLocal, perr := peekOperation(body)
+		if perr != nil {
+			return nil, perr
+		}
+		msg, info, err = s.differ.Decode(opLocal, body)
+		if err != nil {
+			return nil, fmt.Errorf("server: decode: %w", err)
+		}
+		if info.FullParse {
+			s.stats.FullParses++
+		} else {
+			s.stats.DiffDecodes++
+			s.stats.ValuesReparsed += int64(info.ValuesReparsed)
+		}
+	} else {
+		res, derr := soapdec.Decode(body, s.lookupSchema, false)
+		if derr != nil {
+			return nil, fmt.Errorf("server: decode: %w", derr)
+		}
+		msg = res.Msg
+		s.stats.FullParses++
+	}
+
+	op := s.ops[msg.Operation()]
+	resp, err := op.handler(msg)
+	if err != nil {
+		return nil, fmt.Errorf("server: %s: %w", msg.Operation(), err)
+	}
+	if resp == nil {
+		return nil, nil
+	}
+
+	// Serialize the response differentially: handlers that reuse a
+	// response message object get structural/content matches.
+	s.respBuf.Reset()
+	if _, err := s.stub.Call(resp); err != nil {
+		return nil, fmt.Errorf("server: response serialization: %w", err)
+	}
+	out := make([]byte, s.respBuf.Len())
+	copy(out, s.respBuf.Bytes())
+	return out, nil
+}
+
+// ResponseStats exposes the response stub's differential counters.
+func (s *SOAP) ResponseStats() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stub.Stats()
+}
+
+// peekOperation extracts the operation's local name without a full
+// parse: it scans for the first element inside <Body>.
+func peekOperation(body []byte) (string, error) {
+	var off int
+	if idx := bytes.Index(body, []byte(":Body>")); idx >= 0 {
+		off = idx + len(":Body>")
+	} else if idx := bytes.Index(body, []byte("<Body>")); idx >= 0 {
+		off = idx + len("<Body>")
+	} else {
+		return "", fmt.Errorf("server: no SOAP Body")
+	}
+	rest := body[off:]
+	i := 0
+	for i < len(rest) && xsdlex.IsSpace(rest[i]) {
+		i++
+	}
+	if i >= len(rest) || rest[i] != '<' {
+		return "", fmt.Errorf("server: no operation element")
+	}
+	i++
+	start := i
+	for i < len(rest) && rest[i] != '>' && rest[i] != ' ' && rest[i] != '/' {
+		i++
+	}
+	name := string(rest[start:i])
+	if c := strings.LastIndexByte(name, ':'); c >= 0 {
+		name = name[c+1:]
+	}
+	if name == "" {
+		return "", fmt.Errorf("server: no operation element")
+	}
+	return name, nil
+}

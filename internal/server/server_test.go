@@ -1,0 +1,218 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"bsoap/internal/core"
+	"bsoap/internal/soapdec"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+)
+
+type captureSink struct{ data []byte }
+
+func (c *captureSink) Send(bufs net.Buffers) error {
+	c.data = c.data[:0]
+	for _, b := range bufs {
+		c.data = append(c.data, b...)
+	}
+	return nil
+}
+
+// sumSchema declares sum(values: double[]) -> sumResponse(total: double).
+func sumSchema() *soapdec.Schema {
+	return &soapdec.Schema{
+		Namespace: "urn:calc",
+		Op:        "sum",
+		Params:    []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
+	}
+}
+
+// newSumEndpoint registers a sum operation that reuses one response
+// message across calls (enabling response-side differential wins).
+func newSumEndpoint(opts Options) (*SOAP, *wire.DoubleRef) {
+	s := New(opts)
+	resp := wire.NewMessage("urn:calc", "sumResponse")
+	total := resp.AddDouble("total", 0)
+	s.Register(sumSchema(), func(req *wire.Message) (*wire.Message, error) {
+		var sum float64
+		for i := 0; i < req.NumLeaves(); i++ {
+			sum += req.LeafDouble(i)
+		}
+		total.Set(sum)
+		return resp, nil
+	})
+	return s, &total
+}
+
+// request renders a sum request via a bSOAP stub.
+func request(t *testing.T, stub *core.Stub, sink *captureSink, m *wire.Message) []byte {
+	t.Helper()
+	if _, err := stub.Call(m); err != nil {
+		t.Fatal(err)
+	}
+	return sink.data
+}
+
+func TestHandleDecodesAndResponds(t *testing.T) {
+	endpoint, _ := newSumEndpoint(Options{})
+	m := wire.NewMessage("urn:calc", "sum")
+	arr := m.AddDoubleArray("values", 4)
+	arr.Fill([]float64{1, 2, 3, 4.5})
+	sink := &captureSink{}
+	stub := core.NewStub(core.Config{}, sink)
+
+	respBody, err := endpoint.Handle(request(t, stub, sink, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(respBody), ">10.5<") {
+		t.Fatalf("response: %s", respBody)
+	}
+	st := endpoint.Stats()
+	if st.Requests != 1 || st.FullParses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDifferentialDeserializationPath(t *testing.T) {
+	endpoint, _ := newSumEndpoint(Options{DifferentialDeserialization: true})
+	m := wire.NewMessage("urn:calc", "sum")
+	arr := m.AddDoubleArray("values", 32)
+	for i := 0; i < 32; i++ {
+		arr.Set(i, 1)
+	}
+	sink := &captureSink{}
+	stub := core.NewStub(core.Config{Width: core.WidthPolicy{Double: core.MaxWidth}}, sink)
+
+	if _, err := endpoint.Handle(request(t, stub, sink, m)); err != nil {
+		t.Fatal(err)
+	}
+	arr.Set(3, 100)
+	resp, err := endpoint.Handle(request(t, stub, sink, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp), ">131<") { // 31*1 + 100
+		t.Fatalf("response: %s", resp)
+	}
+	st := endpoint.Stats()
+	if st.FullParses != 1 || st.DiffDecodes != 1 || st.ValuesReparsed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestResponseDifferentialSerialization(t *testing.T) {
+	endpoint, _ := newSumEndpoint(Options{})
+	m := wire.NewMessage("urn:calc", "sum")
+	arr := m.AddDoubleArray("values", 2)
+	arr.Fill([]float64{1.5, 2})
+	sink := &captureSink{}
+	stub := core.NewStub(core.Config{}, sink)
+
+	// Two calls with the same request produce the same total: the
+	// second response is a content match on the server's response stub.
+	body := request(t, stub, sink, m)
+	if _, err := endpoint.Handle(body); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := endpoint.Handle(body); err != nil {
+		t.Fatal(err)
+	}
+	rs := endpoint.ResponseStats()
+	if rs.FirstTimeSends != 1 || rs.ContentMatches != 1 {
+		t.Fatalf("response stats: %+v", rs)
+	}
+}
+
+func TestUnknownOperationErrors(t *testing.T) {
+	endpoint, _ := newSumEndpoint(Options{})
+	m := wire.NewMessage("urn:calc", "nosuch")
+	m.AddInt("x", 1)
+	sink := &captureSink{}
+	stub := core.NewStub(core.Config{}, sink)
+	if _, err := endpoint.Handle(request(t, stub, sink, m)); err == nil {
+		t.Fatal("unknown operation accepted")
+	}
+}
+
+func TestMalformedBodyErrors(t *testing.T) {
+	endpoint, _ := newSumEndpoint(Options{DifferentialDeserialization: true})
+	if _, err := endpoint.Handle([]byte("not xml at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := endpoint.Handle([]byte("<a><b>no body</b></a>")); err == nil {
+		t.Fatal("bodyless envelope accepted")
+	}
+}
+
+func TestPeekOperation(t *testing.T) {
+	cases := map[string]string{
+		`<E:Envelope><E:Body><ns1:sum><v/></ns1:sum></E:Body></E:Envelope>`: "sum",
+		`<E:Envelope><E:Body>` + "\n  " + `<op2/></E:Body></E:Envelope>`:    "op2",
+	}
+	for doc, want := range cases {
+		got, err := peekOperation([]byte(doc))
+		if err != nil || got != want {
+			t.Errorf("peekOperation(%q) = %q, %v", doc, got, err)
+		}
+	}
+	for _, doc := range []string{"", "<no-body/>", `<E:Body>`} {
+		if _, err := peekOperation([]byte(doc)); err == nil {
+			t.Errorf("peekOperation(%q) succeeded", doc)
+		}
+	}
+}
+
+// TestEndToEndOverTCP drives the full stack: bSOAP stub → HTTP sender →
+// transport server → SOAP dispatch → differential deserialization →
+// handler → response → client.
+func TestEndToEndOverTCP(t *testing.T) {
+	endpoint, _ := newSumEndpoint(Options{DifferentialDeserialization: true})
+	srv, err := transport.Listen("127.0.0.1:0", transport.ServerOptions{
+		Handler: endpoint.HTTPHandler(),
+		Respond: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sender, err := transport.Dial(srv.Addr(), transport.SenderOptions{
+		Version:        transport.HTTP11,
+		ExpectResponse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	m := wire.NewMessage("urn:calc", "sum")
+	arr := m.AddDoubleArray("values", 16)
+	for i := 0; i < 16; i++ {
+		arr.Set(i, 2)
+	}
+	stub := core.NewStub(core.Config{Width: core.WidthPolicy{Double: core.MaxWidth}}, sender)
+
+	for call := 0; call < 5; call++ {
+		arr.Set(call, float64(call)) // small in-place updates
+		if _, err := stub.Call(m); err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+	}
+	st := endpoint.Stats()
+	if st.Requests != 5 {
+		t.Fatalf("server saw %d requests", st.Requests)
+	}
+	if st.DiffDecodes != 4 {
+		t.Fatalf("diff decodes = %d, want 4 (stats %+v)", st.DiffDecodes, st)
+	}
+	// Call 2 wrote the value already present (2), so it is a content
+	// match; the other updates are structural matches.
+	cs := stub.Stats()
+	if cs.FirstTimeSends != 1 || cs.StructuralMatches != 3 || cs.ContentMatches != 1 {
+		t.Fatalf("client stats: %+v", cs)
+	}
+}

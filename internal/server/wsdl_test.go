@@ -1,0 +1,59 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"bsoap/internal/soapdec"
+	"bsoap/internal/transport"
+	"bsoap/internal/wsdl"
+)
+
+func TestWSDLServedOnGET(t *testing.T) {
+	endpoint, _ := newSumEndpoint(Options{})
+	doc, err := wsdl.Generate(&wsdl.Service{
+		Name:       "Calc",
+		Namespace:  "urn:calc",
+		Endpoint:   "http://example/",
+		Operations: []*soapdec.Schema{sumSchema()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpoint.SetWSDL(doc)
+
+	srv, err := transport.Listen("127.0.0.1:0", transport.ServerOptions{
+		Handler: endpoint.HTTPHandler(),
+		Respond: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := transport.Fetch(srv.Addr(), "/?wsdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status %d", resp.Status)
+	}
+	svc, err := wsdl.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("served WSDL does not parse: %v", err)
+	}
+	if svc.Name != "Calc" || len(svc.Operations) != 1 || svc.Operations[0].Op != "sum" {
+		t.Fatalf("recovered service: %+v", svc)
+	}
+	if !strings.Contains(string(resp.Body), "ArrayOfdouble") {
+		t.Fatal("array type missing from served WSDL")
+	}
+}
+
+func TestGETWithoutWSDLErrors(t *testing.T) {
+	endpoint, _ := newSumEndpoint(Options{})
+	h := endpoint.HTTPHandler()
+	if _, err := h(&transport.Request{Method: "GET", Target: "/"}); err == nil {
+		t.Fatal("GET without installed WSDL succeeded")
+	}
+}

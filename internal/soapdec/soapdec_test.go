@@ -1,0 +1,281 @@
+package soapdec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bsoap/internal/baseline"
+	"bsoap/internal/wire"
+)
+
+func mioType() *wire.Type {
+	return wire.StructOf("ns1:MIO",
+		wire.Field{Name: "x", Type: wire.TInt},
+		wire.Field{Name: "y", Type: wire.TInt},
+		wire.Field{Name: "value", Type: wire.TDouble},
+	)
+}
+
+// schemaFor builds the schema matching a message's current shape.
+func schemaFor(m *wire.Message) *Schema {
+	s := &Schema{Namespace: m.Namespace(), Op: m.Operation()}
+	for _, p := range m.Params() {
+		s.Params = append(s.Params, ParamSpec{Name: p.Name, Type: p.Type})
+	}
+	return s
+}
+
+// decodeRoundTrip serializes m with the gSOAP-like baseline and decodes
+// it back, comparing every leaf.
+func decodeRoundTrip(t *testing.T, m *wire.Message, record bool) *Result {
+	t.Helper()
+	doc := baseline.NewGSOAPLike().Serialize(m)
+	schema := schemaFor(m)
+	res, err := Decode(doc, func(op string) (*Schema, bool) {
+		if op == schema.Op {
+			return schema, true
+		}
+		return nil, false
+	}, record)
+	if err != nil {
+		t.Fatalf("Decode: %v\ndoc: %.800s", err, doc)
+	}
+	got := res.Msg
+	if got.NumLeaves() != m.NumLeaves() {
+		t.Fatalf("decoded %d leaves, want %d", got.NumLeaves(), m.NumLeaves())
+	}
+	for i := 0; i < m.NumLeaves(); i++ {
+		switch m.LeafType(i).Kind {
+		case wire.Int:
+			if got.LeafInt(i) != m.LeafInt(i) {
+				t.Fatalf("leaf %d: %d != %d", i, got.LeafInt(i), m.LeafInt(i))
+			}
+		case wire.Double:
+			gv, wv := got.LeafDouble(i), m.LeafDouble(i)
+			if gv != wv && !(math.IsNaN(gv) && math.IsNaN(wv)) {
+				t.Fatalf("leaf %d: %g != %g", i, gv, wv)
+			}
+		case wire.String:
+			if got.LeafString(i) != m.LeafString(i) {
+				t.Fatalf("leaf %d: %q != %q", i, got.LeafString(i), m.LeafString(i))
+			}
+		case wire.Bool:
+			if got.LeafBool(i) != m.LeafBool(i) {
+				t.Fatalf("leaf %d: %v != %v", i, got.LeafBool(i), m.LeafBool(i))
+			}
+		}
+	}
+	return res
+}
+
+func TestDecodeScalars(t *testing.T) {
+	m := wire.NewMessage("urn:dec", "scalars")
+	m.AddInt("i", -123)
+	m.AddDouble("d", 3.25)
+	m.AddString("s", "hello <world> & co")
+	m.AddBool("b", true)
+	decodeRoundTrip(t, m, false)
+}
+
+func TestDecodeDoubleArray(t *testing.T) {
+	m := wire.NewMessage("urn:dec", "arr")
+	a := m.AddDoubleArray("v", 100)
+	for i := 0; i < 100; i++ {
+		a.Set(i, float64(i)*0.5)
+	}
+	decodeRoundTrip(t, m, false)
+}
+
+func TestDecodeMIOArray(t *testing.T) {
+	m := wire.NewMessage("urn:dec", "mios")
+	a := m.AddStructArray("m", mioType(), 20)
+	for i := 0; i < 20; i++ {
+		a.SetInt(i, 0, int32(i))
+		a.SetInt(i, 1, int32(-i))
+		a.SetDouble(i, 2, float64(i)+0.5)
+	}
+	decodeRoundTrip(t, m, false)
+}
+
+func TestDecodeStructParam(t *testing.T) {
+	m := wire.NewMessage("urn:dec", "one")
+	s := m.AddStruct("point", mioType())
+	s.SetInt(0, 7)
+	s.SetInt(1, 8)
+	s.SetDouble(2, 9.5)
+	decodeRoundTrip(t, m, false)
+}
+
+func TestDecodeSpecialDoubles(t *testing.T) {
+	m := wire.NewMessage("urn:dec", "spec")
+	a := m.AddDoubleArray("v", 3)
+	a.Set(0, math.Inf(1))
+	a.Set(1, math.Inf(-1))
+	a.Set(2, math.NaN())
+	decodeRoundTrip(t, m, false)
+}
+
+func TestDecodeEmptyArray(t *testing.T) {
+	m := wire.NewMessage("urn:dec", "empty")
+	m.AddDoubleArray("v", 0)
+	decodeRoundTrip(t, m, false)
+}
+
+func TestRangesCoverEveryLeaf(t *testing.T) {
+	m := wire.NewMessage("urn:dec", "mios")
+	a := m.AddStructArray("m", mioType(), 5)
+	for i := 0; i < 5; i++ {
+		a.SetDouble(i, 2, 1.5)
+	}
+	doc := baseline.NewGSOAPLike().Serialize(m)
+	res := decodeRoundTrip(t, m, true)
+	if len(res.Ranges) != m.NumLeaves() {
+		t.Fatalf("ranges = %d, leaves = %d", len(res.Ranges), m.NumLeaves())
+	}
+	prev := 0
+	for i, r := range res.Ranges {
+		if r.Start < prev || r.End < r.Start || r.End > len(doc) {
+			t.Fatalf("range %d = %+v out of order (prev end %d, len %d)", i, r, prev, len(doc))
+		}
+		// Each region must start with the value and contain the close tag.
+		seg := string(doc[r.Start:r.End])
+		if !strings.Contains(seg, "</") {
+			t.Fatalf("range %d (%q) missing closing tag", i, seg)
+		}
+		prev = r.End
+	}
+}
+
+func TestDecodeUnknownOperation(t *testing.T) {
+	m := wire.NewMessage("urn:dec", "mystery")
+	m.AddInt("x", 1)
+	doc := baseline.NewGSOAPLike().Serialize(m)
+	_, err := Decode(doc, func(string) (*Schema, bool) { return nil, false }, false)
+	if err == nil || !strings.Contains(err.Error(), "unknown operation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeMalformedEnvelopes(t *testing.T) {
+	schema := &Schema{Namespace: "urn:x", Op: "op", Params: []ParamSpec{{Name: "v", Type: wire.TInt}}}
+	lookup := func(string) (*Schema, bool) { return schema, true }
+	for name, doc := range map[string]string{
+		"not xml":          "garbage",
+		"no body":          `<SOAP-ENV:Envelope><Other/></SOAP-ENV:Envelope>`,
+		"wrong param name": `<E:Envelope><E:Body><ns1:op><w>1</w></ns1:op></E:Body></E:Envelope>`,
+		"bad int":          `<E:Envelope><E:Body><ns1:op><v>xyz</v></ns1:op></E:Body></E:Envelope>`,
+		"truncated":        `<E:Envelope><E:Body><ns1:op><v>1</v>`,
+	} {
+		if _, err := Decode([]byte(doc), lookup, false); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestDecodeSkipsSOAPHeader(t *testing.T) {
+	doc := `<E:Envelope xmlns:E="http://schemas.xmlsoap.org/soap/envelope/">` +
+		`<E:Header><routing>x</routing></E:Header>` +
+		`<E:Body><ns1:op><v>42</v></ns1:op></E:Body></E:Envelope>`
+	schema := &Schema{Namespace: "urn:x", Op: "op", Params: []ParamSpec{{Name: "v", Type: wire.TInt}}}
+	res, err := Decode([]byte(doc), func(string) (*Schema, bool) { return schema, true }, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Msg.LeafInt(0) != 42 {
+		t.Fatalf("leaf = %d", res.Msg.LeafInt(0))
+	}
+}
+
+func TestDecodeBadArrayType(t *testing.T) {
+	schema := &Schema{Namespace: "urn:x", Op: "op",
+		Params: []ParamSpec{{Name: "v", Type: wire.ArrayOf(wire.TInt)}}}
+	lookup := func(string) (*Schema, bool) { return schema, true }
+	for name, attr := range map[string]string{
+		"missing":   ``,
+		"malformed": ` SOAP-ENC:arrayType="xsd:int"`,
+		"negative":  ` SOAP-ENC:arrayType="xsd:int[-2]"`,
+		"nonnum":    ` SOAP-ENC:arrayType="xsd:int[x]"`,
+	} {
+		doc := `<E:Envelope><E:Body><ns1:op><v` + attr + `></v></ns1:op></E:Body></E:Envelope>`
+		if _, err := Decode([]byte(doc), lookup, false); err == nil {
+			t.Errorf("%s arrayType: decoded without error", name)
+		}
+	}
+}
+
+func TestDecodeRespectsStuffedPadding(t *testing.T) {
+	// Messages from a stuffing client carry whitespace after close tags.
+	doc := `<E:Envelope><E:Body><ns1:op>` +
+		`<v xsi:type="SOAP-ENC:Array" SOAP-ENC:arrayType="xsd:double[2]">` +
+		`<item>1.5</item>        <item>2.5</item>     ` +
+		`</v></ns1:op></E:Body></E:Envelope>`
+	schema := &Schema{Namespace: "urn:x", Op: "op",
+		Params: []ParamSpec{{Name: "v", Type: wire.ArrayOf(wire.TDouble)}}}
+	res, err := Decode([]byte(doc), func(string) (*Schema, bool) { return schema, true }, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Msg.LeafDouble(0) != 1.5 || res.Msg.LeafDouble(1) != 2.5 {
+		t.Fatalf("values: %g %g", res.Msg.LeafDouble(0), res.Msg.LeafDouble(1))
+	}
+	// The first leaf's region must absorb the padding after its tag.
+	seg := doc[res.Ranges[0].Start:res.Ranges[0].End]
+	if seg != "1.5</item>        " {
+		t.Fatalf("region = %q", seg)
+	}
+}
+
+func TestDecodeNestedStructs(t *testing.T) {
+	inner := wire.StructOf("ns1:Point",
+		wire.Field{Name: "px", Type: wire.TInt},
+		wire.Field{Name: "py", Type: wire.TInt},
+	)
+	outer := wire.StructOf("ns1:Segment",
+		wire.Field{Name: "a", Type: inner},
+		wire.Field{Name: "b", Type: inner},
+		wire.Field{Name: "weight", Type: wire.TDouble},
+	)
+	m := wire.NewMessage("urn:dec", "nest")
+	arr := m.AddStructArray("segs", outer, 3)
+	for i := 0; i < 3; i++ {
+		arr.SetInt(i, 0, int32(i))
+		arr.SetInt(i, 1, int32(i+1))
+		arr.SetInt(i, 2, int32(i+2))
+		arr.SetInt(i, 3, int32(i+3))
+		arr.SetDouble(i, 4, float64(i)+0.5)
+	}
+	decodeRoundTrip(t, m, true)
+}
+
+func TestDecodeBoolAndStringArrays(t *testing.T) {
+	m := wire.NewMessage("urn:dec", "mixed")
+	sa := m.AddStringArray("names", 3)
+	sa.Set(0, "first value")
+	sa.Set(2, "third <escaped> & co")
+	m.AddBool("flag", true)
+	ia := m.AddIntArray("nums", 4)
+	ia.Fill([]int32{1, -2, 3, -4})
+	decodeRoundTrip(t, m, false)
+}
+
+func TestDecodeWrongFieldOrderErrors(t *testing.T) {
+	schema := &Schema{Namespace: "urn:x", Op: "op", Params: []ParamSpec{
+		{Name: "m", Type: mioType()},
+	}}
+	lookup := func(string) (*Schema, bool) { return schema, true }
+	// Fields out of declaration order must be rejected by the
+	// schema-driven decoder.
+	doc := `<E:Envelope><E:Body><ns1:op><m><y>1</y><x>2</x><value>3</value></m></ns1:op></E:Body></E:Envelope>`
+	if _, err := Decode([]byte(doc), lookup, false); err == nil {
+		t.Fatal("out-of-order fields accepted")
+	}
+	// Non-item array children are rejected too.
+	schema2 := &Schema{Namespace: "urn:x", Op: "op", Params: []ParamSpec{
+		{Name: "v", Type: wire.ArrayOf(wire.TInt)},
+	}}
+	doc2 := `<E:Envelope><E:Body><ns1:op><v SOAP-ENC:arrayType="xsd:int[1]"><other>1</other></v></ns1:op></E:Body></E:Envelope>`
+	if _, err := Decode([]byte(doc2), func(string) (*Schema, bool) { return schema2, true }, false); err == nil {
+		t.Fatal("non-item array child accepted")
+	}
+}

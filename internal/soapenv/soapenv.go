@@ -1,0 +1,87 @@
+// Package soapenv defines the SOAP 1.1 envelope grammar shared by every
+// serializer in the repository: the differential engine, the gSOAP-like
+// and XSOAP-like baselines, and the server's response writer all emit
+// byte-identical framing, so their send times differ only by strategy.
+package soapenv
+
+import (
+	"fmt"
+
+	"bsoap/internal/wire"
+)
+
+// Namespace URIs of SOAP 1.1 and XML Schema.
+const (
+	NSEnvelope = "http://schemas.xmlsoap.org/soap/envelope/"
+	NSEncoding = "http://schemas.xmlsoap.org/soap/encoding/"
+	NSXSI      = "http://www.w3.org/2001/XMLSchema-instance"
+	NSXSD      = "http://www.w3.org/2001/XMLSchema"
+)
+
+// Prologue is the XML declaration that starts every message.
+const Prologue = `<?xml version="1.0" encoding="UTF-8"?>` + "\n"
+
+// EnvelopeStart returns the envelope and body opening, binding ns1 to the
+// application namespace.
+func EnvelopeStart(appNS string) string {
+	return Prologue +
+		`<SOAP-ENV:Envelope xmlns:SOAP-ENV="` + NSEnvelope +
+		`" xmlns:SOAP-ENC="` + NSEncoding +
+		`" xmlns:xsi="` + NSXSI +
+		`" xmlns:xsd="` + NSXSD +
+		`" xmlns:ns1="` + appNS + `">` + "\n<SOAP-ENV:Body>\n"
+}
+
+// EnvelopeEnd closes the body and envelope.
+const EnvelopeEnd = "\n</SOAP-ENV:Body>\n</SOAP-ENV:Envelope>\n"
+
+// OperationStart opens the RPC wrapper element for an operation.
+func OperationStart(op string) string { return "<ns1:" + op + ">" }
+
+// OperationEnd closes the RPC wrapper element.
+func OperationEnd(op string) string { return "</ns1:" + op + ">" }
+
+// ResponseName is the conventional wrapper name for an RPC response.
+func ResponseName(op string) string { return op + "Response" }
+
+// ScalarTypeName maps a scalar wire type to its xsi:type name.
+func ScalarTypeName(t *wire.Type) string { return t.Name }
+
+// ArrayStart opens an array-valued parameter with its SOAP-ENC arrayType
+// attribute, e.g. <values xsi:type="SOAP-ENC:Array"
+// SOAP-ENC:arrayType="xsd:double[100]">.
+func ArrayStart(name string, elem *wire.Type, n int) string {
+	return fmt.Sprintf(`<%s xsi:type="SOAP-ENC:Array" SOAP-ENC:arrayType="%s[%d]">`,
+		name, elem.Name, n)
+}
+
+// ArrayEnd closes an array-valued parameter.
+func ArrayEnd(name string) string { return "</" + name + ">" }
+
+// ScalarStart opens a scalar parameter element carrying its xsi:type.
+func ScalarStart(name string, t *wire.Type) string {
+	return `<` + name + ` xsi:type="` + t.Name + `">`
+}
+
+// StructStart opens a struct-valued parameter element.
+func StructStart(name string, t *wire.Type) string {
+	return `<` + name + ` xsi:type="` + t.Name + `">`
+}
+
+// OpenTag returns <tag>; array items and struct fields use bare tags (the
+// enclosing arrayType/xsi:type already fixes their types, and lean item
+// framing matches the per-element overhead the paper measures).
+func OpenTag(tag string) string { return "<" + tag + ">" }
+
+// CloseTag returns </tag>.
+func CloseTag(tag string) string { return "</" + tag + ">" }
+
+// ItemTag is the element name of array items.
+const ItemTag = "item"
+
+// Fault renders a SOAP 1.1 fault body.
+func Fault(code, message string) string {
+	return EnvelopeStart("urn:fault") +
+		"<SOAP-ENV:Fault><faultcode>" + code + "</faultcode><faultstring>" +
+		message + "</faultstring></SOAP-ENV:Fault>" + EnvelopeEnd
+}

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"log"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadResponseVariants(t *testing.T) {
+	// 204 has no body.
+	resp, err := ReadResponse(bufio.NewReader(strings.NewReader(
+		"HTTP/1.1 204 No Content\r\nX: y\r\n\r\n")))
+	if err != nil || resp.Status != 204 || resp.Body != nil {
+		t.Fatalf("204: %+v, %v", resp, err)
+	}
+	// Chunked response body.
+	resp, err = ReadResponse(bufio.NewReader(strings.NewReader(
+		"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n")))
+	if err != nil || string(resp.Body) != "abc" {
+		t.Fatalf("chunked: %+v, %v", resp, err)
+	}
+	// Errors.
+	for name, raw := range map[string]string{
+		"empty":      "",
+		"garbage":    "NOPE\r\n\r\n",
+		"bad status": "HTTP/1.1 abc OK\r\n\r\n",
+		"bad header": "HTTP/1.1 200 OK\r\nNoColon\r\n\r\n",
+		"no framing": "HTTP/1.1 200 OK\r\n\r\n",
+		"short body": "HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nab",
+	} {
+		if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw))); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(""))); err != ErrConnClosed {
+		t.Error("empty response should be ErrConnClosed")
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	var buf bytes.Buffer
+	for _, status := range []int{200, 202, 400, 404, 500, 418} {
+		buf.Reset()
+		if err := WriteResponse(&buf, status, "", nil); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "HTTP/1.1") {
+			t.Fatalf("status %d: %q", status, buf.String())
+		}
+	}
+}
+
+func TestFetch(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Respond: true,
+		Handler: func(req *Request) ([]byte, error) {
+			if req.Method != "GET" {
+				t.Errorf("method %q", req.Method)
+			}
+			return []byte("<wsdl/>"), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := Fetch(srv.Addr(), "/?wsdl")
+	if err != nil || resp.Status != 200 || string(resp.Body) != "<wsdl/>" {
+		t.Fatalf("Fetch: %+v, %v", resp, err)
+	}
+	// Default target.
+	if _, err := Fetch(srv.Addr(), ""); err != nil {
+		t.Fatal(err)
+	}
+	// Unreachable address errors.
+	if _, err := Fetch("127.0.0.1:1", "/"); err == nil {
+		t.Fatal("fetch to closed port succeeded")
+	}
+}
+
+func TestSendExpectResponseErrors(t *testing.T) {
+	// Server answers 500: ExpectResponse surfaces it.
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Respond: true,
+		Handler: func(req *Request) ([]byte, error) {
+			return nil, errTest
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	s, err := Dial(srv.Addr(), SenderOptions{Version: HTTP11, ExpectResponse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Send(net.Buffers{[]byte("x")}); err == nil {
+		t.Fatal("500 response not surfaced")
+	}
+}
+
+var errTest = &net.AddrError{Err: "synthetic", Addr: "test"}
+
+func TestServerLogsErrors(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Logger: log.New(&logBuf, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Send garbage, close, and give the server a moment to log.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("THIS IS NOT HTTP\r\n\r\n"))
+	conn.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for logBuf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(logBuf.String(), "read request") {
+		t.Fatalf("malformed request not logged: %q", logBuf.String())
+	}
+}
+
+func TestServeOnProvidedListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, ServerOptions{})
+	defer srv.Close()
+	sender, err := Dial(srv.Addr(), SenderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if err := sender.Send(net.Buffers{[]byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for srv.Requests() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if srv.Requests() != 1 {
+		t.Fatal("request not received")
+	}
+}

@@ -1,0 +1,30 @@
+package transport
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRequest asserts HTTP request parsing never panics on
+// arbitrary input.
+func FuzzReadRequest(f *testing.F) {
+	seeds := []string{
+		"",
+		"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n",
+		"GET /wsdl HTTP/1.1\r\n\r\n",
+		"POST / HTTP/1.1\r\nContent-Length: 999999999999999999999\r\n\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+		"\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bufio.NewReader(strings.NewReader(string(data))))
+		if err == nil && req == nil {
+			t.Fatal("nil request without error")
+		}
+	})
+}

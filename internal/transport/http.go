@@ -1,0 +1,253 @@
+// Package transport carries serialized SOAP messages. It implements,
+// from scratch over net.Conn, the slice of HTTP the paper's measurements
+// rely on: POST framing with Content-Length (HTTP/1.0-style, with
+// keep-alive) and HTTP/1.1 chunked transfer encoding for streamed sends,
+// plus the discard server used to isolate client Send Time and an
+// in-process sink for jitter-free benchmarking.
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Request is one parsed HTTP request.
+type Request struct {
+	Method  string
+	Target  string
+	Proto   string
+	Headers map[string]string // keys lower-cased
+	Body    []byte
+}
+
+// Response is one parsed HTTP response.
+type Response struct {
+	Proto   string
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// ErrConnClosed reports a cleanly closed connection between messages.
+var ErrConnClosed = errors.New("transport: connection closed")
+
+// MaxHeaderBytes bounds a message's header section.
+const MaxHeaderBytes = 64 * 1024
+
+// MaxBodyBytes bounds a message body (defensive; experiments stay far
+// below it).
+const MaxBodyBytes = 1 << 30
+
+// readHeaders parses "Key: Value" lines up to the blank line.
+func readHeaders(br *bufio.Reader) (map[string]string, error) {
+	h := make(map[string]string, 8)
+	total := 0
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("transport: reading header: %w", err)
+		}
+		total += len(line)
+		if total > MaxHeaderBytes {
+			return nil, errors.New("transport: header section too large")
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			return h, nil
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("transport: malformed header line %q", line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:colon]))
+		h[key] = strings.TrimSpace(line[colon+1:])
+	}
+}
+
+// readBody consumes the message body per the framing headers,
+// transparently decoding gzip content encoding.
+func readBody(br *bufio.Reader, h map[string]string) ([]byte, error) {
+	body, err := readRawBody(br, h)
+	if err != nil {
+		return nil, err
+	}
+	if ce, ok := h["content-encoding"]; ok {
+		if !strings.EqualFold(ce, "gzip") {
+			return nil, fmt.Errorf("transport: unsupported content encoding %q", ce)
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("transport: gzip body: %w", err)
+		}
+		out, err := io.ReadAll(io.LimitReader(zr, MaxBodyBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("transport: gzip body: %w", err)
+		}
+		if len(out) > MaxBodyBytes {
+			return nil, errors.New("transport: decompressed body too large")
+		}
+		return out, nil
+	}
+	return body, nil
+}
+
+// readRawBody reads the framed (still possibly compressed) body bytes.
+func readRawBody(br *bufio.Reader, h map[string]string) ([]byte, error) {
+	if te, ok := h["transfer-encoding"]; ok {
+		if !strings.EqualFold(te, "chunked") {
+			return nil, fmt.Errorf("transport: unsupported transfer encoding %q", te)
+		}
+		return readChunkedBody(br)
+	}
+	cl, ok := h["content-length"]
+	if !ok {
+		return nil, errors.New("transport: message without content-length or chunked encoding")
+	}
+	n, err := strconv.ParseInt(cl, 10, 64)
+	if err != nil || n < 0 || n > MaxBodyBytes {
+		return nil, fmt.Errorf("transport: bad content-length %q", cl)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, fmt.Errorf("transport: reading body: %w", err)
+	}
+	return body, nil
+}
+
+// readChunkedBody decodes an HTTP/1.1 chunked body.
+func readChunkedBody(br *bufio.Reader) ([]byte, error) {
+	var body []byte
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("transport: reading chunk size: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if semi := strings.IndexByte(line, ';'); semi >= 0 {
+			line = line[:semi] // chunk extensions, ignored
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(line), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("transport: bad chunk size %q", line)
+		}
+		if size == 0 {
+			// Trailer section: consume up to the final blank line.
+			for {
+				t, err := br.ReadString('\n')
+				if err != nil {
+					return nil, fmt.Errorf("transport: reading trailer: %w", err)
+				}
+				if strings.TrimRight(t, "\r\n") == "" {
+					return body, nil
+				}
+			}
+		}
+		if len(body)+int(size) > MaxBodyBytes {
+			return nil, errors.New("transport: chunked body too large")
+		}
+		off := len(body)
+		body = append(body, make([]byte, size)...)
+		if _, err := io.ReadFull(br, body[off:]); err != nil {
+			return nil, fmt.Errorf("transport: reading chunk data: %w", err)
+		}
+		var crlf [2]byte
+		if _, err := io.ReadFull(br, crlf[:]); err != nil || crlf != [2]byte{'\r', '\n'} {
+			return nil, errors.New("transport: chunk data not CRLF-terminated")
+		}
+	}
+}
+
+// ReadRequest parses one HTTP request from br. io.EOF before the first
+// byte maps to ErrConnClosed so servers distinguish clean closes.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return nil, ErrConnClosed
+		}
+		return nil, fmt.Errorf("transport: reading request line: %w", err)
+	}
+	parts := strings.Fields(strings.TrimRight(line, "\r\n"))
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("transport: malformed request line %q", line)
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	if req.Headers, err = readHeaders(br); err != nil {
+		return nil, err
+	}
+	if req.Method == "GET" || req.Method == "HEAD" {
+		return req, nil
+	}
+	if req.Body, err = readBody(br, req.Headers); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ReadResponse parses one HTTP response from br.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return nil, ErrConnClosed
+		}
+		return nil, fmt.Errorf("transport: reading status line: %w", err)
+	}
+	parts := strings.SplitN(strings.TrimRight(line, "\r\n"), " ", 3)
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("transport: malformed status line %q", line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad status %q", parts[1])
+	}
+	resp := &Response{Proto: parts[0], Status: status}
+	if resp.Headers, err = readHeaders(br); err != nil {
+		return nil, err
+	}
+	if status == 204 || status == 304 {
+		return resp, nil
+	}
+	if resp.Body, err = readBody(br, resp.Headers); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// WriteResponse writes a complete HTTP/1.1 response with Content-Length
+// framing.
+func WriteResponse(w io.Writer, status int, contentType string, body []byte) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, statusText(status))
+	if contentType != "" {
+		fmt.Fprintf(&b, "Content-Type: %s\r\n", contentType)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n", len(body))
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func statusText(status int) string {
+	switch status {
+	case 200:
+		return "OK"
+	case 202:
+		return "Accepted"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	}
+	return "Status"
+}

@@ -1,0 +1,359 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Version selects the HTTP framing used by a Sender.
+type Version int
+
+const (
+	// HTTP10 frames every message with Content-Length and keeps the
+	// connection alive explicitly, as the 2004 toolkits did.
+	HTTP10 Version = iota
+	// HTTP11 frames complete sends with Content-Length and streamed
+	// sends with chunked transfer encoding.
+	HTTP11
+)
+
+// SenderOptions configure a Sender.
+type SenderOptions struct {
+	// Target is the request target path (default "/").
+	Target string
+	// Host is the Host header value (default the connection's remote
+	// address).
+	Host string
+	// Version selects HTTP/1.0-style or HTTP/1.1 framing.
+	Version Version
+	// ExpectResponse makes Send read (and discard) one HTTP response per
+	// message. The paper's Send Time measurements do not wait for
+	// responses; RPC-style examples do.
+	ExpectResponse bool
+	// Compress gzips complete message bodies (Content-Encoding: gzip) —
+	// the bandwidth-for-CPU trade the paper's related work attributes
+	// to gSOAP, complementary to (and measurable against) differential
+	// serialization. Streamed (overlay) sends are never compressed.
+	Compress bool
+}
+
+// Sender frames serialized messages as HTTP POSTs over one persistent
+// connection. It implements the engine's Sink (vectored complete sends)
+// and StreamSink (chunked streaming for overlay). Not safe for
+// concurrent use.
+type Sender struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	opts SenderOptions
+
+	streaming bool
+	gz        *gzip.Writer
+	gzBuf     bytes.Buffer
+}
+
+// NewSender wraps an established connection.
+func NewSender(conn net.Conn, opts SenderOptions) *Sender {
+	if opts.Target == "" {
+		opts.Target = "/"
+	}
+	if opts.Host == "" {
+		if conn.RemoteAddr() != nil {
+			opts.Host = conn.RemoteAddr().String()
+		} else {
+			opts.Host = "bsoap"
+		}
+	}
+	return &Sender{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 32*1024),
+		br:   bufio.NewReaderSize(conn, 32*1024),
+		opts: opts,
+	}
+}
+
+// Dial connects to addr over TCP with the socket options the paper sets
+// (TCP_NODELAY, 32 KiB send and receive buffers, keep-alive) and returns
+// a Sender.
+func Dial(addr string, opts SenderOptions) (*Sender, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Errors here are advisory: the experiment still runs without
+		// the exact 2004 socket configuration.
+		_ = tc.SetNoDelay(true)
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetWriteBuffer(32 * 1024)
+		_ = tc.SetReadBuffer(32 * 1024)
+	}
+	return NewSender(conn, opts), nil
+}
+
+// Close closes the underlying connection.
+func (s *Sender) Close() error { return s.conn.Close() }
+
+// writeRequestHead writes the request line and common headers, leaving
+// body framing to the caller.
+func (s *Sender) writeRequestHead() error {
+	proto := "HTTP/1.1"
+	if s.opts.Version == HTTP10 {
+		proto = "HTTP/1.0"
+	}
+	if _, err := s.bw.WriteString("POST " + s.opts.Target + " " + proto + "\r\n" +
+		"Host: " + s.opts.Host + "\r\n" +
+		"Content-Type: text/xml; charset=utf-8\r\n" +
+		"SOAPAction: \"\"\r\n"); err != nil {
+		return err
+	}
+	if s.opts.Version == HTTP10 {
+		if _, err := s.bw.WriteString("Connection: Keep-Alive\r\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Send frames bufs as one POST with Content-Length and flushes it — the
+// engine's complete-message path. The vector is written segment by
+// segment straight out of the template chunks (scatter-gather), unless
+// compression is on, in which case the whole body is gzipped first
+// (compression cannot reuse template bytes: every send re-compresses).
+func (s *Sender) Send(bufs net.Buffers) error {
+	if s.opts.Compress {
+		return s.sendCompressed(bufs)
+	}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if err := s.writeRequestHead(); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	if _, err := s.bw.WriteString("Content-Length: " + strconv.Itoa(total) + "\r\n\r\n"); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	for _, b := range bufs {
+		if _, err := s.bw.Write(b); err != nil {
+			return fmt.Errorf("transport: send body: %w", err)
+		}
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return s.maybeReadResponse()
+}
+
+// sendCompressed gzips the body and frames it with Content-Encoding.
+func (s *Sender) sendCompressed(bufs net.Buffers) error {
+	s.gzBuf.Reset()
+	if s.gz == nil {
+		s.gz = gzip.NewWriter(&s.gzBuf)
+	} else {
+		s.gz.Reset(&s.gzBuf)
+	}
+	for _, b := range bufs {
+		if _, err := s.gz.Write(b); err != nil {
+			return fmt.Errorf("transport: compress: %w", err)
+		}
+	}
+	if err := s.gz.Close(); err != nil {
+		return fmt.Errorf("transport: compress: %w", err)
+	}
+	if err := s.writeRequestHead(); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	if _, err := s.bw.WriteString("Content-Encoding: gzip\r\nContent-Length: " +
+		strconv.Itoa(s.gzBuf.Len()) + "\r\n\r\n"); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	if _, err := s.bw.Write(s.gzBuf.Bytes()); err != nil {
+		return fmt.Errorf("transport: send body: %w", err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return s.maybeReadResponse()
+}
+
+// BeginStream starts a chunked-transfer POST (HTTP/1.1 only).
+func (s *Sender) BeginStream() error {
+	if s.opts.Version != HTTP11 {
+		return fmt.Errorf("transport: streaming requires HTTP/1.1")
+	}
+	if s.streaming {
+		return fmt.Errorf("transport: BeginStream during active stream")
+	}
+	if err := s.writeRequestHead(); err != nil {
+		return fmt.Errorf("transport: begin stream: %w", err)
+	}
+	if _, err := s.bw.WriteString("Transfer-Encoding: chunked\r\n\r\n"); err != nil {
+		return fmt.Errorf("transport: begin stream: %w", err)
+	}
+	s.streaming = true
+	return nil
+}
+
+// StreamChunk emits one transfer-encoding chunk and flushes it, so the
+// bytes leave as soon as they are serialized (the paper's streaming).
+func (s *Sender) StreamChunk(p []byte) error {
+	if !s.streaming {
+		return fmt.Errorf("transport: StreamChunk outside a stream")
+	}
+	if len(p) == 0 {
+		return nil // a zero-length chunk would terminate the body
+	}
+	if _, err := s.bw.WriteString(strconv.FormatInt(int64(len(p)), 16) + "\r\n"); err != nil {
+		return fmt.Errorf("transport: chunk head: %w", err)
+	}
+	if _, err := s.bw.Write(p); err != nil {
+		return fmt.Errorf("transport: chunk data: %w", err)
+	}
+	if _, err := s.bw.WriteString("\r\n"); err != nil {
+		return fmt.Errorf("transport: chunk tail: %w", err)
+	}
+	return s.bw.Flush()
+}
+
+// EndStream terminates the chunked body.
+func (s *Sender) EndStream() error {
+	if !s.streaming {
+		return fmt.Errorf("transport: EndStream outside a stream")
+	}
+	s.streaming = false
+	if _, err := s.bw.WriteString("0\r\n\r\n"); err != nil {
+		return fmt.Errorf("transport: end stream: %w", err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: end stream flush: %w", err)
+	}
+	return s.maybeReadResponse()
+}
+
+// Roundtrip sends bufs and returns the response body regardless of the
+// ExpectResponse option — the RPC path used by the examples.
+func (s *Sender) Roundtrip(bufs net.Buffers) (*Response, error) {
+	expect := s.opts.ExpectResponse
+	s.opts.ExpectResponse = false
+	err := s.Send(bufs)
+	s.opts.ExpectResponse = expect
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ReadResponse(s.br)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (s *Sender) maybeReadResponse() error {
+	if !s.opts.ExpectResponse {
+		return nil
+	}
+	resp, err := ReadResponse(s.br)
+	if err != nil {
+		return err
+	}
+	if resp.Status/100 != 2 {
+		return fmt.Errorf("transport: server returned %d", resp.Status)
+	}
+	return nil
+}
+
+// crlf is the HTTP line terminator.
+const crlf = "\r\n"
+
+// Fetch performs one GET request against addr and returns the response
+// — the client side of WSDL retrieval.
+func Fetch(addr, target string) (*Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if target == "" {
+		target = "/"
+	}
+	if _, err := io.WriteString(conn, "GET "+target+" HTTP/1.1"+crlf+"Host: "+addr+crlf+crlf); err != nil {
+		return nil, fmt.Errorf("transport: fetch: %w", err)
+	}
+	return ReadResponse(bufio.NewReader(conn))
+}
+
+// DiscardSink is the in-process sink the benchmarks use by default: it
+// consumes messages without network or copies beyond reading lengths, so
+// measured time is pure serialization-side cost. It is safe for
+// concurrent use.
+type DiscardSink struct {
+	bytes atomic.Int64
+	sends atomic.Int64
+}
+
+// NewDiscardSink returns a fresh sink.
+func NewDiscardSink() *DiscardSink { return &DiscardSink{} }
+
+// Send implements the engine's Sink.
+func (d *DiscardSink) Send(bufs net.Buffers) error {
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	d.bytes.Add(int64(n))
+	d.sends.Add(1)
+	return nil
+}
+
+// BeginStream implements StreamSink.
+func (d *DiscardSink) BeginStream() error { return nil }
+
+// StreamChunk implements StreamSink.
+func (d *DiscardSink) StreamChunk(p []byte) error {
+	d.bytes.Add(int64(len(p)))
+	return nil
+}
+
+// EndStream implements StreamSink.
+func (d *DiscardSink) EndStream() error {
+	d.sends.Add(1)
+	return nil
+}
+
+// Bytes reports the total bytes consumed.
+func (d *DiscardSink) Bytes() int64 { return d.bytes.Load() }
+
+// Sends reports the number of messages consumed.
+func (d *DiscardSink) Sends() int64 { return d.sends.Load() }
+
+// WriterSink adapts any io.Writer into a Sink/StreamSink (tests, files).
+type WriterSink struct{ W io.Writer }
+
+// Send implements Sink.
+func (w WriterSink) Send(bufs net.Buffers) error {
+	for _, b := range bufs {
+		if _, err := w.W.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BeginStream implements StreamSink.
+func (w WriterSink) BeginStream() error { return nil }
+
+// StreamChunk implements StreamSink.
+func (w WriterSink) StreamChunk(p []byte) error {
+	_, err := w.W.Write(p)
+	return err
+}
+
+// EndStream implements StreamSink.
+func (w WriterSink) EndStream() error { return nil }

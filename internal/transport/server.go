@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler processes one parsed request and returns the response body, or
+// an error which is reported as a 500.
+type Handler func(req *Request) ([]byte, error)
+
+// Server accepts persistent connections and feeds each request to a
+// handler. With a nil handler it is the paper's dummy server: requests
+// are read and discarded without parsing the SOAP payload, and a minimal
+// 202 is returned only when the client asks for responses.
+type Server struct {
+	ln       net.Listener
+	handler  Handler
+	respond  bool
+	logger   *log.Logger
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	requests atomic.Int64
+	bytes    atomic.Int64
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// ServerOptions configure a Server.
+type ServerOptions struct {
+	// Handler, when non-nil, receives every request; the discard server
+	// leaves it nil.
+	Handler Handler
+	// Respond makes the server answer every request (202 for discard,
+	// 200 with the handler's body otherwise). Dummy-server benchmarking
+	// leaves it false.
+	Respond bool
+	// Logger receives per-connection errors; nil disables logging.
+	Logger *log.Logger
+}
+
+// Serve starts a server on ln; it returns immediately and serves until
+// Close.
+func Serve(ln net.Listener, opts ServerOptions) *Server {
+	s := &Server{
+		ln: ln, handler: opts.Handler, respond: opts.Respond, logger: opts.Logger,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen starts a server on a fresh TCP listener on addr (use ":0" for
+// an ephemeral port).
+func Listen(addr string, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return Serve(ln, opts), nil
+}
+
+// Addr reports the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Requests reports how many requests have been fully received.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// Bytes reports total body bytes received.
+func (s *Server) Bytes() int64 { return s.bytes.Load() }
+
+// Close stops accepting, force-closes open connections, and waits for
+// connection goroutines to exit.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// track registers conn for shutdown, reporting false if the server is
+// already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			s.logf("accept: %v", err)
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+			_ = tc.SetReadBuffer(32 * 1024)
+			_ = tc.SetWriteBuffer(32 * 1024)
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
+	br := bufio.NewReaderSize(conn, 32*1024)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			if !errors.Is(err, ErrConnClosed) && !s.closed.Load() {
+				s.logf("read request: %v", err)
+			}
+			return
+		}
+		s.requests.Add(1)
+		s.bytes.Add(int64(len(req.Body)))
+
+		if s.handler == nil {
+			// Dummy server: the body has been drained; optionally ack.
+			if s.respond {
+				if err := WriteResponse(conn, 202, "", nil); err != nil {
+					s.logf("write response: %v", err)
+					return
+				}
+			}
+			continue
+		}
+		body, err := s.handler(req)
+		if err != nil {
+			s.logf("handler: %v", err)
+			if werr := WriteResponse(conn, 500, "text/plain", []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if s.respond || body != nil {
+			if err := WriteResponse(conn, 200, "text/xml; charset=utf-8", body); err != nil {
+				s.logf("write response: %v", err)
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}

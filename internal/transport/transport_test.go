@@ -1,0 +1,295 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReadRequestContentLength(t *testing.T) {
+	raw := "POST /svc HTTP/1.1\r\nHost: x\r\nContent-Type: text/xml\r\nContent-Length: 5\r\n\r\nhello"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "POST" || req.Target != "/svc" || req.Proto != "HTTP/1.1" {
+		t.Fatalf("request line: %+v", req)
+	}
+	if req.Headers["content-type"] != "text/xml" {
+		t.Fatalf("headers: %+v", req.Headers)
+	}
+	if string(req.Body) != "hello" {
+		t.Fatalf("body: %q", req.Body)
+	}
+}
+
+func TestReadRequestChunked(t *testing.T) {
+	raw := "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Body) != "hello world" {
+		t.Fatalf("body: %q", req.Body)
+	}
+}
+
+func TestReadRequestChunkedWithExtensionAndTrailer(t *testing.T) {
+	raw := "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"3;ext=1\r\nabc\r\n0\r\nX-Trailer: v\r\n\r\n"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Body) != "abc" {
+		t.Fatalf("body: %q", req.Body)
+	}
+}
+
+func TestReadRequestErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty connection":      "",
+		"garbage request line":  "NOT-HTTP\r\n\r\n",
+		"bad header":            "POST / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+		"missing framing":       "POST / HTTP/1.1\r\nHost: x\r\n\r\n",
+		"negative length":       "POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n",
+		"truncated body":        "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+		"bad chunk size":        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+		"bad chunk terminator":  "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcXX",
+		"unsupported encoding":  "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+		"eof inside chunk body": "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nab",
+	}
+	for name, raw := range cases {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(raw))); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(""))); err != ErrConnClosed {
+		t.Error("empty connection should be ErrConnClosed")
+	}
+}
+
+func TestWriteAndReadResponse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, 200, "text/xml", []byte("<ok/>")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "<ok/>" {
+		t.Fatalf("resp: %+v body %q", resp, resp.Body)
+	}
+}
+
+func TestSenderSendFraming(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	s := NewSender(client, SenderOptions{Target: "/svc", Host: "unit", Version: HTTP11})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var req *Request
+	var rerr error
+	go func() {
+		defer wg.Done()
+		req, rerr = ReadRequest(bufio.NewReader(server))
+	}()
+	if err := s.Send(net.Buffers{[]byte("<a>"), []byte("1"), []byte("</a>")}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if req.Target != "/svc" || req.Headers["host"] != "unit" {
+		t.Fatalf("framing: %+v", req)
+	}
+	if string(req.Body) != "<a>1</a>" {
+		t.Fatalf("body: %q", req.Body)
+	}
+	if req.Headers["content-length"] != "8" {
+		t.Fatalf("content-length: %q", req.Headers["content-length"])
+	}
+}
+
+func TestSenderHTTP10KeepAlive(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	s := NewSender(client, SenderOptions{Version: HTTP10})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var req *Request
+	go func() {
+		defer wg.Done()
+		req, _ = ReadRequest(bufio.NewReader(server))
+	}()
+	if err := s.Send(net.Buffers{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if req.Proto != "HTTP/1.0" {
+		t.Fatalf("proto: %q", req.Proto)
+	}
+	if !strings.EqualFold(req.Headers["connection"], "keep-alive") {
+		t.Fatalf("connection header: %q", req.Headers["connection"])
+	}
+}
+
+func TestSenderStreaming(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	s := NewSender(client, SenderOptions{Version: HTTP11})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var req *Request
+	var rerr error
+	go func() {
+		defer wg.Done()
+		req, rerr = ReadRequest(bufio.NewReader(server))
+	}()
+	if err := s.BeginStream(); err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{"<arr>", "<v>1</v>", "<v>2</v>", "</arr>"} {
+		if err := s.StreamChunk([]byte(part)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.StreamChunk(nil); err != nil { // empty chunk must be a no-op
+		t.Fatal(err)
+	}
+	if err := s.EndStream(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(req.Body) != "<arr><v>1</v><v>2</v></arr>" {
+		t.Fatalf("streamed body: %q", req.Body)
+	}
+}
+
+func TestSenderStreamStateErrors(t *testing.T) {
+	client, _ := net.Pipe()
+	s := NewSender(client, SenderOptions{Version: HTTP11})
+	if err := s.StreamChunk([]byte("x")); err == nil {
+		t.Fatal("StreamChunk outside stream accepted")
+	}
+	if err := s.EndStream(); err == nil {
+		t.Fatal("EndStream outside stream accepted")
+	}
+	s10 := NewSender(client, SenderOptions{Version: HTTP10})
+	if err := s10.BeginStream(); err == nil {
+		t.Fatal("HTTP/1.0 stream accepted")
+	}
+}
+
+func TestDiscardServerEndToEnd(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sender, err := Dial(srv.Addr(), SenderOptions{Version: HTTP11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := sender.Send(net.Buffers{[]byte("<m>payload</m>")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The discard server never responds; wait for it to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Requests() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server received %d/10 requests", srv.Requests())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Bytes() != 10*int64(len("<m>payload</m>")) {
+		t.Fatalf("server bytes = %d", srv.Bytes())
+	}
+}
+
+func TestServerWithHandlerAndResponse(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Respond: true,
+		Handler: func(req *Request) ([]byte, error) {
+			return append([]byte("echo:"), req.Body...), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sender, err := Dial(srv.Addr(), SenderOptions{Version: HTTP11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	resp, err := sender.Roundtrip(net.Buffers{[]byte("ping")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "echo:ping" {
+		t.Fatalf("resp %d %q", resp.Status, resp.Body)
+	}
+}
+
+func TestServerRespondingDiscardAcks(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerOptions{Respond: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sender, err := Dial(srv.Addr(), SenderOptions{Version: HTTP11, ExpectResponse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	for i := 0; i < 5; i++ {
+		if err := sender.Send(net.Buffers{[]byte("msg")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Requests() != 5 {
+		t.Fatalf("requests = %d", srv.Requests())
+	}
+}
+
+func TestDiscardSinkCounts(t *testing.T) {
+	d := NewDiscardSink()
+	d.Send(net.Buffers{[]byte("abc"), []byte("de")})
+	d.BeginStream()
+	d.StreamChunk([]byte("xyz"))
+	d.EndStream()
+	if d.Bytes() != 8 || d.Sends() != 2 {
+		t.Fatalf("bytes=%d sends=%d", d.Bytes(), d.Sends())
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var buf bytes.Buffer
+	w := WriterSink{W: &buf}
+	w.Send(net.Buffers{[]byte("a"), []byte("b")})
+	w.BeginStream()
+	w.StreamChunk([]byte("c"))
+	w.EndStream()
+	if buf.String() != "abc" {
+		t.Fatalf("writer sink got %q", buf.String())
+	}
+}

@@ -1,0 +1,188 @@
+package wire
+
+import "fmt"
+
+// Typed accessors ("refs") are the get/set surface the paper prescribes:
+// every write flows through a Set method that maintains dirty bits. Refs
+// address parameters by index, so they remain valid across ResizeArray.
+
+// scalarRef addresses a scalar parameter by parameter index, so the ref
+// stays valid when an earlier array parameter is resized.
+type scalarRef struct {
+	m *Message
+	p int
+}
+
+func (r scalarRef) leaf() int { return r.m.params[r.p].First }
+
+// IntRef addresses a scalar int parameter.
+type IntRef struct{ scalarRef }
+
+// Get returns the current value.
+func (r IntRef) Get() int32 { return r.m.LeafInt(r.leaf()) }
+
+// Set stores v, marking the leaf dirty if it changed.
+func (r IntRef) Set(v int32) { r.m.SetLeafInt(r.leaf(), v) }
+
+// DoubleRef addresses a scalar double parameter.
+type DoubleRef struct{ scalarRef }
+
+// Get returns the current value.
+func (r DoubleRef) Get() float64 { return r.m.LeafDouble(r.leaf()) }
+
+// Set stores v, marking the leaf dirty if it changed.
+func (r DoubleRef) Set(v float64) { r.m.SetLeafDouble(r.leaf(), v) }
+
+// StringRef addresses a scalar string parameter.
+type StringRef struct{ scalarRef }
+
+// Get returns the current value.
+func (r StringRef) Get() string { return r.m.LeafString(r.leaf()) }
+
+// Set stores v, marking the leaf dirty if it changed.
+func (r StringRef) Set(v string) { r.m.SetLeafString(r.leaf(), v) }
+
+// BoolRef addresses a scalar boolean parameter.
+type BoolRef struct{ scalarRef }
+
+// Get returns the current value.
+func (r BoolRef) Get() bool { return r.m.LeafBool(r.leaf()) }
+
+// Set stores v, marking the leaf dirty if it changed.
+func (r BoolRef) Set(v bool) { r.m.SetLeafBool(r.leaf(), v) }
+
+// StructRef addresses a struct parameter; fields are addressed by their
+// leaf offset within the struct (declaration order, structs flattened).
+type StructRef struct {
+	m *Message
+	p int
+}
+
+func (r StructRef) first() int { return r.m.params[r.p].First }
+
+// Type returns the struct type.
+func (r StructRef) Type() *Type { return r.m.params[r.p].Type }
+
+// SetInt sets the int field at leaf offset f.
+func (r StructRef) SetInt(f int, v int32) { r.m.SetLeafInt(r.first()+f, v) }
+
+// SetDouble sets the double field at leaf offset f.
+func (r StructRef) SetDouble(f int, v float64) { r.m.SetLeafDouble(r.first()+f, v) }
+
+// SetString sets the string field at leaf offset f.
+func (r StructRef) SetString(f int, v string) { r.m.SetLeafString(r.first()+f, v) }
+
+// Int returns the int field at leaf offset f.
+func (r StructRef) Int(f int) int32 { return r.m.LeafInt(r.first() + f) }
+
+// Double returns the double field at leaf offset f.
+func (r StructRef) Double(f int) float64 { return r.m.LeafDouble(r.first() + f) }
+
+// StringField returns the string field at leaf offset f.
+func (r StructRef) StringField(f int) string { return r.m.LeafString(r.first() + f) }
+
+// arrayRef is the common core of the typed array accessors.
+type arrayRef struct {
+	m *Message
+	p int // parameter index; survives resizes
+}
+
+func (r arrayRef) param() *Param { return &r.m.params[r.p] }
+
+// Len reports the current element count.
+func (r arrayRef) Len() int { return r.param().Count }
+
+// leaf computes the flat leaf index of element i, offset f.
+func (r arrayRef) leaf(i, f int) int {
+	p := r.param()
+	if i < 0 || i >= p.Count {
+		panic(fmt.Sprintf("wire: array index %d out of range [0,%d)", i, p.Count))
+	}
+	return p.First + i*p.Type.LeavesPerValue() + f
+}
+
+// Resize changes the element count (a structural change; see
+// Message.ResizeArray).
+func (r arrayRef) Resize(n int) { r.m.ResizeArray(r.p, n) }
+
+// IntArrayRef addresses an int-array parameter.
+type IntArrayRef struct{ arrayRef }
+
+// Get returns element i.
+func (r IntArrayRef) Get(i int) int32 { return r.m.LeafInt(r.leaf(i, 0)) }
+
+// Set stores element i, marking it dirty if changed.
+func (r IntArrayRef) Set(i int, v int32) { r.m.SetLeafInt(r.leaf(i, 0), v) }
+
+// Fill sets every element from vals (lengths must match).
+func (r IntArrayRef) Fill(vals []int32) {
+	if len(vals) != r.Len() {
+		panic("wire: Fill length mismatch")
+	}
+	for i, v := range vals {
+		r.Set(i, v)
+	}
+}
+
+// DoubleArrayRef addresses a double-array parameter.
+type DoubleArrayRef struct{ arrayRef }
+
+// Get returns element i.
+func (r DoubleArrayRef) Get(i int) float64 { return r.m.LeafDouble(r.leaf(i, 0)) }
+
+// Set stores element i, marking it dirty if changed.
+func (r DoubleArrayRef) Set(i int, v float64) { r.m.SetLeafDouble(r.leaf(i, 0), v) }
+
+// Fill sets every element from vals (lengths must match).
+func (r DoubleArrayRef) Fill(vals []float64) {
+	if len(vals) != r.Len() {
+		panic("wire: Fill length mismatch")
+	}
+	for i, v := range vals {
+		r.Set(i, v)
+	}
+}
+
+// StringArrayRef addresses a string-array parameter.
+type StringArrayRef struct{ arrayRef }
+
+// Get returns element i.
+func (r StringArrayRef) Get(i int) string { return r.m.LeafString(r.leaf(i, 0)) }
+
+// Set stores element i, marking it dirty if changed.
+func (r StringArrayRef) Set(i int, v string) { r.m.SetLeafString(r.leaf(i, 0), v) }
+
+// StructArrayRef addresses an array of structs (e.g. the paper's MIOs).
+// Field offsets count scalar leaves in declaration order.
+type StructArrayRef struct{ arrayRef }
+
+// ElemType returns the element struct type.
+func (r StructArrayRef) ElemType() *Type { return r.param().Type.Elem }
+
+// SetInt sets the int field at leaf offset f of element i.
+func (r StructArrayRef) SetInt(i, f int, v int32) { r.m.SetLeafInt(r.leaf(i, f), v) }
+
+// SetDouble sets the double field at leaf offset f of element i.
+func (r StructArrayRef) SetDouble(i, f int, v float64) { r.m.SetLeafDouble(r.leaf(i, f), v) }
+
+// SetString sets the string field at leaf offset f of element i.
+func (r StructArrayRef) SetString(i, f int, v string) { r.m.SetLeafString(r.leaf(i, f), v) }
+
+// Int returns the int field at leaf offset f of element i.
+func (r StructArrayRef) Int(i, f int) int32 { return r.m.LeafInt(r.leaf(i, f)) }
+
+// Double returns the double field at leaf offset f of element i.
+func (r StructArrayRef) Double(i, f int) float64 { return r.m.LeafDouble(r.leaf(i, f)) }
+
+// StringField returns the string field at leaf offset f of element i.
+func (r StructArrayRef) StringField(i, f int) string { return r.m.LeafString(r.leaf(i, f)) }
+
+// LeafIndex exposes the flat leaf index of (element, field); the
+// benchmark harness uses it with TouchLeaf to dirty exact fractions.
+func (r StructArrayRef) LeafIndex(i, f int) int { return r.leaf(i, f) }
+
+// LeafIndex exposes the flat leaf index of element i.
+func (r DoubleArrayRef) LeafIndex(i int) int { return r.leaf(i, 0) }
+
+// LeafIndex exposes the flat leaf index of element i.
+func (r IntArrayRef) LeafIndex(i int) int { return r.leaf(i, 0) }

@@ -1,0 +1,292 @@
+// Package workload builds the messages the paper's evaluation sends:
+// arrays of integers, doubles and MIOs (mesh interface objects — the
+// [int,int,double] structs exchanged by PDE solvers), with value
+// generators for the exact serialized widths every experiment calls for:
+//
+//	double: min 1 char, intermediate 18, max 24
+//	int:    min 1 char, intermediate 9, max 11
+//	MIO:    min 3 chars, intermediate 36 (9+9+18), max 46 (11+11+24)
+//
+// and mutators that dirty controlled fractions of a message.
+package workload
+
+import (
+	"math"
+
+	"bsoap/internal/wire"
+	"bsoap/internal/xsdlex"
+)
+
+// Namespace is the application namespace the experiment messages use.
+const Namespace = "urn:bsoap-bench"
+
+// MIOType returns the paper's mesh interface object type.
+func MIOType() *wire.Type {
+	return wire.StructOf("ns1:MIO",
+		wire.Field{Name: "x", Type: wire.TInt},
+		wire.Field{Name: "y", Type: wire.TInt},
+		wire.Field{Name: "value", Type: wire.TDouble},
+	)
+}
+
+// Width-calibrated values. Each constant's serialized length is asserted
+// by the package tests.
+var (
+	// MinDouble encodes in 1 character.
+	MinDouble = 5.0
+	// MinDouble2 is a second 1-character double, used to force a dirty
+	// rewrite without a width change.
+	MinDouble2 = 7.0
+	// IntermediateDouble encodes in exactly 18 characters.
+	IntermediateDouble = 0.1234567890123456
+	// IntermediateDouble2 is a second 18-character double.
+	IntermediateDouble2 = 0.6543210987654321
+	// MaxDouble encodes in the maximal 24 characters.
+	MaxDouble = -math.MaxFloat64
+	// MaxDouble2 is a second 24-character double.
+	MaxDouble2 = -1.5976931348623157e+308
+
+	// MinInt encodes in 1 character.
+	MinInt int32 = 3
+	// IntermediateInt encodes in 9 characters.
+	IntermediateInt int32 = 123456789
+	// MaxInt encodes in the maximal 11 characters.
+	MaxInt int32 = math.MinInt32
+)
+
+// Fill selects the value-width regime a workload starts in.
+type Fill int
+
+const (
+	// FillTypical uses deterministic pseudo-random values of mixed width.
+	FillTypical Fill = iota
+	// FillMin uses minimal-width values (1-char doubles/ints).
+	FillMin
+	// FillIntermediate uses the paper's intermediate widths.
+	FillIntermediate
+	// FillMax uses maximal-width values.
+	FillMax
+)
+
+// typicalDouble returns a deterministic value of moderate width for
+// index i (an xorshift of the index mapped into [0,1)).
+func typicalDouble(i int) float64 {
+	x := uint64(i)*2654435761 + 1
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return float64(x%1e9) / 1e9
+}
+
+func fillDouble(f Fill, i int) float64 {
+	switch f {
+	case FillMin:
+		return MinDouble
+	case FillIntermediate:
+		return IntermediateDouble
+	case FillMax:
+		return MaxDouble
+	}
+	return typicalDouble(i)
+}
+
+func fillInt(f Fill, i int) int32 {
+	switch f {
+	case FillMin:
+		return MinInt
+	case FillIntermediate:
+		return IntermediateInt
+	case FillMax:
+		return MaxInt
+	}
+	return int32(i%100000 - 50000)
+}
+
+// Doubles is a message carrying one double array.
+type Doubles struct {
+	Msg *wire.Message
+	Arr wire.DoubleArrayRef
+	n   int
+}
+
+// NewDoubles builds an n-element double-array message.
+func NewDoubles(n int, f Fill) *Doubles {
+	m := wire.NewMessage(Namespace, "sendDoubles")
+	arr := m.AddDoubleArray("values", n)
+	for i := 0; i < n; i++ {
+		arr.Set(i, fillDouble(f, i))
+	}
+	m.ClearDirty()
+	return &Doubles{Msg: m, Arr: arr, n: n}
+}
+
+// TouchFraction marks the first frac of elements dirty without changing
+// their serialized width (alternating between two same-width values).
+func (d *Doubles) TouchFraction(frac float64) {
+	k := count(d.n, frac)
+	for i := 0; i < k; i++ {
+		d.Arr.Set(i, flipDouble(d.Arr.Get(i)))
+	}
+}
+
+// GrowFraction sets the first frac of elements to v (typically a wider
+// value, forcing shifts).
+func (d *Doubles) GrowFraction(frac float64, v float64) {
+	k := count(d.n, frac)
+	for i := 0; i < k; i++ {
+		d.Arr.Set(i, v)
+	}
+}
+
+// SetAll overwrites every element with v.
+func (d *Doubles) SetAll(v float64) {
+	for i := 0; i < d.n; i++ {
+		d.Arr.Set(i, v)
+	}
+}
+
+// Ints is a message carrying one int array.
+type Ints struct {
+	Msg *wire.Message
+	Arr wire.IntArrayRef
+	n   int
+}
+
+// NewInts builds an n-element int-array message.
+func NewInts(n int, f Fill) *Ints {
+	m := wire.NewMessage(Namespace, "sendInts")
+	arr := m.AddIntArray("values", n)
+	for i := 0; i < n; i++ {
+		arr.Set(i, fillInt(f, i))
+	}
+	m.ClearDirty()
+	return &Ints{Msg: m, Arr: arr, n: n}
+}
+
+// TouchFraction dirties the first frac of elements width-neutrally.
+func (t *Ints) TouchFraction(frac float64) {
+	k := count(t.n, frac)
+	for i := 0; i < k; i++ {
+		v := t.Arr.Get(i)
+		if v == MinInt {
+			t.Arr.Set(i, MinInt+1)
+		} else {
+			t.Arr.Set(i, flipIntSameWidth(v))
+		}
+	}
+}
+
+// MIOs is a message carrying one MIO array.
+type MIOs struct {
+	Msg *wire.Message
+	Arr wire.StructArrayRef
+	n   int
+}
+
+// NewMIOs builds an n-element MIO-array message.
+func NewMIOs(n int, f Fill) *MIOs {
+	m := wire.NewMessage(Namespace, "sendMIOs")
+	arr := m.AddStructArray("mios", MIOType(), n)
+	for i := 0; i < n; i++ {
+		arr.SetInt(i, 0, fillInt(f, i))
+		arr.SetInt(i, 1, fillInt(f, i+1))
+		arr.SetDouble(i, 2, fillDouble(f, i))
+	}
+	m.ClearDirty()
+	return &MIOs{Msg: m, Arr: arr, n: n}
+}
+
+// TouchDoublesFraction dirties the double field of the first frac of
+// MIOs width-neutrally; the ints stay untouched, exactly Figure 4's
+// setup ("the remaining portion stays the same, as do MIO integers").
+func (w *MIOs) TouchDoublesFraction(frac float64) {
+	k := count(w.n, frac)
+	for i := 0; i < k; i++ {
+		w.Arr.SetDouble(i, 2, flipDouble(w.Arr.Double(i, 2)))
+	}
+}
+
+// GrowFraction sets every field of the first frac of MIOs to the given
+// values (used to expand intermediate MIOs to maximal ones).
+func (w *MIOs) GrowFraction(frac float64, xi, yi int32, v float64) {
+	k := count(w.n, frac)
+	for i := 0; i < k; i++ {
+		w.Arr.SetInt(i, 0, xi)
+		w.Arr.SetInt(i, 1, yi)
+		w.Arr.SetDouble(i, 2, v)
+	}
+}
+
+// SetAll overwrites every MIO with the given field values.
+func (w *MIOs) SetAll(xi, yi int32, v float64) {
+	for i := 0; i < w.n; i++ {
+		w.Arr.SetInt(i, 0, xi)
+		w.Arr.SetInt(i, 1, yi)
+		w.Arr.SetDouble(i, 2, v)
+	}
+}
+
+// count converts a fraction into an element count (round to nearest,
+// minimum 1 for any positive fraction on non-empty arrays).
+func count(n int, frac float64) int {
+	if frac <= 0 || n == 0 {
+		return 0
+	}
+	k := int(float64(n)*frac + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// flipDouble returns a different double with the same serialized width.
+func flipDouble(v float64) float64 {
+	var alt float64
+	switch v {
+	case MinDouble:
+		return MinDouble2
+	case MinDouble2:
+		return MinDouble
+	case IntermediateDouble:
+		return IntermediateDouble2
+	case IntermediateDouble2:
+		return IntermediateDouble
+	case MaxDouble:
+		return MaxDouble2
+	case MaxDouble2:
+		return MaxDouble
+	default:
+		// Typical values: nudge the mantissa; widths may vary by a
+		// character, which exact-width templates absorb as a tag shift —
+		// representative of real updates.
+		alt = v * (1 + 1e-9)
+		if alt == v {
+			alt = v + 1
+		}
+		return alt
+	}
+}
+
+// flipIntSameWidth returns a different int with the same decimal width.
+func flipIntSameWidth(v int32) int32 {
+	w := xsdlex.IntLen(v)
+	var alt int32
+	if v == math.MaxInt32 || v == math.MinInt32 {
+		alt = v - 1 // MinInt32-1 would overflow; handled below
+		if v == math.MinInt32 {
+			alt = v + 1
+		}
+	} else {
+		alt = v + 1
+	}
+	if xsdlex.IntLen(alt) != w {
+		alt = v - 1
+		if xsdlex.IntLen(alt) != w {
+			return v // give up; stays clean
+		}
+	}
+	return alt
+}

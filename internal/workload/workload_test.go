@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"testing"
+
+	"bsoap/internal/xsdlex"
+)
+
+func TestCalibratedDoubleWidths(t *testing.T) {
+	cases := map[float64]int{
+		MinDouble:           1,
+		MinDouble2:          1,
+		IntermediateDouble:  18,
+		IntermediateDouble2: 18,
+		MaxDouble:           24,
+		MaxDouble2:          24,
+	}
+	for v, want := range cases {
+		if got := xsdlex.DoubleLen(v); got != want {
+			t.Errorf("double %g encodes in %d chars, want %d (%s)",
+				v, got, want, xsdlex.AppendDouble(nil, v))
+		}
+	}
+}
+
+func TestCalibratedIntWidths(t *testing.T) {
+	cases := map[int32]int{MinInt: 1, IntermediateInt: 9, MaxInt: 11}
+	for v, want := range cases {
+		if got := xsdlex.IntLen(v); got != want {
+			t.Errorf("int %d encodes in %d chars, want %d", v, got, want)
+		}
+	}
+}
+
+func TestMIOWidthArithmetic(t *testing.T) {
+	// min 3 = 1+1+1; intermediate 36 = 9+9+18; max 46 = 11+11+24.
+	min := xsdlex.IntLen(MinInt)*2 + xsdlex.DoubleLen(MinDouble)
+	mid := xsdlex.IntLen(IntermediateInt)*2 + xsdlex.DoubleLen(IntermediateDouble)
+	max := xsdlex.IntLen(MaxInt)*2 + xsdlex.DoubleLen(MaxDouble)
+	if min != 3 || mid != 36 || max != 46 {
+		t.Fatalf("MIO widths = %d/%d/%d, want 3/36/46", min, mid, max)
+	}
+}
+
+func TestNewDoublesClean(t *testing.T) {
+	d := NewDoubles(100, FillTypical)
+	if d.Msg.AnyDirty() {
+		t.Fatal("fresh workload dirty")
+	}
+	if d.Arr.Len() != 100 {
+		t.Fatalf("len = %d", d.Arr.Len())
+	}
+}
+
+func TestTouchFractionCounts(t *testing.T) {
+	for _, tc := range []struct {
+		frac float64
+		want int
+	}{{0, 0}, {0.25, 25}, {0.5, 50}, {0.75, 75}, {1, 100}} {
+		d := NewDoubles(100, FillMin)
+		d.TouchFraction(tc.frac)
+		if got := d.Msg.DirtyCount(); got != tc.want {
+			t.Errorf("frac %.2f dirtied %d, want %d", tc.frac, got, tc.want)
+		}
+	}
+}
+
+func TestTouchFractionPreservesWidth(t *testing.T) {
+	for _, f := range []Fill{FillMin, FillIntermediate, FillMax} {
+		d := NewDoubles(10, f)
+		before := xsdlex.DoubleLen(d.Arr.Get(0))
+		d.TouchFraction(1)
+		for i := 0; i < 10; i++ {
+			if got := xsdlex.DoubleLen(d.Arr.Get(i)); got != before {
+				t.Errorf("fill %v: width changed %d -> %d", f, before, got)
+			}
+		}
+		if d.Msg.DirtyCount() != 10 {
+			t.Errorf("fill %v: dirty = %d", f, d.Msg.DirtyCount())
+		}
+	}
+}
+
+func TestRepeatedTouchKeepsDirtying(t *testing.T) {
+	d := NewDoubles(10, FillMin)
+	for rep := 0; rep < 5; rep++ {
+		d.TouchFraction(1)
+		if d.Msg.DirtyCount() != 10 {
+			t.Fatalf("rep %d: dirty = %d", rep, d.Msg.DirtyCount())
+		}
+		d.Msg.ClearDirty()
+	}
+}
+
+func TestMIOTouchDoublesOnly(t *testing.T) {
+	w := NewMIOs(40, FillIntermediate)
+	w.TouchDoublesFraction(0.5)
+	if got := w.Msg.DirtyCount(); got != 20 {
+		t.Fatalf("dirty = %d, want 20 (doubles only)", got)
+	}
+	// Ints must remain clean.
+	for i := 0; i < 20; i++ {
+		if w.Msg.Dirty(w.Arr.LeafIndex(i, 0)) || w.Msg.Dirty(w.Arr.LeafIndex(i, 1)) {
+			t.Fatalf("MIO %d int field dirtied", i)
+		}
+	}
+}
+
+func TestGrowFraction(t *testing.T) {
+	d := NewDoubles(20, FillMin)
+	d.GrowFraction(0.25, MaxDouble)
+	if d.Msg.DirtyCount() != 5 {
+		t.Fatalf("dirty = %d", d.Msg.DirtyCount())
+	}
+	if d.Arr.Get(0) != MaxDouble || d.Arr.Get(5) != MinDouble {
+		t.Fatal("grow touched wrong elements")
+	}
+
+	w := NewMIOs(20, FillIntermediate)
+	w.GrowFraction(1, MaxInt, MaxInt, MaxDouble)
+	if w.Msg.DirtyCount() != 60 {
+		t.Fatalf("MIO grow dirty = %d", w.Msg.DirtyCount())
+	}
+}
+
+func TestIntsTouchFraction(t *testing.T) {
+	w := NewInts(50, FillTypical)
+	w.TouchFraction(0.5)
+	if got := w.Msg.DirtyCount(); got == 0 || got > 25 {
+		t.Fatalf("dirty = %d", got)
+	}
+	w2 := NewInts(50, FillMax)
+	w2.TouchFraction(1)
+	for i := 0; i < 50; i++ {
+		if xsdlex.IntLen(w2.Arr.Get(i)) != 11 {
+			t.Fatalf("max-width int touch changed width: %d", w2.Arr.Get(i))
+		}
+	}
+}
+
+func TestCountEdgeCases(t *testing.T) {
+	if count(0, 0.5) != 0 {
+		t.Error("empty array")
+	}
+	if count(100, 0) != 0 {
+		t.Error("zero fraction")
+	}
+	if count(3, 0.01) != 1 {
+		t.Error("tiny positive fraction must touch one element")
+	}
+	if count(100, 2.0) != 100 {
+		t.Error("fraction above 1 must clamp")
+	}
+}
+
+func TestTypicalDoubleDeterministic(t *testing.T) {
+	a, b := NewDoubles(50, FillTypical), NewDoubles(50, FillTypical)
+	for i := 0; i < 50; i++ {
+		if a.Arr.Get(i) != b.Arr.Get(i) {
+			t.Fatal("typical fill not deterministic")
+		}
+	}
+}
+
+func TestSetAllAndFlipCoverage(t *testing.T) {
+	d := NewDoubles(8, FillMin)
+	d.SetAll(MaxDouble)
+	for i := 0; i < 8; i++ {
+		if d.Arr.Get(i) != MaxDouble {
+			t.Fatal("SetAll missed an element")
+		}
+	}
+	w := NewMIOs(4, FillMin)
+	w.SetAll(MaxInt, MaxInt, MaxDouble)
+	if w.Msg.DirtyCount() != 12 {
+		t.Fatalf("MIO SetAll dirtied %d", w.Msg.DirtyCount())
+	}
+	// flipDouble on typical (non-calibrated) values still changes them.
+	td := NewDoubles(4, FillTypical)
+	before := td.Arr.Get(0)
+	td.TouchFraction(0.25)
+	if td.Arr.Get(0) == before {
+		t.Fatal("typical flip left value unchanged")
+	}
+	// flipDouble must alternate between the calibrated pairs.
+	if flipDouble(MaxDouble) != MaxDouble2 || flipDouble(MaxDouble2) != MaxDouble {
+		t.Fatal("max pair broken")
+	}
+	if flipDouble(IntermediateDouble2) != IntermediateDouble {
+		t.Fatal("intermediate pair broken")
+	}
+	if flipDouble(MinDouble2) != MinDouble {
+		t.Fatal("min pair broken")
+	}
+}

@@ -1,0 +1,201 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+
+	"bsoap/internal/mcs"
+	"bsoap/internal/soapdec"
+	"bsoap/internal/wire"
+)
+
+func mioType() *wire.Type {
+	return wire.StructOf("ns1:MIO",
+		wire.Field{Name: "x", Type: wire.TInt},
+		wire.Field{Name: "y", Type: wire.TInt},
+		wire.Field{Name: "value", Type: wire.TDouble},
+	)
+}
+
+func sampleService() *Service {
+	return &Service{
+		Name:      "MeshExchange",
+		Namespace: "urn:mesh",
+		Endpoint:  "http://localhost:9999/",
+		Operations: []*soapdec.Schema{
+			{
+				Namespace: "urn:mesh",
+				Op:        "sendMIOs",
+				Params: []soapdec.ParamSpec{
+					{Name: "iteration", Type: wire.TInt},
+					{Name: "mios", Type: wire.ArrayOf(mioType())},
+				},
+			},
+			{
+				Namespace: "urn:mesh",
+				Op:        "sendScalars",
+				Params: []soapdec.ParamSpec{
+					{Name: "d", Type: wire.TDouble},
+					{Name: "s", Type: wire.TString},
+					{Name: "b", Type: wire.TBool},
+				},
+			},
+		},
+	}
+}
+
+func TestGenerateContainsExpectedSections(t *testing.T) {
+	doc, err := Generate(sampleService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, want := range []string{
+		`targetNamespace="urn:mesh"`,
+		`<xsd:complexType name="MIO">`,
+		`<xsd:complexType name="ArrayOfMIO">`,
+		`maxOccurs="unbounded"`,
+		`<message name="sendMIOsRequest">`,
+		`<part name="mios" type="tns:ArrayOfMIO"/>`,
+		`<portType name="MeshExchangePortType">`,
+		`<soap:binding style="rpc"`,
+		`<soap:address location="http://localhost:9999/"/>`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WSDL missing %q", want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	svc := sampleService()
+	doc, err := Generate(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(doc)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, doc)
+	}
+	if got.Name != svc.Name || got.Namespace != svc.Namespace || got.Endpoint != svc.Endpoint {
+		t.Fatalf("service header: %+v", got)
+	}
+	if len(got.Operations) != len(svc.Operations) {
+		t.Fatalf("operations: %d vs %d", len(got.Operations), len(svc.Operations))
+	}
+	for i := range svc.Operations {
+		if !EqualSchemas(got.Operations[i], svc.Operations[i]) {
+			t.Errorf("operation %d differs:\n got %+v\nwant %+v",
+				i, got.Operations[i], svc.Operations[i])
+		}
+	}
+}
+
+func TestRoundTripMCSService(t *testing.T) {
+	svc := &Service{
+		Name:      "MetadataCatalog",
+		Namespace: mcs.Namespace,
+		Endpoint:  "http://mcs.example:80/",
+		Operations: []*soapdec.Schema{
+			mcs.AddSchema(), mcs.QuerySchema(), mcs.DeleteSchema(),
+		},
+	}
+	doc, err := Generate(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range svc.Operations {
+		if !EqualSchemas(got.Operations[i], svc.Operations[i]) {
+			t.Errorf("MCS operation %d did not round-trip", i)
+		}
+	}
+}
+
+func TestParsedSchemasActuallyDecode(t *testing.T) {
+	// The schemas recovered from WSDL must drive the decoder.
+	doc, err := Generate(sampleService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(op string) (*soapdec.Schema, bool) {
+		for _, s := range svc.Operations {
+			if s.Op == op {
+				return s, true
+			}
+		}
+		return nil, false
+	}
+	body := `<E:Envelope><E:Body><ns1:sendScalars>` +
+		`<d xsi:type="xsd:double">2.5</d><s>hi</s><b>true</b>` +
+		`</ns1:sendScalars></E:Body></E:Envelope>`
+	res, err := soapdec.Decode([]byte(body), lookup, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Msg.LeafDouble(0) != 2.5 || res.Msg.LeafString(1) != "hi" || !res.Msg.LeafBool(2) {
+		t.Fatalf("decoded: %g %q %v", res.Msg.LeafDouble(0), res.Msg.LeafString(1), res.Msg.LeafBool(2))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(&Service{Namespace: "urn:x"}); err == nil {
+		t.Error("nameless service accepted")
+	}
+	if _, err := Generate(&Service{Name: "X", Namespace: "urn:x",
+		Operations: []*soapdec.Schema{{Namespace: "urn:other", Op: "o"}}}); err == nil {
+		t.Error("cross-namespace operation accepted")
+	}
+	// Two distinct struct types with the same local name collide.
+	s1 := wire.StructOf("ns1:P", wire.Field{Name: "a", Type: wire.TInt})
+	s2 := wire.StructOf("ns1:P", wire.Field{Name: "b", Type: wire.TDouble})
+	if _, err := Generate(&Service{Name: "X", Namespace: "urn:x",
+		Operations: []*soapdec.Schema{{
+			Namespace: "urn:x", Op: "o",
+			Params: []soapdec.ParamSpec{
+				{Name: "p", Type: s1}, {Name: "q", Type: s2},
+			},
+		}}}); err == nil {
+		t.Error("conflicting struct names accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not xml":        "nope",
+		"no namespace":   `<definitions name="X"></definitions>`,
+		"missing type":   `<definitions targetNamespace="urn:x"><message name="oRequest"><part name="p" type="tns:Gone"/></message><portType><operation name="o"/></portType></definitions>`,
+		"missing msg":    `<definitions targetNamespace="urn:x"><portType><operation name="o"/></portType></definitions>`,
+		"truncated body": `<definitions targetNamespace="urn:x"><types>`,
+	} {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestEqualSchemas(t *testing.T) {
+	a := &soapdec.Schema{Namespace: "urn:x", Op: "o",
+		Params: []soapdec.ParamSpec{{Name: "v", Type: wire.ArrayOf(wire.TDouble)}}}
+	b := &soapdec.Schema{Namespace: "urn:x", Op: "o",
+		Params: []soapdec.ParamSpec{{Name: "v", Type: wire.ArrayOf(wire.TDouble)}}}
+	if !EqualSchemas(a, b) {
+		t.Error("identical schemas unequal")
+	}
+	c := &soapdec.Schema{Namespace: "urn:x", Op: "o",
+		Params: []soapdec.ParamSpec{{Name: "v", Type: wire.ArrayOf(wire.TInt)}}}
+	if EqualSchemas(a, c) {
+		t.Error("different element types equal")
+	}
+	d := &soapdec.Schema{Namespace: "urn:x", Op: "o2", Params: a.Params}
+	if EqualSchemas(a, d) {
+		t.Error("different ops equal")
+	}
+}

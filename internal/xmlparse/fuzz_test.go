@@ -1,0 +1,39 @@
+package xmlparse
+
+import "testing"
+
+// FuzzParser asserts the tokenizer never panics or loops: any input
+// terminates in EOF or an error within a bounded number of tokens.
+func FuzzParser(f *testing.F) {
+	seeds := []string{
+		"",
+		"<a/>",
+		"<a><b>text</b></a>",
+		`<a k="v" x='y'>&lt;&#65;</a>`,
+		"<?xml version=\"1.0\"?><!-- c --><r><![CDATA[x]]></r>",
+		"<a><b></a></b>",
+		"<a b=></a>",
+		"&&&&",
+		"<<<>>>",
+		"<a>\xff\xfe</a>",
+		"<SOAP-ENV:Envelope><SOAP-ENV:Body/></SOAP-ENV:Envelope>",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewParser(data)
+		for i := 0; ; i++ {
+			if i > len(data)+16 {
+				t.Fatalf("parser produced more tokens than input bytes: %d", i)
+			}
+			tok, err := p.Next()
+			if err != nil {
+				return
+			}
+			if tok.Kind == EOF {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,410 @@
+// Package xmlparse is a from-scratch, non-validating XML pull parser,
+// sufficient for SOAP envelopes: elements, attributes, character data,
+// comments, processing instructions, CDATA, the five predefined entities
+// and numeric character references. It operates over an in-memory byte
+// slice — SOAP requests arrive framed by HTTP, so the whole body is
+// available — and verifies element nesting.
+//
+// The SOAP server's full-deserialization path is built on this package;
+// its cost is exactly what the paper's differential *deserialization*
+// extension (§6) avoids for unchanged message regions.
+package xmlparse
+
+import (
+	"fmt"
+
+	"bsoap/internal/xsdlex"
+)
+
+// Kind identifies a token type.
+type Kind int
+
+const (
+	// EOF reports the end of the document.
+	EOF Kind = iota
+	// StartElement is an opening tag; Name and Attrs are set.
+	StartElement
+	// EndElement is a closing tag (or the synthetic close of a
+	// self-closing tag); Name is set.
+	EndElement
+	// CharData is text content; Text is set (entities resolved).
+	CharData
+)
+
+// String returns a readable token-kind name.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case StartElement:
+		return "StartElement"
+	case EndElement:
+		return "EndElement"
+	case CharData:
+		return "CharData"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Attr is one attribute of a start tag.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one parse event.
+type Token struct {
+	Kind  Kind
+	Name  string // element name, prefix included, for Start/EndElement
+	Attrs []Attr // attributes, for StartElement
+	Text  string // character data, for CharData
+}
+
+// Parser is a pull parser over an in-memory document.
+type Parser struct {
+	data    []byte
+	pos     int
+	stack   []string
+	pending *Token // synthetic EndElement after a self-closing tag
+}
+
+// NewParser returns a parser over data. The slice is not copied; the
+// caller must not mutate it during parsing.
+func NewParser(data []byte) *Parser {
+	return &Parser{data: data}
+}
+
+// Offset reports the current byte offset into the document, used by the
+// differential deserializer to record value byte-ranges.
+func (p *Parser) Offset() int { return p.pos }
+
+// Depth reports the current element nesting depth.
+func (p *Parser) Depth() int { return len(p.stack) }
+
+// Next returns the next token. After EOF or an error, subsequent calls
+// repeat the result.
+func (p *Parser) Next() (Token, error) {
+	if p.pending != nil {
+		t := *p.pending
+		p.pending = nil
+		return t, nil
+	}
+	for {
+		if p.pos >= len(p.data) {
+			if len(p.stack) != 0 {
+				return Token{}, fmt.Errorf("xmlparse: document ended with %q unclosed", p.stack[len(p.stack)-1])
+			}
+			return Token{Kind: EOF}, nil
+		}
+		if p.data[p.pos] != '<' {
+			return p.charData()
+		}
+		if p.pos+1 >= len(p.data) {
+			return Token{}, p.errf("truncated markup")
+		}
+		switch p.data[p.pos+1] {
+		case '?':
+			if err := p.skipUntil("?>"); err != nil {
+				return Token{}, err
+			}
+		case '!':
+			if err := p.skipBang(); err != nil {
+				return Token{}, err
+			}
+			if p.pending != nil {
+				t := *p.pending
+				p.pending = nil
+				return t, nil
+			}
+		case '/':
+			return p.endTag()
+		default:
+			return p.startTag()
+		}
+	}
+}
+
+// errf formats a positioned parse error.
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xmlparse: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+// skipUntil advances past the next occurrence of marker.
+func (p *Parser) skipUntil(marker string) error {
+	for i := p.pos; i+len(marker) <= len(p.data); i++ {
+		if string(p.data[i:i+len(marker)]) == marker {
+			p.pos = i + len(marker)
+			return nil
+		}
+	}
+	return p.errf("unterminated construct (missing %q)", marker)
+}
+
+// skipBang handles <!-- comments -->, <![CDATA[...]]> (which it does NOT
+// skip — CDATA is routed back as character data by charData) and DOCTYPE.
+func (p *Parser) skipBang() error {
+	rest := p.data[p.pos:]
+	switch {
+	case hasPrefix(rest, "<!--"):
+		return p.skipUntil("-->")
+	case hasPrefix(rest, "<![CDATA["):
+		return p.cdata()
+	default:
+		// DOCTYPE etc. — skip to the matching '>' (no nested brackets
+		// support; SOAP envelopes never carry a DTD).
+		return p.skipUntil(">")
+	}
+}
+
+// cdata consumes a CDATA section and stages its contents as a pending
+// CharData token (verbatim, no entity resolution).
+func (p *Parser) cdata() error {
+	start := p.pos + len("<![CDATA[")
+	for i := start; i+3 <= len(p.data); i++ {
+		if string(p.data[i:i+3]) == "]]>" {
+			text := string(p.data[start:i])
+			p.pos = i + 3
+			p.pending = &Token{Kind: CharData, Text: text}
+			return nil
+		}
+	}
+	return p.errf("unterminated CDATA section")
+}
+
+// charData consumes text up to the next '<' and resolves entities.
+func (p *Parser) charData() (Token, error) {
+	start := p.pos
+	for p.pos < len(p.data) && p.data[p.pos] != '<' {
+		p.pos++
+	}
+	raw := p.data[start:p.pos]
+	text, err := xsdlex.UnescapeText(string(raw))
+	if err != nil {
+		return Token{}, p.errf("%v", err)
+	}
+	return Token{Kind: CharData, Text: text}, nil
+}
+
+// startTag parses <name attr="v" ...> or <name .../>.
+func (p *Parser) startTag() (Token, error) {
+	p.pos++ // consume '<'
+	name, err := p.name()
+	if err != nil {
+		return Token{}, err
+	}
+	tok := Token{Kind: StartElement, Name: name}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return Token{}, p.errf("unterminated start tag <%s", name)
+		}
+		switch p.data[p.pos] {
+		case '>':
+			p.pos++
+			p.stack = append(p.stack, name)
+			return tok, nil
+		case '/':
+			if p.pos+1 >= len(p.data) || p.data[p.pos+1] != '>' {
+				return Token{}, p.errf("stray '/' in tag <%s", name)
+			}
+			p.pos += 2
+			p.pending = &Token{Kind: EndElement, Name: name}
+			return tok, nil
+		default:
+			attr, err := p.attr()
+			if err != nil {
+				return Token{}, err
+			}
+			tok.Attrs = append(tok.Attrs, attr)
+		}
+	}
+}
+
+// endTag parses </name>.
+func (p *Parser) endTag() (Token, error) {
+	p.pos += 2 // consume '</'
+	name, err := p.name()
+	if err != nil {
+		return Token{}, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.data) || p.data[p.pos] != '>' {
+		return Token{}, p.errf("malformed end tag </%s", name)
+	}
+	p.pos++
+	if len(p.stack) == 0 {
+		return Token{}, p.errf("closing tag </%s> with no open element", name)
+	}
+	open := p.stack[len(p.stack)-1]
+	if open != name {
+		return Token{}, p.errf("closing tag </%s> does not match open <%s>", name, open)
+	}
+	p.stack = p.stack[:len(p.stack)-1]
+	return Token{Kind: EndElement, Name: name}, nil
+}
+
+// name consumes an XML name (byte-oriented: any run of name characters).
+func (p *Parser) name() (string, error) {
+	start := p.pos
+	for p.pos < len(p.data) && isNameByte(p.data[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return string(p.data[start:p.pos]), nil
+}
+
+// attr consumes name="value" or name='value'.
+func (p *Parser) attr() (Attr, error) {
+	name, err := p.name()
+	if err != nil {
+		return Attr{}, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.data) || p.data[p.pos] != '=' {
+		return Attr{}, p.errf("attribute %q missing '='", name)
+	}
+	p.pos++
+	p.skipSpace()
+	if p.pos >= len(p.data) || (p.data[p.pos] != '"' && p.data[p.pos] != '\'') {
+		return Attr{}, p.errf("attribute %q missing quote", name)
+	}
+	quote := p.data[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.data) && p.data[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.data) {
+		return Attr{}, p.errf("unterminated attribute %q", name)
+	}
+	raw := string(p.data[start:p.pos])
+	p.pos++
+	val, err := xsdlex.UnescapeText(raw)
+	if err != nil {
+		return Attr{}, p.errf("attribute %q: %v", name, err)
+	}
+	return Attr{Name: name, Value: val}, nil
+}
+
+func (p *Parser) skipSpace() {
+	for p.pos < len(p.data) && xsdlex.IsSpace(p.data[p.pos]) {
+		p.pos++
+	}
+}
+
+func isNameByte(b byte) bool {
+	switch {
+	case 'a' <= b && b <= 'z', 'A' <= b && b <= 'Z', '0' <= b && b <= '9':
+		return true
+	case b == ':' || b == '_' || b == '-' || b == '.':
+		return true
+	case b >= 0x80: // multi-byte UTF-8 name characters, accepted wholesale
+		return true
+	}
+	return false
+}
+
+func hasPrefix(b []byte, s string) bool {
+	return len(b) >= len(s) && string(b[:len(s)]) == s
+}
+
+// Local strips any namespace prefix from an element or attribute name.
+func Local(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == ':' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// --- Convenience layer used by the SOAP deserializer ---
+
+// NextNonSpace returns the next token, transparently skipping CharData
+// tokens that are entirely white space (formatting between elements).
+func (p *Parser) NextNonSpace() (Token, error) {
+	for {
+		t, err := p.Next()
+		if err != nil {
+			return t, err
+		}
+		if t.Kind == CharData && xsdlex.TrimSpace(t.Text) == "" {
+			continue
+		}
+		return t, nil
+	}
+}
+
+// ExpectStart consumes the next non-space token and verifies it opens an
+// element with the given local name (namespace prefix ignored). An empty
+// local accepts any element.
+func (p *Parser) ExpectStart(local string) (Token, error) {
+	t, err := p.NextNonSpace()
+	if err != nil {
+		return t, err
+	}
+	if t.Kind != StartElement {
+		return t, fmt.Errorf("xmlparse: expected <%s>, got %v", local, t.Kind)
+	}
+	if local != "" && Local(t.Name) != local {
+		return t, fmt.Errorf("xmlparse: expected <%s>, got <%s>", local, t.Name)
+	}
+	return t, nil
+}
+
+// ExpectEnd consumes the next non-space token and verifies it closes an
+// element.
+func (p *Parser) ExpectEnd() (Token, error) {
+	t, err := p.NextNonSpace()
+	if err != nil {
+		return t, err
+	}
+	if t.Kind != EndElement {
+		return t, fmt.Errorf("xmlparse: expected end tag, got %v", t.Kind)
+	}
+	return t, nil
+}
+
+// Text consumes character data up to the element's closing tag and returns
+// it with surrounding whitespace intact (XSD parsing trims later). It
+// must be called immediately after the element's StartElement token.
+func (p *Parser) Text() (string, error) {
+	var text string
+	for {
+		t, err := p.Next()
+		if err != nil {
+			return "", err
+		}
+		switch t.Kind {
+		case CharData:
+			text += t.Text
+		case EndElement:
+			return text, nil
+		default:
+			return "", fmt.Errorf("xmlparse: unexpected %v inside text element", t.Kind)
+		}
+	}
+}
+
+// SkipElement consumes tokens until the element whose StartElement was
+// just returned is closed, including nested children.
+func (p *Parser) SkipElement() error {
+	depth := 1
+	for depth > 0 {
+		t, err := p.Next()
+		if err != nil {
+			return err
+		}
+		switch t.Kind {
+		case StartElement:
+			depth++
+		case EndElement:
+			depth--
+		case EOF:
+			return fmt.Errorf("xmlparse: EOF inside element")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package xmlwr
+
+import (
+	"strings"
+	"testing"
+)
+
+func result(t *testing.T, w *Writer) string {
+	t.Helper()
+	b, err := w.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	return string(b)
+}
+
+func TestSimpleDocument(t *testing.T) {
+	w := NewWriter(64)
+	w.Start("root").Start("a").Text("x").End().Start("b").Int(42).End().End()
+	if got := result(t, w); got != "<root><a>x</a><b>42</b></root>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDecl(t *testing.T) {
+	w := NewWriter(64)
+	w.Decl().Start("r").End()
+	want := `<?xml version="1.0" encoding="UTF-8"?>` + "\n<r/>"
+	if got := result(t, w); got != want {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	w := NewWriter(64)
+	w.Start("e").Attr("a", "1").Attr("b", `<&">`).Text("t").End()
+	want := `<e a="1" b="&lt;&amp;&quot;&gt;">t</e>`
+	if got := result(t, w); got != want {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSelfClosingEmptyElement(t *testing.T) {
+	w := NewWriter(16)
+	w.Start("empty").Attr("k", "v").End()
+	if got := result(t, w); got != `<empty k="v"/>` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTextEscaping(t *testing.T) {
+	w := NewWriter(32)
+	w.Start("t").Text("a<b & c>d").End()
+	if got := result(t, w); got != "<t>a&lt;b &amp; c&gt;d</t>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNumericHelpers(t *testing.T) {
+	w := NewWriter(64)
+	w.Start("r").
+		Start("i").Int(-7).End().
+		Start("d").Double(2.5).End().
+		Start("b").Bool(true).End().
+		End()
+	if got := result(t, w); got != "<r><i>-7</i><d>2.5</d><b>true</b></r>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRaw(t *testing.T) {
+	w := NewWriter(32)
+	w.Start("r").Raw("<pre/>").End()
+	if got := result(t, w); got != "<r><pre/></r>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestElementShorthand(t *testing.T) {
+	w := NewWriter(32)
+	w.Start("r").Element("k", "v").End()
+	if got := result(t, w); got != "<r><k>v</k></r>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnbalancedEndIsError(t *testing.T) {
+	w := NewWriter(8)
+	w.Start("a").End().End()
+	if _, err := w.Result(); err == nil {
+		t.Fatal("extra End not reported")
+	}
+}
+
+func TestOpenElementsReportedByResult(t *testing.T) {
+	w := NewWriter(8)
+	w.Start("a").Start("b")
+	if _, err := w.Result(); err == nil || !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("unclosed element error = %v", err)
+	}
+}
+
+func TestAttrAfterContentIsError(t *testing.T) {
+	w := NewWriter(8)
+	w.Start("a").Text("x").Attr("k", "v").End()
+	if _, err := w.Result(); err == nil {
+		t.Fatal("attribute after content not reported")
+	}
+}
+
+func TestErrorIsSticky(t *testing.T) {
+	w := NewWriter(8)
+	w.End() // error
+	before := w.Err()
+	w.Start("a").Text("x").End()
+	if w.Err() != before {
+		t.Fatal("later calls replaced the first error")
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter(8)
+	w.Start("a") // leave open, then reset
+	w.Reset()
+	w.Start("b").End()
+	if got := result(t, w); got != "<b/>" {
+		t.Fatalf("after reset: %q", got)
+	}
+}
+
+func TestLen(t *testing.T) {
+	w := NewWriter(8)
+	if w.Len() != 0 {
+		t.Fatal("fresh writer non-empty")
+	}
+	w.Start("ab")
+	if w.Len() != len("<ab") {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}

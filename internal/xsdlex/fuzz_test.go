@@ -1,0 +1,39 @@
+package xsdlex
+
+import "testing"
+
+// FuzzUnescape asserts entity resolution never panics, and that any
+// successfully unescaped string re-escapes to something that resolves
+// back to itself.
+func FuzzUnescape(f *testing.F) {
+	for _, s := range []string{"", "&amp;", "&#65;", "&#x41;", "a&lt;b", "&bogus;", "&", "&;", "&#xFFFFFFFFFF;"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out, err := UnescapeText(s)
+		if err != nil {
+			return
+		}
+		re, err := UnescapeText(string(EscapeText(nil, out)))
+		if err != nil || re != out {
+			t.Fatalf("escape/unescape unstable: %q -> %q (%v)", out, re, err)
+		}
+	})
+}
+
+// FuzzParseDouble asserts the lexical parser never panics and that any
+// accepted value re-encodes to a form it accepts again.
+func FuzzParseDouble(f *testing.F) {
+	for _, s := range []string{"0", "-1.5", "INF", "-INF", "NaN", "1e309", "..", "1E+21"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseDouble(s)
+		if err != nil {
+			return
+		}
+		if _, err := ParseDouble(string(AppendDouble(nil, v))); err != nil {
+			t.Fatalf("canonical form of %q rejected: %v", s, err)
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package xsdlex
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendIntBasic(t *testing.T) {
+	cases := map[int32]string{
+		0:           "0",
+		1:           "1",
+		-1:          "-1",
+		13902:       "13902",
+		2147483647:  "2147483647",
+		-2147483648: "-2147483648",
+	}
+	for v, want := range cases {
+		if got := string(AppendInt(nil, v)); got != want {
+			t.Errorf("AppendInt(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMaxIntWidthIsTight(t *testing.T) {
+	if got := len(AppendInt(nil, math.MinInt32)); got != MaxIntWidth {
+		t.Fatalf("len(encode(MinInt32)) = %d, want MaxIntWidth = %d", got, MaxIntWidth)
+	}
+}
+
+func TestMaxLongWidthIsTight(t *testing.T) {
+	if got := len(AppendLong(nil, math.MinInt64)); got != MaxLongWidth {
+		t.Fatalf("len(encode(MinInt64)) = %d, want MaxLongWidth = %d", got, MaxLongWidth)
+	}
+}
+
+func TestAppendDoubleBasic(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{-1, "-1"},
+		{0.5, "0.5"},
+		{1e21, "1E+21"},
+		{math.Inf(1), "INF"},
+		{math.Inf(-1), "-INF"},
+	}
+	for _, c := range cases {
+		if got := string(AppendDouble(nil, c.v)); got != c.want {
+			t.Errorf("AppendDouble(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := string(AppendDouble(nil, math.NaN())); got != "NaN" {
+		t.Errorf("AppendDouble(NaN) = %q", got)
+	}
+}
+
+func TestMaxDoubleWidthIsTight(t *testing.T) {
+	// The paper's 24-character bound is achieved by the most negative
+	// finite double.
+	got := len(AppendDouble(nil, -math.MaxFloat64))
+	if got != MaxDoubleWidth {
+		t.Fatalf("len(encode(-MaxFloat64)) = %d, want MaxDoubleWidth = %d", got, MaxDoubleWidth)
+	}
+}
+
+func TestIntLenMatchesEncoding(t *testing.T) {
+	f := func(v int32) bool {
+		return IntLen(v) == len(AppendInt(nil, v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []int32{0, -1, 1, math.MinInt32, math.MaxInt32, 9, 10, -9, -10} {
+		if IntLen(v) != len(AppendInt(nil, v)) {
+			t.Errorf("IntLen(%d) = %d, encoding is %d chars", v, IntLen(v), len(AppendInt(nil, v)))
+		}
+	}
+}
+
+func TestDoubleLenMatchesEncoding(t *testing.T) {
+	f := func(v float64) bool {
+		return DoubleLen(v) == len(AppendDouble(nil, v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleEncodingNeverExceedsMaxWidth(t *testing.T) {
+	f := func(v float64) bool {
+		return len(AppendDouble(nil, v)) <= MaxDoubleWidth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntEncodingNeverExceedsMaxWidth(t *testing.T) {
+	f := func(v int32) bool {
+		return len(AppendInt(nil, v)) <= MaxIntWidth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		got, err := ParseDouble(string(AppendDouble(nil, v)))
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(v) {
+			return math.IsNaN(got)
+		}
+		return got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		got, err := ParseInt(string(AppendInt(nil, v)))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAcceptsSurroundingWhitespace(t *testing.T) {
+	if v, err := ParseInt("  \t42\n"); err != nil || v != 42 {
+		t.Errorf("ParseInt with space = %d, %v", v, err)
+	}
+	if v, err := ParseDouble(" 2.5 "); err != nil || v != 2.5 {
+		t.Errorf("ParseDouble with space = %g, %v", v, err)
+	}
+	if v, err := ParseDouble("   -INF"); err != nil || !math.IsInf(v, -1) {
+		t.Errorf("ParseDouble(-INF with space) = %g, %v", v, err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseInt("12x"); err == nil {
+		t.Error("ParseInt accepted 12x")
+	}
+	if _, err := ParseInt(""); err == nil {
+		t.Error("ParseInt accepted empty string")
+	}
+	if _, err := ParseInt("99999999999"); err == nil {
+		t.Error("ParseInt accepted out-of-range value")
+	}
+	if _, err := ParseDouble("1..2"); err == nil {
+		t.Error("ParseDouble accepted 1..2")
+	}
+	if _, err := ParseBool("yes"); err == nil {
+		t.Error("ParseBool accepted yes")
+	}
+}
+
+func TestParseBool(t *testing.T) {
+	for s, want := range map[string]bool{"true": true, "1": true, "false": false, "0": false, " true ": true} {
+		got, err := ParseBool(s)
+		if err != nil || got != want {
+			t.Errorf("ParseBool(%q) = %v, %v", s, got, err)
+		}
+	}
+}
+
+func TestAppendBool(t *testing.T) {
+	if got := string(AppendBool(nil, true)); got != "true" {
+		t.Errorf("AppendBool(true) = %q", got)
+	}
+	if got := string(AppendBool(nil, false)); got != "false" {
+		t.Errorf("AppendBool(false) = %q", got)
+	}
+	if len("false") != MaxBoolWidth {
+		t.Error("MaxBoolWidth mismatch")
+	}
+}
+
+func TestEscapeText(t *testing.T) {
+	cases := map[string]string{
+		"plain":          "plain",
+		"a<b":            "a&lt;b",
+		"a&b":            "a&amp;b",
+		`"quoted"`:       "&quot;quoted&quot;",
+		"it's":           "it&apos;s",
+		"x>y":            "x&gt;y",
+		"<&>":            "&lt;&amp;&gt;",
+		"":               "",
+		"tail<":          "tail&lt;",
+		"<head":          "&lt;head",
+		"unicode: héllo": "unicode: héllo",
+	}
+	for in, want := range cases {
+		if got := string(EscapeText(nil, in)); got != want {
+			t.Errorf("EscapeText(%q) = %q, want %q", in, got, want)
+		}
+		if got := EscapedLen(in); got != len(want) {
+			t.Errorf("EscapedLen(%q) = %d, want %d", in, got, len(want))
+		}
+	}
+}
+
+func TestUnescapeText(t *testing.T) {
+	cases := map[string]string{
+		"plain":              "plain",
+		"a&lt;b":             "a<b",
+		"&amp;&lt;&gt;":      "&<>",
+		"&quot;q&quot;":      `"q"`,
+		"&apos;s":            "'s",
+		"&#65;BC":            "ABC",
+		"&#x41;BC":           "ABC",
+		"mixed &amp; &#x2F;": "mixed & /",
+	}
+	for in, want := range cases {
+		got, err := UnescapeText(in)
+		if err != nil || got != want {
+			t.Errorf("UnescapeText(%q) = %q, %v, want %q", in, got, err, want)
+		}
+	}
+}
+
+func TestUnescapeTextErrors(t *testing.T) {
+	for _, in := range []string{"&unknown;", "&amp", "&#xZZ;", "&#99999999;", "&;"} {
+		if _, err := UnescapeText(in); err == nil {
+			t.Errorf("UnescapeText(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestEscapeUnescapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		got, err := UnescapeText(string(EscapeText(nil, s)))
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimSpace(t *testing.T) {
+	cases := map[string]string{
+		"":        "",
+		"   ":     "",
+		" a ":     "a",
+		"\t\na\r": "a",
+		"a b":     "a b",
+	}
+	for in, want := range cases {
+		if got := TrimSpace(in); got != want {
+			t.Errorf("TrimSpace(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Unlike strings.TrimSpace, only the four XML space chars are trimmed.
+	if got := TrimSpace(" a "); got != " a " {
+		t.Errorf("TrimSpace trimmed non-XML whitespace: %q", got)
+	}
+}
+
+func TestDoubleLexicalStyleIsUppercaseE(t *testing.T) {
+	s := string(AppendDouble(nil, 1.5e-300))
+	if strings.ContainsRune(s, 'e') {
+		t.Errorf("lexical form %q uses lower-case exponent", s)
+	}
+	if _, err := strconv.ParseFloat(s, 64); err != nil {
+		t.Errorf("lexical form %q not parseable: %v", s, err)
+	}
+}
