@@ -41,6 +41,7 @@ package bsoap
 
 import (
 	"bsoap/internal/core"
+	"bsoap/internal/pool"
 	"bsoap/internal/transport"
 	"bsoap/internal/wire"
 )
@@ -98,6 +99,20 @@ type (
 	DiscardSink = transport.DiscardSink
 )
 
+// Concurrent client runtime, re-exported.
+type (
+	// Pool is a concurrent differential-serialization client: many
+	// goroutines share pooled connections, a sharded template store
+	// (template reuse survives across workers) and a metrics registry.
+	Pool = pool.Pool
+	// PoolOptions configure a Pool.
+	PoolOptions = pool.Options
+	// PoolStats is a snapshot of the pool's metrics registry.
+	PoolStats = pool.Stats
+	// PoolMetrics is the live registry (JSON endpoint, http.Handler).
+	PoolMetrics = pool.Metrics
+)
+
 // Match kinds, re-exported.
 const (
 	FirstTime         = core.FirstTime
@@ -150,3 +165,9 @@ func Dial(addr string, opts SenderOptions) (*Sender, error) { return transport.D
 // NewDiscardSink returns an in-process sink for benchmarking pure
 // serialization-side cost.
 func NewDiscardSink() *DiscardSink { return transport.NewDiscardSink() }
+
+// NewPool builds a concurrent client runtime: a bounded pool of lazily
+// dialed connections (with automatic redial on failure) sharing a
+// sharded template store, so calls from any number of goroutines keep
+// the differential-serialization benefit of warm templates.
+func NewPool(opts PoolOptions) (*Pool, error) { return pool.New(opts) }

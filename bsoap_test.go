@@ -2,6 +2,7 @@ package bsoap_test
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -79,6 +80,57 @@ func TestSharedStoreFacade(t *testing.T) {
 	ci, err := b.Call(msg)
 	if err != nil || ci.Match != bsoap.ContentMatch {
 		t.Fatalf("shared template not reused: %+v, %v", ci, err)
+	}
+}
+
+// TestPoolFacade drives the concurrent runtime through the public API:
+// a pool over a loopback server, goroutines sharing templates, and the
+// metrics snapshot accounting for every call.
+func TestPoolFacade(t *testing.T) {
+	srv, err := transport.Listen("127.0.0.1:0", transport.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pool, err := bsoap.NewPool(bsoap.PoolOptions{Addr: srv.Addr(), Size: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	var wg sync.WaitGroup
+	const workers, iters = 4, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg := bsoap.NewMessage("urn:demo", "sendVector")
+			vec := msg.AddDoubleArray("values", 100)
+			for i := 0; i < vec.Len(); i++ {
+				vec.Set(i, 0.5)
+			}
+			for i := 0; i < iters; i++ {
+				if _, err := pool.Call(msg); err != nil {
+					t.Error(err)
+					return
+				}
+				vec.Set(i%vec.Len(), 1.5)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := pool.Stats()
+	if st.Calls != workers*iters || st.Errors != 0 {
+		t.Fatalf("calls=%d errors=%d, want %d/0", st.Calls, st.Errors, workers*iters)
+	}
+	if st.FirstTimeSends > 2 {
+		t.Fatalf("first-time sends = %d, want ≤ Replicas (templates shared across goroutines)", st.FirstTimeSends)
+	}
+	var got bsoap.PoolStats = st // the snapshot type is exported
+	if got.WarmCalls() != st.ContentMatches+st.StructuralMatches+st.PartialMatches {
+		t.Fatal("WarmCalls accounting broken")
 	}
 }
 

@@ -1,0 +1,18 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate, run by CI and before
+# every commit: formatting, vet, build, and the test suite under the
+# race detector (the concurrent pool runtime requires -race to count).
+set -eu
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+echo "check.sh: all green"

@@ -1,0 +1,240 @@
+// Command bsoap-loadgen drives the concurrent client runtime: N worker
+// goroutines × M operations share one bsoap.Pool against a bsoap-server,
+// then a throughput + match-class report shows how much serialization
+// differential templates saved under load.
+//
+//	# terminal 1
+//	go run ./cmd/bsoap-server -mode discard
+//	# terminal 2
+//	go run ./cmd/bsoap-loadgen -workers 8
+//
+// Use -inprocess to measure without a server (in-process discard sink),
+// and -metrics :8123 to expose the live registry as JSON at
+// http://localhost:8123/ while the run is in flight.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bsoap"
+	"bsoap/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9999", "bsoap-server address")
+		inprocess = flag.Bool("inprocess", false, "use an in-process discard sink instead of a server")
+		workers   = flag.Int("workers", 8, "concurrent worker goroutines")
+		ops       = flag.Int("ops", 3, "distinct operations to spread calls over")
+		n         = flag.Int("n", 1000, "array elements per message")
+		duration  = flag.Duration("duration", 5*time.Second, "run length")
+		calls     = flag.Int64("calls", 0, "stop after this many calls instead of -duration")
+		conns     = flag.Int("conns", 0, "pooled connections (default = workers, max 16)")
+		replicas  = flag.Int("replicas", 4, "template replicas per operation structure")
+		shards    = flag.Int("shards", 16, "template store shards")
+		mix       = flag.String("mix", "60/30/10", "percent of iterations that are untouched/touched/grown")
+		metrics   = flag.String("metrics", "", "serve live metrics JSON on this address (e.g. :8123)")
+	)
+	flag.Parse()
+
+	pcts, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsoap-loadgen:", err)
+		os.Exit(2)
+	}
+	if *conns <= 0 {
+		*conns = min(*workers, 16)
+	}
+
+	popts := bsoap.PoolOptions{
+		Size:     *conns,
+		Shards:   *shards,
+		Replicas: *replicas,
+		Config:   bsoap.Config{EnableStealing: true, Width: bsoap.WidthPolicy{Double: 18, Int: 9}},
+	}
+	if *inprocess {
+		sink := bsoap.NewDiscardSink()
+		popts.Dial = func() (bsoap.Sink, error) { return sink, nil }
+	} else {
+		popts.Addr = *addr
+	}
+	pool, err := bsoap.NewPool(popts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsoap-loadgen:", err)
+		os.Exit(1)
+	}
+	defer pool.Close()
+
+	if *metrics != "" {
+		go func() {
+			if err := http.ListenAndServe(*metrics, pool.Metrics()); err != nil {
+				fmt.Fprintln(os.Stderr, "bsoap-loadgen: metrics endpoint:", err)
+			}
+		}()
+		fmt.Printf("bsoap-loadgen: metrics JSON on http://%s/\n", *metrics)
+	}
+
+	// Probe the target before spawning the fleet so a missing server is
+	// one clear error, not -workers × -retries of them.
+	probe := workload.NewDoubles(1, workload.FillMin)
+	if _, err := pool.Call(probe.Msg); err != nil {
+		fmt.Fprintf(os.Stderr, "bsoap-loadgen: cannot reach %s: %v\n(start one with: go run ./cmd/bsoap-server -mode discard)\n", *addr, err)
+		os.Exit(1)
+	}
+
+	var (
+		stop    atomic.Bool
+		done    atomic.Int64 // counts calls when -calls bounds the run
+		errorsN atomic.Int64
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(pool, w, *ops, *n, pcts, &stop, &done, &errorsN, *calls)
+		}(w)
+	}
+	if *calls == 0 {
+		time.Sleep(*duration)
+		stop.Store(true)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(os.Stdout, pool, *workers, *ops, *addr, *inprocess, elapsed)
+	if errorsN.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runWorker drives one goroutine's share of the load. Each worker owns
+// its messages (wire messages are single-goroutine); all template state
+// is shared through the pool.
+func runWorker(pool *bsoap.Pool, id, ops, n int, pcts [3]int, stop *atomic.Bool, done, errorsN *atomic.Int64, maxCalls int64) {
+	type target struct {
+		msg   *bsoap.Message
+		touch func()
+		grow  func()
+	}
+	targets := make([]target, 0, ops)
+	for j := 0; j < ops; j++ {
+		// Same j on every worker → same operation + structure → shared
+		// template entry. j ≥ 3 varies the array length, which is a new
+		// structural signature and therefore a distinct template.
+		size := n + 16*(j/3)
+		switch j % 3 {
+		case 0:
+			d := workload.NewDoubles(size, workload.FillIntermediate)
+			targets = append(targets, target{d.Msg,
+				func() { d.TouchFraction(0.1) },
+				func() { d.GrowFraction(0.02, workload.MaxDouble) }})
+		case 1:
+			t := workload.NewInts(size, workload.FillIntermediate)
+			targets = append(targets, target{t.Msg,
+				func() { t.TouchFraction(0.1) },
+				func() { t.TouchFraction(0.3) }})
+		case 2:
+			m := workload.NewMIOs(size/2, workload.FillIntermediate)
+			targets = append(targets, target{m.Msg,
+				func() { m.TouchDoublesFraction(0.1) },
+				func() { m.GrowFraction(0.02, workload.MaxInt, workload.MaxInt, workload.MaxDouble) }})
+		}
+	}
+
+	rng := rand.New(rand.NewSource(int64(id) + 1))
+	for i := 0; !stop.Load(); i++ {
+		if maxCalls > 0 && done.Add(1) > maxCalls {
+			return
+		}
+		t := targets[i%len(targets)]
+		switch p := rng.Intn(100); {
+		case p < pcts[0]:
+			// untouched: content match when replica affinity holds
+		case p < pcts[0]+pcts[1]:
+			t.touch()
+		default:
+			t.grow()
+		}
+		if _, err := pool.Call(t.msg); err != nil {
+			if errorsN.Add(1) == 1 {
+				fmt.Fprintln(os.Stderr, "bsoap-loadgen: call:", err)
+			}
+			return
+		}
+	}
+}
+
+// report prints the throughput + match-class summary.
+func report(w *os.File, pool *bsoap.Pool, workers, ops int, addr string, inprocess bool, elapsed time.Duration) {
+	st := pool.Stats()
+	target := addr
+	if inprocess {
+		target = "in-process discard sink"
+	}
+	secs := elapsed.Seconds()
+	pct := func(n int64) float64 {
+		if st.Calls == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(st.Calls)
+	}
+	fmt.Fprintf(w, "bsoap-loadgen: %d workers × %d ops against %s for %.1fs\n", workers, ops, target, secs)
+	fmt.Fprintf(w, "  calls        %10d   (%.0f calls/s, %.1f MB/s on wire)\n",
+		st.Calls, float64(st.Calls)/secs, float64(st.BytesOnWire)/1e6/secs)
+	fmt.Fprintf(w, "  match kinds: first-time %d (%.2f%%) · content %d (%.1f%%) · structural %d (%.1f%%) · partial %d (%.1f%%) · errors %d\n",
+		st.FirstTimeSends, pct(st.FirstTimeSends),
+		st.ContentMatches, pct(st.ContentMatches),
+		st.StructuralMatches, pct(st.StructuralMatches),
+		st.PartialMatches, pct(st.PartialMatches), st.Errors)
+	saved := 0.0
+	if st.BytesOnWire > 0 {
+		saved = 100 * float64(st.BytesSaved) / float64(st.BytesOnWire)
+	}
+	fmt.Fprintf(w, "  bytes: %.1f MB on wire, %.1f MB serialized — %.1f%% saved by diffing\n",
+		float64(st.BytesOnWire)/1e6, float64(st.BytesSerialized)/1e6, saved)
+	fmt.Fprintf(w, "  repairs: %d values rewritten, %d tag shifts, %d shifts, %d steals, %d rebinds\n",
+		st.ValuesRewritten, st.TagShifts, st.Shifts, st.Steals, st.TemplateRebinds)
+	fmt.Fprintf(w, "  pool: %d checkouts (%d waited), %d dials, %d redials, %d dial failures, %d retries\n",
+		st.Checkouts, st.CheckoutWaits, st.Dials, st.Redials, st.DialFailures, st.Retries)
+	fmt.Fprintf(w, "  latency: p50 %v · p90 %v · p99 %v · max %v\n",
+		st.LatencyP50, st.LatencyP90, st.LatencyP99, st.LatencyMax)
+	fmt.Fprintf(w, "  templates: %d resident across %d structures; %.1f%% of calls served warm\n",
+		pool.TemplateCount(), pool.Entries(), pct(st.WarmCalls()))
+}
+
+// parseMix parses "a/b/c" percentages summing to 100.
+func parseMix(s string) ([3]int, error) {
+	var p [3]int
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return p, fmt.Errorf("-mix wants untouched/touched/grown, e.g. 60/30/10")
+	}
+	sum := 0
+	for i, part := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &p[i]); err != nil || p[i] < 0 {
+			return p, fmt.Errorf("-mix %q: bad percentage %q", s, part)
+		}
+		sum += p[i]
+	}
+	if sum != 100 {
+		return p, fmt.Errorf("-mix %q: percentages sum to %d, want 100", s, sum)
+	}
+	return p, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -170,6 +170,13 @@ type CallInfo struct {
 	Match MatchKind
 	// Bytes is the total message size handed to the sink.
 	Bytes int
+	// BytesSerialized counts the bytes this call actually converted from
+	// in-memory values into their lexical forms: the full message for
+	// first-time and diff-disabled sends, zero for a content match, and
+	// only the rewritten value bytes for structural matches. The gap
+	// between BytesSerialized and Bytes is the serialization work
+	// differential serialization avoided.
+	BytesSerialized int
 	// ValuesRewritten counts leaves re-serialized into the template.
 	ValuesRewritten int
 	// TagShifts counts closing-tag shifts (value shrank or grew within
@@ -193,6 +200,7 @@ type Stats struct {
 	PartialMatches     int64
 	FullSerializations int64
 	BytesSent          int64
+	BytesSerialized    int64
 	ValuesRewritten    int64
 	TagShifts          int64
 	Shifts             int64
@@ -216,6 +224,7 @@ func (s *Stats) add(ci CallInfo) {
 		s.FullSerializations++
 	}
 	s.BytesSent += int64(ci.Bytes)
+	s.BytesSerialized += int64(ci.BytesSerialized)
 	s.ValuesRewritten += int64(ci.ValuesRewritten)
 	s.TagShifts += int64(ci.TagShifts)
 	s.Shifts += int64(ci.Shifts)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net"
+	"sync"
 
 	"bsoap/internal/wire"
 )
@@ -11,7 +12,16 @@ import (
 // default; passing the same Store to several stubs shares templates
 // across destinations, amortizing serialization across services that
 // receive the same data (paper §6 future work).
+//
+// Concurrency guarantee: Store's own methods (lookup, insert,
+// TemplateCount) are safe for concurrent use by multiple goroutines.
+// That does NOT make concurrent Stub.Call through a shared Store safe:
+// a Call mutates the looked-up Template's bytes and DUT table outside
+// the Store's lock. Stubs sharing a Store must still be externally
+// synchronized; internal/pool provides a sharded runtime that does this
+// for many goroutines.
 type Store struct {
+	mu   sync.Mutex
 	byOp map[string][]*Template
 	cap  int
 }
@@ -28,6 +38,8 @@ func NewStore(perOp int) *Store {
 // lookup finds a template with the given structural signature, moving it
 // to the front (LRU position) when found.
 func (st *Store) lookup(op, sig string) *Template {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	list := st.byOp[op]
 	for i, t := range list {
 		if t.sig == sig {
@@ -44,6 +56,8 @@ func (st *Store) lookup(op, sig string) *Template {
 // insert records a new template at the LRU front, evicting the least
 // recently used beyond capacity.
 func (st *Store) insert(op string, t *Template) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	list := st.byOp[op]
 	list = append([]*Template{t}, list...)
 	if len(list) > st.cap {
@@ -54,6 +68,8 @@ func (st *Store) insert(op string, t *Template) {
 
 // TemplateCount reports the number of stored templates (all operations).
 func (st *Store) TemplateCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	n := 0
 	for _, l := range st.byOp {
 		n += len(l)
@@ -105,6 +121,7 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 		ci.Match = FullSerialization
 		data := s.flat.render(m)
 		ci.Bytes = len(data)
+		ci.BytesSerialized = len(data)
 		if err := s.sink.Send(net.Buffers{data}); err != nil {
 			return ci, fmt.Errorf("core: send: %w", err)
 		}
@@ -149,6 +166,9 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 	}
 
 	ci.Bytes = tpl.buf.Len()
+	if ci.Match == FirstTime {
+		ci.BytesSerialized = ci.Bytes
+	}
 	if err := s.sink.Send(tpl.buf.Buffers()); err != nil {
 		return ci, fmt.Errorf("core: send: %w", err)
 	}

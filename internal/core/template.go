@@ -205,6 +205,7 @@ func (t *Template) rewriteLeaf(m *wire.Message, i int, scratch []byte, ci *CallI
 		ci.TagShifts++
 	}
 	ci.ValuesRewritten++
+	ci.BytesSerialized += len(enc)
 }
 
 // shiftGrow expands entry i's field by deficit bytes using on-the-fly

@@ -1,0 +1,227 @@
+package pool
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"bsoap/internal/core"
+)
+
+// Metrics is the pool's registry: lock-free atomic counters covering the
+// differential-serialization outcome of every call (per-match-kind
+// counts, bytes on the wire vs. bytes actually serialized), the repair
+// work done (tag shifts, shifts, steals), the connection pool's health
+// (checkouts, waits, dials, redials) and a call-latency histogram.
+// All methods are safe for concurrent use.
+type Metrics struct {
+	calls  atomic.Int64
+	errors atomic.Int64
+
+	// matches indexes per-kind call counts by core.MatchKind.
+	matches [5]atomic.Int64
+
+	bytesWire       atomic.Int64
+	bytesSerialized atomic.Int64
+
+	valuesRewritten atomic.Int64
+	tagShifts       atomic.Int64
+	shifts          atomic.Int64
+	steals          atomic.Int64
+
+	checkouts     atomic.Int64
+	checkoutWaits atomic.Int64
+	dials         atomic.Int64
+	redials       atomic.Int64
+	dialFailures  atomic.Int64
+	retries       atomic.Int64
+
+	templateRebinds atomic.Int64
+
+	lat histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// RecordCall folds one call's outcome into the registry.
+func (m *Metrics) RecordCall(ci core.CallInfo, err error, d time.Duration) {
+	m.calls.Add(1)
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	if k := int(ci.Match); k >= 0 && k < len(m.matches) {
+		m.matches[k].Add(1)
+	}
+	m.bytesWire.Add(int64(ci.Bytes))
+	m.bytesSerialized.Add(int64(ci.BytesSerialized))
+	m.valuesRewritten.Add(int64(ci.ValuesRewritten))
+	m.tagShifts.Add(int64(ci.TagShifts))
+	m.shifts.Add(int64(ci.Shifts))
+	m.steals.Add(int64(ci.Steals))
+	m.lat.observe(d)
+}
+
+// Stats is a point-in-time snapshot of the registry, JSON-marshalable in
+// the expvar style (the loadgen's -metrics endpoint serves exactly this
+// object).
+type Stats struct {
+	Calls  int64 `json:"calls"`
+	Errors int64 `json:"errors"`
+
+	FirstTimeSends     int64 `json:"first_time_sends"`
+	ContentMatches     int64 `json:"content_matches"`
+	StructuralMatches  int64 `json:"structural_matches"`
+	PartialMatches     int64 `json:"partial_matches"`
+	FullSerializations int64 `json:"full_serializations"`
+
+	// BytesOnWire is what left through the sink; BytesSerialized is the
+	// portion the engine actually converted from memory. The difference
+	// is the serialization work differential serialization avoided.
+	BytesOnWire     int64 `json:"bytes_on_wire"`
+	BytesSerialized int64 `json:"bytes_serialized"`
+	BytesSaved      int64 `json:"bytes_saved"`
+
+	ValuesRewritten int64 `json:"values_rewritten"`
+	TagShifts       int64 `json:"tag_shifts"`
+	Shifts          int64 `json:"shifts"`
+	Steals          int64 `json:"steals"`
+
+	Checkouts       int64 `json:"pool_checkouts"`
+	CheckoutWaits   int64 `json:"pool_checkout_waits"`
+	Dials           int64 `json:"pool_dials"`
+	Redials         int64 `json:"pool_redials"`
+	DialFailures    int64 `json:"pool_dial_failures"`
+	Retries         int64 `json:"pool_send_retries"`
+	TemplateRebinds int64 `json:"template_rebinds"`
+
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP90 time.Duration `json:"latency_p90_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	LatencyMax time.Duration `json:"latency_max_ns"`
+}
+
+// WarmCalls counts calls served from an existing template (everything
+// except first-time and diff-disabled sends).
+func (s Stats) WarmCalls() int64 {
+	return s.ContentMatches + s.StructuralMatches + s.PartialMatches
+}
+
+// Snapshot reads every counter. Counters are read individually (not as
+// one atomic unit), so totals can be transiently off by in-flight calls;
+// after quiescence they are exact.
+func (m *Metrics) Snapshot() Stats {
+	s := Stats{
+		Calls:  m.calls.Load(),
+		Errors: m.errors.Load(),
+
+		FirstTimeSends:     m.matches[core.FirstTime].Load(),
+		ContentMatches:     m.matches[core.ContentMatch].Load(),
+		StructuralMatches:  m.matches[core.StructuralMatch].Load(),
+		PartialMatches:     m.matches[core.PartialMatch].Load(),
+		FullSerializations: m.matches[core.FullSerialization].Load(),
+
+		BytesOnWire:     m.bytesWire.Load(),
+		BytesSerialized: m.bytesSerialized.Load(),
+
+		ValuesRewritten: m.valuesRewritten.Load(),
+		TagShifts:       m.tagShifts.Load(),
+		Shifts:          m.shifts.Load(),
+		Steals:          m.steals.Load(),
+
+		Checkouts:       m.checkouts.Load(),
+		CheckoutWaits:   m.checkoutWaits.Load(),
+		Dials:           m.dials.Load(),
+		Redials:         m.redials.Load(),
+		DialFailures:    m.dialFailures.Load(),
+		Retries:         m.retries.Load(),
+		TemplateRebinds: m.templateRebinds.Load(),
+
+		LatencyP50: m.lat.quantile(0.50),
+		LatencyP90: m.lat.quantile(0.90),
+		LatencyP99: m.lat.quantile(0.99),
+		LatencyMax: time.Duration(m.lat.max.Load()),
+	}
+	s.BytesSaved = s.BytesOnWire - s.BytesSerialized
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON — the expvar-style
+// payload the metrics endpoint serves.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// ServeHTTP makes the registry an http.Handler so a live system can
+// expose match-class rates on a debug port (net/http is used only here;
+// the data path stays on the hand-rolled transport).
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := m.WriteJSON(w); err != nil {
+		http.Error(w, fmt.Sprintf("metrics: %v", err), http.StatusInternalServerError)
+	}
+}
+
+// histogram tracks latencies in power-of-two nanosecond buckets: bucket
+// i holds observations in [2^(i-1), 2^i). 40 buckets cover ~18 minutes.
+type histogram struct {
+	buckets [40]atomic.Int64
+	count   atomic.Int64
+	max     atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// quantile returns an upper bound for the q-quantile (the top of the
+// bucket the quantile falls in), good to a factor of two — enough to
+// tell microseconds from milliseconds in a report.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	max := h.max.Load()
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			ub := int64(1) << uint(i)
+			if ub > max {
+				ub = max // never report a quantile above the observed max
+			}
+			return time.Duration(ub)
+		}
+	}
+	return time.Duration(max)
+}

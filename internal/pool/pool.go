@@ -1,0 +1,176 @@
+// Package pool is the concurrent client runtime for differential
+// serialization: many goroutines share one Pool and every Call still
+// benefits from template reuse.
+//
+// The paper measures its gains through a single stub on a single
+// connection. Scaling that to a production client means solving three
+// problems the single-stub model sidesteps:
+//
+//   - Connections: a bounded sender pool with checkout/checkin, lazy
+//     dialing, and automatic redial (exponential backoff + jitter) when
+//     a connection breaks mid-send.
+//   - Templates: a sharded store (see ShardedStore) so templates are
+//     owned by the runtime, not by goroutines — a new worker's first
+//     call of an operation another worker has already sent starts warm
+//     instead of paying a first-time send.
+//   - Observability: an atomic Metrics registry counting match-class
+//     rates, bytes saved by diffing, shift/steal events, pool health
+//     and latency, exposed as an expvar-style JSON endpoint.
+package pool
+
+import (
+	"fmt"
+	"time"
+
+	"bsoap/internal/core"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+)
+
+// Options configure a Pool.
+type Options struct {
+	// Addr is the endpoint to dial (lazily, one connection per pool
+	// slot as load requires).
+	Addr string
+	// Sender configures the HTTP framing of pooled connections.
+	Sender transport.SenderOptions
+	// Dial overrides Addr with a custom connection factory (tests,
+	// in-process benchmarking). The returned sink is closed on pool
+	// shutdown when it implements io.Closer.
+	Dial func() (core.Sink, error)
+
+	// Size bounds concurrent connections (default 4).
+	Size int
+	// Config tunes the differential-serialization engines.
+	Config core.Config
+	// Shards is the template-store shard count (default 16).
+	Shards int
+	// Replicas bounds per-(operation,signature) engine replicas
+	// (default 4): the parallelism ceiling for a single hot operation.
+	Replicas int
+
+	// MaxRetries is how many times a Call is retried on a send error
+	// after repairing the connection (default 1). The engine preserves
+	// dirty bits across failed sends, so retries re-serialize exactly
+	// the pending changes.
+	MaxRetries int
+	// DialAttempts bounds connection-repair attempts per Call (default
+	// 4), spaced by RedialBackoff doubling up to RedialBackoffMax with
+	// 50% jitter (defaults 20ms / 1s).
+	DialAttempts     int
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Size <= 0 {
+		o.Size = 4
+	}
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 4
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 1
+	}
+	if o.DialAttempts <= 0 {
+		o.DialAttempts = 4
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = 20 * time.Millisecond
+	}
+	if o.RedialBackoffMax <= 0 {
+		o.RedialBackoffMax = time.Second
+	}
+	return o
+}
+
+// Pool is a concurrent differential-serialization client. All methods
+// are safe for concurrent use by any number of goroutines.
+type Pool struct {
+	opts    Options
+	senders *senderPool
+	store   *ShardedStore
+	metrics *Metrics
+}
+
+// New builds a Pool. Connections are not established until calls need
+// them.
+func New(opts Options) (*Pool, error) {
+	o := opts.withDefaults()
+	dial := o.Dial
+	if dial == nil {
+		if o.Addr == "" {
+			return nil, fmt.Errorf("pool: Options.Addr or Options.Dial required")
+		}
+		addr, sopts := o.Addr, o.Sender
+		dial = func() (core.Sink, error) { return transport.Dial(addr, sopts) }
+	}
+	m := NewMetrics()
+	return &Pool{
+		opts:    o,
+		senders: newSenderPool(o.Size, dial, o, m),
+		store:   NewShardedStore(o.Shards, o.Replicas, o.Config, m),
+		metrics: m,
+	}, nil
+}
+
+// Call serializes and sends m through a pooled connection, reusing the
+// shared template for m's operation and structure. On a send error the
+// connection is repaired (redial with backoff) and the call retried up
+// to MaxRetries times before the error is returned.
+func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
+	start := time.Now()
+	ps, err := p.senders.checkout()
+	if err != nil {
+		return core.CallInfo{}, err
+	}
+	defer p.senders.checkin(ps)
+
+	r := p.store.acquire(m)
+	defer p.store.release(r)
+
+	var ci core.CallInfo
+	for attempt := 0; ; attempt++ {
+		var sink core.Sink
+		sink, err = p.senders.ensure(ps)
+		if err != nil {
+			break
+		}
+		r.sink.s = sink
+		ci, err = r.stub.Call(m)
+		if err == nil {
+			break
+		}
+		ps.broken = true
+		if attempt >= p.opts.MaxRetries {
+			break
+		}
+		p.metrics.retries.Add(1)
+	}
+	p.metrics.RecordCall(ci, err, time.Since(start))
+	return ci, err
+}
+
+// Metrics exposes the pool's registry (for serving the JSON endpoint).
+func (p *Pool) Metrics() *Metrics { return p.metrics }
+
+// Stats snapshots the registry.
+func (p *Pool) Stats() Stats { return p.metrics.Snapshot() }
+
+// TemplateCount reports templates resident across all shards.
+func (p *Pool) TemplateCount() int { return p.store.TemplateCount() }
+
+// Entries reports distinct (operation, signature) keys seen.
+func (p *Pool) Entries() int { return p.store.Entries() }
+
+// Close shuts the pool down: blocked and future checkouts fail, idle
+// connections close now, checked-out ones as they return.
+func (p *Pool) Close() error {
+	p.senders.close()
+	return nil
+}

@@ -1,0 +1,193 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bsoap/internal/core"
+	"bsoap/internal/transport"
+)
+
+// errPoolClosed is returned by checkout after Close.
+var errPoolClosed = fmt.Errorf("pool: closed")
+
+// pooledSender is one slot of the connection pool: an (initially
+// undialed) sink plus its health state. It is owned exclusively by the
+// goroutine that checked it out.
+type pooledSender struct {
+	sink   core.Sink
+	broken bool
+}
+
+// senderPool is a bounded set of connections with checkout/checkin
+// semantics. Slots start undialed; the first checkout that uses a slot
+// dials it (lazy dial). A send error marks the slot broken, and the
+// next use repairs it — Sender.Redial for dialed transports, close +
+// fresh dial otherwise — under exponential backoff with jitter.
+type senderPool struct {
+	slots chan *pooledSender
+	dial  func() (core.Sink, error)
+
+	size         int
+	dialAttempts int
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+
+	metrics *Metrics
+
+	mu     sync.Mutex
+	closed bool
+
+	// rng drives backoff jitter; guarded by rngMu (math/rand's global
+	// source would serialize all pools).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+func newSenderPool(size int, dial func() (core.Sink, error), opts Options, m *Metrics) *senderPool {
+	sp := &senderPool{
+		slots:        make(chan *pooledSender, size),
+		dial:         dial,
+		size:         size,
+		dialAttempts: opts.DialAttempts,
+		backoffBase:  opts.RedialBackoff,
+		backoffMax:   opts.RedialBackoffMax,
+		metrics:      m,
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for i := 0; i < size; i++ {
+		sp.slots <- &pooledSender{}
+	}
+	return sp
+}
+
+// checkout removes a slot from the pool, blocking when all slots are in
+// use (the blocked case is counted as a checkout wait).
+func (sp *senderPool) checkout() (*pooledSender, error) {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return nil, errPoolClosed
+	}
+	sp.mu.Unlock()
+
+	sp.metrics.checkouts.Add(1)
+	select {
+	case ps, ok := <-sp.slots:
+		if !ok {
+			return nil, errPoolClosed
+		}
+		return ps, nil
+	default:
+	}
+	sp.metrics.checkoutWaits.Add(1)
+	ps, ok := <-sp.slots
+	if !ok {
+		return nil, errPoolClosed
+	}
+	return ps, nil
+}
+
+// checkin returns a slot. The channel has capacity for every slot, so
+// this never blocks; after Close the slot's connection is torn down
+// instead.
+func (sp *senderPool) checkin(ps *pooledSender) {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		closeSink(ps.sink)
+		return
+	}
+	sp.slots <- ps
+	sp.mu.Unlock()
+}
+
+// ensure hands back a healthy sink for the slot, lazily dialing or
+// repairing it with backoff. It runs on the slot owner's goroutine.
+func (sp *senderPool) ensure(ps *pooledSender) (core.Sink, error) {
+	if ps.sink != nil && !ps.broken {
+		return ps.sink, nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < sp.dialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(sp.backoff(attempt))
+		}
+		if ps.broken {
+			if s, ok := ps.sink.(*transport.Sender); ok {
+				err := s.Redial()
+				if err == nil {
+					ps.broken = false
+					sp.metrics.redials.Add(1)
+					return ps.sink, nil
+				}
+				sp.metrics.dialFailures.Add(1)
+				if !errors.Is(err, transport.ErrNotDialed) {
+					lastErr = err
+					continue
+				}
+				// Wrapped connection with no redial address: fall
+				// through to a fresh dial.
+			}
+			closeSink(ps.sink)
+			ps.sink = nil
+			ps.broken = false
+		}
+		if ps.sink == nil {
+			s, err := sp.dial()
+			if err != nil {
+				lastErr = err
+				sp.metrics.dialFailures.Add(1)
+				continue
+			}
+			ps.sink = s
+			sp.metrics.dials.Add(1)
+		}
+		return ps.sink, nil
+	}
+	return nil, fmt.Errorf("pool: connection unavailable after %d attempts: %w", sp.dialAttempts, lastErr)
+}
+
+// backoff computes the pre-attempt delay: base doubled per attempt,
+// capped, with up to 50% random jitter so redial storms decorrelate.
+func (sp *senderPool) backoff(attempt int) time.Duration {
+	d := sp.backoffBase << uint(attempt-1)
+	if d > sp.backoffMax || d <= 0 {
+		d = sp.backoffMax
+	}
+	sp.rngMu.Lock()
+	j := time.Duration(sp.rng.Int63n(int64(d)/2 + 1))
+	sp.rngMu.Unlock()
+	return d + j
+}
+
+// close tears the pool down: no new checkouts, every idle connection
+// closed, and the slot channel closed so blocked checkouts return
+// errPoolClosed. Slots still checked out are closed on checkin.
+func (sp *senderPool) close() {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return
+	}
+	sp.closed = true
+	for {
+		select {
+		case ps := <-sp.slots:
+			closeSink(ps.sink)
+		default:
+			close(sp.slots)
+			return
+		}
+	}
+}
+
+func closeSink(s core.Sink) {
+	if c, ok := s.(io.Closer); ok {
+		_ = c.Close()
+	}
+}

@@ -1,0 +1,210 @@
+package pool
+
+import (
+	"hash/fnv"
+	"net"
+	"reflect"
+	"sync"
+
+	"bsoap/internal/core"
+	"bsoap/internal/wire"
+)
+
+// ShardedStore is the concurrent template store at the heart of the
+// pool. Templates are keyed by (operation, structural signature) and
+// grouped into shards, each guarded by its own mutex, so goroutines
+// sending different operations never contend on a lock.
+//
+// Within one key the store holds up to Replicas independent engine
+// replicas (a core.Stub with a single-template store each). A call
+// checks out one replica, holds its lock across classify + diff + send
+// (the template's bytes are on the wire during the send, so they cannot
+// be mutated concurrently), and releases it. Replicas are what lets a
+// hot operation scale: R goroutines diff and send R copies of the same
+// template in parallel, while the total first-time-send cost stays
+// bounded at R per structure — not one per goroutine, which is what
+// naive stub-per-worker designs pay.
+//
+// Checkout prefers the replica a message used last (affinity by message
+// identity), preserving the engine's dirty-bit classification: a message
+// landing on its own replica gets content/structural matches exactly as
+// a dedicated stub would; landing elsewhere costs one template rebind
+// (all values rewritten, tags reused).
+type ShardedStore struct {
+	shards   []storeShard
+	mask     uint32
+	replicas int
+	cfg      core.Config
+	metrics  *Metrics
+}
+
+type storeShard struct {
+	mu      sync.Mutex
+	entries map[storeKey]*storeEntry
+}
+
+type storeKey struct {
+	op  string
+	sig string
+}
+
+// storeEntry is the replica set for one (operation, signature).
+type storeEntry struct {
+	replicas []*replica
+}
+
+// replica is one lockable differential-serialization engine: a stub
+// whose sink is swapped to the checked-out connection per call.
+type replica struct {
+	mu   sync.Mutex
+	stub *core.Stub
+	sink swapSink
+	// bound is the message identity currently bound to the template,
+	// used to count rebinds (metrics only; the engine tracks its own
+	// binding).
+	bound *wire.Message
+}
+
+// swapSink routes the stub's output to whatever connection the call
+// checked out. It is set while the replica lock is held.
+type swapSink struct{ s core.Sink }
+
+func (w *swapSink) Send(bufs net.Buffers) error { return w.s.Send(bufs) }
+
+// NewShardedStore builds a store with the given shard count (rounded up
+// to a power of two, default 16) and per-key replica limit (default 4).
+func NewShardedStore(shards, replicas int, cfg core.Config, m *Metrics) *ShardedStore {
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if replicas <= 0 {
+		replicas = 4
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	s := &ShardedStore{
+		shards:   make([]storeShard, n),
+		mask:     uint32(n - 1),
+		replicas: replicas,
+		cfg:      cfg,
+		metrics:  m,
+	}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[storeKey]*storeEntry)
+	}
+	return s
+}
+
+// keyHash distributes (op, sig) keys over shards.
+func keyHash(k storeKey) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(k.op))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(k.sig))
+	return h.Sum32()
+}
+
+// msgAffinity hashes a message's identity to spread messages over a
+// key's replicas stably: the same message object prefers the same
+// replica call after call, keeping its dirty-bit binding alive.
+func msgAffinity(m *wire.Message) uint64 {
+	p := uint64(reflect.ValueOf(m).Pointer())
+	// Fibonacci hashing: pointer low bits are all zero from alignment.
+	return (p * 0x9E3779B97F4A7C15) >> 32
+}
+
+// acquire returns a locked replica for m's operation+signature. The
+// caller must release it after the call completes.
+func (s *ShardedStore) acquire(m *wire.Message) *replica {
+	key := storeKey{op: m.Operation(), sig: m.Signature()}
+	sh := &s.shards[keyHash(key)&s.mask]
+	aff := msgAffinity(m)
+
+	sh.mu.Lock()
+	e := sh.entries[key]
+	if e == nil {
+		e = &storeEntry{}
+		sh.entries[key] = e
+	}
+
+	var r *replica
+	locked := false
+	if n := len(e.replicas); n > 0 {
+		// Preferred replica first, then any free one.
+		if pref := e.replicas[aff%uint64(n)]; pref.mu.TryLock() {
+			r, locked = pref, true
+		} else {
+			for _, c := range e.replicas {
+				if c.mu.TryLock() {
+					r, locked = c, true
+					break
+				}
+			}
+		}
+	}
+	if r == nil && len(e.replicas) < s.replicas {
+		r = &replica{}
+		r.stub = core.NewStub(s.cfg, &r.sink)
+		r.mu.Lock()
+		locked = true
+		e.replicas = append(e.replicas, r)
+	}
+	if r == nil {
+		// Every replica busy and the set is full: queue on the preferred
+		// one outside the shard lock.
+		r = e.replicas[aff%uint64(len(e.replicas))]
+	}
+	sh.mu.Unlock()
+
+	if !locked {
+		r.mu.Lock()
+	}
+	if r.bound != m {
+		if r.bound != nil {
+			s.metrics.templateRebinds.Add(1)
+		}
+		r.bound = m
+	}
+	return r
+}
+
+// release returns a replica acquired by acquire.
+func (s *ShardedStore) release(r *replica) {
+	r.sink.s = nil
+	r.mu.Unlock()
+}
+
+// TemplateCount sums the stored templates across every shard and
+// replica (each replica's single-key store holds at most
+// MaxTemplatesPerOp; in practice one).
+func (s *ShardedStore) TemplateCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			for _, r := range e.replicas {
+				n += r.stub.Store().TemplateCount()
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Entries reports the number of distinct (operation, signature) keys.
+func (s *ShardedStore) Entries() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

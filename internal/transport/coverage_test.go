@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -107,7 +108,7 @@ func TestSendExpectResponseErrors(t *testing.T) {
 var errTest = &net.AddrError{Err: "synthetic", Addr: "test"}
 
 func TestServerLogsErrors(t *testing.T) {
-	var logBuf bytes.Buffer
+	var logBuf lockedBuffer
 	srv, err := Listen("127.0.0.1:0", ServerOptions{
 		Logger: log.New(&logBuf, "", 0),
 	})
@@ -130,6 +131,31 @@ func TestServerLogsErrors(t *testing.T) {
 	if !strings.Contains(logBuf.String(), "read request") {
 		t.Fatalf("malformed request not logged: %q", logBuf.String())
 	}
+}
+
+// lockedBuffer is a bytes.Buffer safe to poll while the server's
+// connection goroutine writes log lines into it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 func TestServeOnProvidedListener(t *testing.T) {

@@ -54,6 +54,12 @@ type Sender struct {
 	br   *bufio.Reader
 	opts SenderOptions
 
+	// addr is the dial target, recorded by Dial; empty for senders
+	// wrapped around an externally established connection, which
+	// therefore cannot Redial.
+	addr   string
+	closed bool
+
 	streaming bool
 	gz        *gzip.Writer
 	gzBuf     bytes.Buffer
@@ -83,6 +89,17 @@ func NewSender(conn net.Conn, opts SenderOptions) *Sender {
 // (TCP_NODELAY, 32 KiB send and receive buffers, keep-alive) and returns
 // a Sender.
 func Dial(addr string, opts SenderOptions) (*Sender, error) {
+	conn, err := dialConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSender(conn, opts)
+	s.addr = addr
+	return s, nil
+}
+
+// dialConn establishes one experiment-configured TCP connection.
+func dialConn(addr string) (net.Conn, error) {
 	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
@@ -95,11 +112,46 @@ func Dial(addr string, opts SenderOptions) (*Sender, error) {
 		_ = tc.SetWriteBuffer(32 * 1024)
 		_ = tc.SetReadBuffer(32 * 1024)
 	}
-	return NewSender(conn, opts), nil
+	return conn, nil
 }
 
-// Close closes the underlying connection.
-func (s *Sender) Close() error { return s.conn.Close() }
+// Close closes the underlying connection. It is idempotent: closing an
+// already-closed Sender is a no-op, so pool cleanup paths may Close
+// unconditionally.
+func (s *Sender) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.conn.Close()
+}
+
+// ErrNotDialed is returned by Redial on senders wrapped around an
+// externally established connection (NewSender), which have no address
+// to reconnect to.
+var ErrNotDialed = fmt.Errorf("transport: sender was not created by Dial; cannot redial")
+
+// Redial replaces a broken connection with a fresh one to the original
+// Dial address, resetting all buffered I/O and stream state. It is the
+// health-check primitive connection pools use: on a send error, Redial
+// and retry (the engine preserves dirty bits across failed sends, so
+// the retried call re-serializes the same changes).
+func (s *Sender) Redial() error {
+	if s.addr == "" {
+		return ErrNotDialed
+	}
+	_ = s.Close()
+	conn, err := dialConn(s.addr)
+	if err != nil {
+		return err
+	}
+	s.conn = conn
+	s.bw.Reset(conn)
+	s.br.Reset(conn)
+	s.closed = false
+	s.streaming = false
+	return nil
+}
 
 // writeRequestHead writes the request line and common headers, leaving
 // body framing to the caller.
