@@ -41,6 +41,8 @@ type Metrics struct {
 	retries       atomic.Int64
 
 	templateRebinds atomic.Int64
+	staleRebinds    atomic.Int64
+	evictions       atomic.Int64
 
 	lat histogram
 }
@@ -100,6 +102,14 @@ type Stats struct {
 	Retries         int64 `json:"pool_send_retries"`
 	TemplateRebinds int64 `json:"template_rebinds"`
 
+	// TemplateStaleRebinds counts calls forced through a full value
+	// rewrite because the message returned to a replica it had bounced
+	// away from (whose template bytes were therefore stale).
+	TemplateStaleRebinds int64 `json:"template_stale_rebinds"`
+	// TemplateEvictions counts (operation, signature) replica sets
+	// dropped by the per-operation LRU cap.
+	TemplateEvictions int64 `json:"template_evictions"`
+
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP90 time.Duration `json:"latency_p90_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
@@ -141,6 +151,9 @@ func (m *Metrics) Snapshot() Stats {
 		DialFailures:    m.dialFailures.Load(),
 		Retries:         m.retries.Load(),
 		TemplateRebinds: m.templateRebinds.Load(),
+
+		TemplateStaleRebinds: m.staleRebinds.Load(),
+		TemplateEvictions:    m.evictions.Load(),
 
 		LatencyP50: m.lat.quantile(0.50),
 		LatencyP90: m.lat.quantile(0.90),

@@ -89,8 +89,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Pool is a concurrent differential-serialization client. All methods
-// are safe for concurrent use by any number of goroutines.
+// Pool is a concurrent differential-serialization client. All Pool
+// methods are safe for concurrent use by any number of goroutines.
+//
+// Messages are not: a *wire.Message carries unsynchronized values and
+// dirty bits, so each message must be confined to one in-flight Call at
+// a time. Goroutines share the Pool (and through it the templates), not
+// message objects — give each worker its own messages, as the loadgen
+// and the stress tests do. Distinct messages may be passed to Call
+// concurrently without restriction.
 type Pool struct {
 	opts    Options
 	senders *senderPool
@@ -123,6 +130,9 @@ func New(opts Options) (*Pool, error) {
 // shared template for m's operation and structure. On a send error the
 // connection is repaired (redial with backoff) and the call retried up
 // to MaxRetries times before the error is returned.
+//
+// Call is safe for concurrent use with distinct messages; a given
+// message must not have two Calls in flight at once (see Pool).
 func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 	start := time.Now()
 	ps, err := p.senders.checkout()
@@ -131,18 +141,23 @@ func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 	}
 	defer p.senders.checkin(ps)
 
-	r := p.store.acquire(m)
-	defer p.store.release(r)
-
 	var ci core.CallInfo
 	for attempt := 0; ; attempt++ {
+		// Repair the connection before taking a template replica, so
+		// redial backoff sleeps never hold a replica lock: other callers
+		// of the same hot operation proceed through healthy pool slots
+		// while this one dials. The replica is likewise released before
+		// any retry's repair. (A retry may therefore land on a different
+		// replica; acquire detects that and forces a full value rewrite.)
 		var sink core.Sink
 		sink, err = p.senders.ensure(ps)
 		if err != nil {
 			break
 		}
+		r := p.store.acquire(m)
 		r.sink.s = sink
 		ci, err = r.stub.Call(m)
+		p.store.release(r)
 		if err == nil {
 			break
 		}

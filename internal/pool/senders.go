@@ -107,7 +107,10 @@ func (sp *senderPool) checkin(ps *pooledSender) {
 }
 
 // ensure hands back a healthy sink for the slot, lazily dialing or
-// repairing it with backoff. It runs on the slot owner's goroutine.
+// repairing it with backoff. It runs on the slot owner's goroutine, and
+// Pool.Call invokes it before acquiring a template replica so the
+// backoff sleeps here only ever hold the pool slot — never a replica
+// lock that other callers of a hot operation could be queued on.
 func (sp *senderPool) ensure(ps *pooledSender) (core.Sink, error) {
 	if ps.sink != nil && !ps.broken {
 		return ps.sink, nil

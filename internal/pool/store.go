@@ -29,11 +29,23 @@ import (
 // identity), preserving the engine's dirty-bit classification: a message
 // landing on its own replica gets content/structural matches exactly as
 // a dedicated stub would; landing elsewhere costs one template rebind
-// (all values rewritten, tags reused).
+// (all values rewritten, tags reused). Because dirty bits live on the
+// message while template bytes live per replica, the store also tracks
+// which replica served each message last: a message returning to an
+// earlier replica after being served elsewhere is forced through a full
+// value rewrite (see acquire), or its untouched resend would put that
+// replica's stale bytes on the wire.
+//
+// Shards are keyed by operation; within a shard, live (operation,
+// signature) replica sets are bounded per operation by the engine's
+// MaxTemplatesPerOp (LRU eviction, mirroring core.Store), so a client
+// cycling through many message shapes cannot grow the store without
+// bound.
 type ShardedStore struct {
 	shards   []storeShard
 	mask     uint32
 	replicas int
+	perOp    int
 	cfg      core.Config
 	metrics  *Metrics
 }
@@ -41,6 +53,9 @@ type ShardedStore struct {
 type storeShard struct {
 	mu      sync.Mutex
 	entries map[storeKey]*storeEntry
+	// sigLRU orders each operation's live signatures most-recent first;
+	// the tail is evicted once an operation exceeds the per-op cap.
+	sigLRU map[string][]string
 }
 
 type storeKey struct {
@@ -48,9 +63,19 @@ type storeKey struct {
 	sig string
 }
 
+// maxTrackedMessages bounds each entry's last-served map. When the cap
+// is hit the map is reset, which is safe: a tracked message that loses
+// its record merely pays one forced full-value rewrite on its next call
+// (acquire treats an unknown last server as a possible bounce).
+const maxTrackedMessages = 1024
+
 // storeEntry is the replica set for one (operation, signature).
 type storeEntry struct {
 	replicas []*replica
+	// last records the replica that most recently served each message.
+	// A message whose calls alternate between replicas has template
+	// bytes in several of them, only the last of which is current.
+	last map[*wire.Message]*replica
 }
 
 // replica is one lockable differential-serialization engine: a stub
@@ -87,26 +112,60 @@ func NewShardedStore(shards, replicas int, cfg core.Config, m *Metrics) *Sharded
 	if m == nil {
 		m = NewMetrics()
 	}
+	perOp := cfg.MaxTemplatesPerOp
+	if perOp <= 0 {
+		perOp = 4 // core.Config's own default
+	}
 	s := &ShardedStore{
 		shards:   make([]storeShard, n),
 		mask:     uint32(n - 1),
 		replicas: replicas,
+		perOp:    perOp,
 		cfg:      cfg,
 		metrics:  m,
 	}
 	for i := range s.shards {
 		s.shards[i].entries = make(map[storeKey]*storeEntry)
+		s.shards[i].sigLRU = make(map[string][]string)
 	}
 	return s
 }
 
-// keyHash distributes (op, sig) keys over shards.
-func keyHash(k storeKey) uint32 {
+// opHash distributes operations over shards. Hashing the operation alone
+// (not the signature) keeps all of an operation's signatures in one
+// shard, so the per-op LRU cap is global — exactly core.Store's
+// MaxTemplatesPerOp semantics — while goroutines sending different
+// operations still never contend.
+func opHash(op string) uint32 {
 	h := fnv.New32a()
-	_, _ = h.Write([]byte(k.op))
-	_, _ = h.Write([]byte{0})
-	_, _ = h.Write([]byte(k.sig))
+	_, _ = h.Write([]byte(op))
 	return h.Sum32()
+}
+
+// noteKey moves key's signature to the front of its operation's LRU,
+// inserting it when new and evicting the least recently used signature
+// beyond perOp. The caller holds sh.mu. An evicted replica set simply
+// becomes unreachable for new acquires; calls already holding one of its
+// replicas complete unaffected and the memory is freed when they return.
+func (sh *storeShard) noteKey(key storeKey, perOp int, m *Metrics) {
+	list := sh.sigLRU[key.op]
+	for i, sig := range list {
+		if sig == key.sig {
+			if i != 0 {
+				copy(list[1:i+1], list[0:i])
+				list[0] = key.sig
+			}
+			return
+		}
+	}
+	list = append([]string{key.sig}, list...)
+	if len(list) > perOp {
+		victim := list[len(list)-1]
+		list = list[:len(list)-1]
+		delete(sh.entries, storeKey{op: key.op, sig: victim})
+		m.evictions.Add(1)
+	}
+	sh.sigLRU[key.op] = list
 }
 
 // msgAffinity hashes a message's identity to spread messages over a
@@ -119,18 +178,20 @@ func msgAffinity(m *wire.Message) uint64 {
 }
 
 // acquire returns a locked replica for m's operation+signature. The
-// caller must release it after the call completes.
+// caller must release it after the call completes. m must not have
+// another call in flight (see Pool's per-message confinement contract).
 func (s *ShardedStore) acquire(m *wire.Message) *replica {
 	key := storeKey{op: m.Operation(), sig: m.Signature()}
-	sh := &s.shards[keyHash(key)&s.mask]
+	sh := &s.shards[opHash(key.op)&s.mask]
 	aff := msgAffinity(m)
 
 	sh.mu.Lock()
 	e := sh.entries[key]
 	if e == nil {
-		e = &storeEntry{}
+		e = &storeEntry{last: make(map[*wire.Message]*replica)}
 		sh.entries[key] = e
 	}
+	sh.noteKey(key, s.perOp, s.metrics)
 
 	var r *replica
 	locked := false
@@ -159,6 +220,11 @@ func (s *ShardedStore) acquire(m *wire.Message) *replica {
 		// one outside the shard lock.
 		r = e.replicas[aff%uint64(len(e.replicas))]
 	}
+	prev := e.last[m]
+	if prev == nil && len(e.last) >= maxTrackedMessages {
+		e.last = make(map[*wire.Message]*replica)
+	}
+	e.last[m] = r
 	sh.mu.Unlock()
 
 	if !locked {
@@ -169,6 +235,16 @@ func (s *ShardedStore) acquire(m *wire.Message) *replica {
 			s.metrics.templateRebinds.Add(1)
 		}
 		r.bound = m
+	} else if prev != r {
+		// r served m at some point, but not most recently (or the
+		// tracking map was reset): values m serialized through another
+		// replica since then are missing from r's template bytes, yet the
+		// engine sees its own binding intact and would classify an
+		// untouched m as a content match — resending the stale bytes.
+		// Force every value dirty so this call rewrites the template in
+		// full (tag generation is still skipped).
+		m.MarkAllDirty()
+		s.metrics.staleRebinds.Add(1)
 	}
 	return r
 }

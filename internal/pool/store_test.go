@@ -1,0 +1,114 @@
+package pool
+
+import (
+	"bytes"
+	"testing"
+
+	"bsoap/internal/core"
+	"bsoap/internal/transport"
+	"bsoap/internal/workload"
+)
+
+// TestReplicaBounceForcesRewrite is the regression test for the stale
+// payload bug: dirty bits live on the message but template bytes live
+// per replica, so a message whose call bounces to a fallback replica
+// (preferred one busy) and then returns must not be classified as a
+// content match — the original replica's bytes predate the bounce.
+func TestReplicaBounceForcesRewrite(t *testing.T) {
+	st := NewShardedStore(1, 2, core.Config{}, nil)
+	d := workload.NewDoubles(8, workload.FillIntermediate)
+	m := d.Msg
+
+	call := func() (core.CallInfo, []byte, *replica) {
+		t.Helper()
+		r := st.acquire(m)
+		var buf bytes.Buffer
+		r.sink.s = transport.WriterSink{W: &buf}
+		ci, err := r.stub.Call(m)
+		st.release(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ci, buf.Bytes(), r
+	}
+
+	ci1, b1, r1 := call()
+	if ci1.Match != core.FirstTime {
+		t.Fatalf("call 1 match = %v, want first-time", ci1.Match)
+	}
+
+	// Call 2 carries new values and is forced onto a second replica by
+	// holding the first one busy (the TryLock fallback path).
+	d.SetAll(4242.5)
+	r1.mu.Lock()
+	_, _, r2 := call()
+	r1.mu.Unlock()
+	if r2 == r1 {
+		t.Fatal("call 2 was expected to bounce to a second replica")
+	}
+
+	// Call 3 is untouched and returns to the first replica (the second
+	// is held busy). Its template bytes still hold call 1's values, so
+	// the call must be forced through a full rewrite, not resend them.
+	r2.mu.Lock()
+	ci3, b3, r3 := call()
+	r2.mu.Unlock()
+	if r3 != r1 {
+		t.Fatal("call 3 was expected to return to the first replica")
+	}
+	if ci3.Match == core.ContentMatch {
+		t.Fatalf("call 3 classified as content match on a stale template")
+	}
+	if bytes.Equal(b3, b1) {
+		t.Fatal("call 3 resent call 1's stale payload")
+	}
+	if !bytes.Contains(b3, []byte("4242.5")) {
+		t.Fatalf("call 3 payload missing current values:\n%s", b3)
+	}
+	if got := st.metrics.staleRebinds.Load(); got != 1 {
+		t.Fatalf("stale rebinds = %d, want 1", got)
+	}
+}
+
+// TestShardedStoreEvictsColdSignatures proves the per-operation LRU cap:
+// cold (operation, signature) replica sets are dropped, recently used
+// ones stay warm, so the store cannot grow without bound under varying
+// message shapes.
+func TestShardedStoreEvictsColdSignatures(t *testing.T) {
+	p, _ := newDiscardPool(t, Options{
+		Replicas: 1,
+		Config:   core.Config{MaxTemplatesPerOp: 2},
+	})
+
+	// Each array length is a distinct structural signature of the same
+	// operation.
+	dA := workload.NewDoubles(4, workload.FillIntermediate)
+	dB := workload.NewDoubles(5, workload.FillIntermediate)
+	dC := workload.NewDoubles(6, workload.FillIntermediate)
+
+	for _, m := range []*workload.Doubles{dA, dB} {
+		if ci, err := p.Call(m.Msg); err != nil || ci.Match != core.FirstTime {
+			t.Fatalf("warmup: %v %v", ci.Match, err)
+		}
+	}
+	// Touch A so B becomes the LRU tail, then push C in: B is evicted.
+	if ci, err := p.Call(dA.Msg); err != nil || ci.Match != core.ContentMatch {
+		t.Fatalf("recency touch: %v %v", ci.Match, err)
+	}
+	if ci, err := p.Call(dC.Msg); err != nil || ci.Match != core.FirstTime {
+		t.Fatalf("insert C: %v %v", ci.Match, err)
+	}
+
+	if got := p.Entries(); got != 2 {
+		t.Fatalf("entries = %d, want 2 (per-op cap)", got)
+	}
+	if ci, err := p.Call(dA.Msg); err != nil || ci.Match == core.FirstTime {
+		t.Fatalf("A went cold despite recency: %v %v", ci.Match, err)
+	}
+	if ci, err := p.Call(dB.Msg); err != nil || ci.Match != core.FirstTime {
+		t.Fatalf("B expected to have been evicted: %v %v", ci.Match, err)
+	}
+	if got := p.Stats().TemplateEvictions; got != 2 {
+		t.Fatalf("evictions = %d, want 2 (B then C)", got)
+	}
+}

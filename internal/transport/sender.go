@@ -58,7 +58,7 @@ type Sender struct {
 	// wrapped around an externally established connection, which
 	// therefore cannot Redial.
 	addr   string
-	closed bool
+	closed atomic.Bool
 
 	streaming bool
 	gz        *gzip.Writer
@@ -115,14 +115,16 @@ func dialConn(addr string) (net.Conn, error) {
 	return conn, nil
 }
 
-// Close closes the underlying connection. It is idempotent: closing an
-// already-closed Sender is a no-op, so pool cleanup paths may Close
-// unconditionally.
+// Close closes the underlying connection. It is idempotent — closing an
+// already-closed Sender is a no-op — and, alone among Sender methods,
+// safe to call from multiple goroutines (the first call wins), so pool
+// cleanup paths may Close unconditionally. Close must still not race
+// Redial or a send: those need the same external synchronization as the
+// rest of the Sender (the pool provides it via exclusive slot ownership).
 func (s *Sender) Close() error {
-	if s.closed {
+	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.closed = true
 	return s.conn.Close()
 }
 
@@ -148,7 +150,7 @@ func (s *Sender) Redial() error {
 	s.conn = conn
 	s.bw.Reset(conn)
 	s.br.Reset(conn)
-	s.closed = false
+	s.closed.Store(false)
 	s.streaming = false
 	return nil
 }

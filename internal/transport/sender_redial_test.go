@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"net"
+	"sync"
 	"testing"
 )
 
@@ -89,4 +90,24 @@ func TestRedialRequiresDial(t *testing.T) {
 	if err := s.Redial(); !errors.Is(err, ErrNotDialed) {
 		t.Fatalf("Redial on wrapped conn: got %v, want ErrNotDialed", err)
 	}
+}
+
+// TestSenderConcurrentClose exercises Close from many goroutines under
+// the race detector: exactly one must reach the connection, the rest are
+// no-ops.
+func TestSenderConcurrentClose(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	s := NewSender(c1, SenderOptions{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
 }
