@@ -15,4 +15,18 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Fuzz smoke: run every fuzz target briefly so a parser regression that
+# only random inputs catch fails the gate, not a user. FUZZTIME=0 skips
+# (the corpus-replay runs in `go test` above still cover committed
+# crashers); raise it locally for a deeper soak.
+FUZZTIME=${FUZZTIME:-10s}
+if [ "$FUZZTIME" != "0" ]; then
+    go test -run='^$' -fuzz='^FuzzParser$'      -fuzztime="$FUZZTIME" ./internal/xmlparse
+    go test -run='^$' -fuzz='^FuzzDecode$'      -fuzztime="$FUZZTIME" ./internal/soapdec
+    go test -run='^$' -fuzz='^FuzzInline$'      -fuzztime="$FUZZTIME" ./internal/multiref
+    go test -run='^$' -fuzz='^FuzzReadRequest$' -fuzztime="$FUZZTIME" ./internal/transport
+    go test -run='^$' -fuzz='^FuzzUnescape$'    -fuzztime="$FUZZTIME" ./internal/xsdlex
+    go test -run='^$' -fuzz='^FuzzParseDouble$' -fuzztime="$FUZZTIME" ./internal/xsdlex
+fi
 echo "check.sh: all green"

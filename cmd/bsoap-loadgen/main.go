@@ -11,6 +11,12 @@
 // Use -inprocess to measure without a server (in-process discard sink),
 // and -metrics :8123 to expose the live registry as JSON at
 // http://localhost:8123/ while the run is in flight.
+//
+// -chaos 0.05 runs the same load through a fault injector that resets
+// 5% of socket operations (plus partial writes, mid-stream closes and
+// dial failures at a quarter of that rate), reporting how the hardened
+// transport degraded; -max-err sets the failed-call percentage above
+// which the run exits nonzero.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"bsoap"
+	"bsoap/internal/faultwire"
 	"bsoap/internal/workload"
 )
 
@@ -42,6 +49,10 @@ func main() {
 		shards    = flag.Int("shards", 16, "template store shards")
 		mix       = flag.String("mix", "60/30/10", "percent of iterations that are untouched/touched/grown")
 		metrics   = flag.String("metrics", "", "serve live metrics JSON on this address (e.g. :8123)")
+		rpc       = flag.Bool("rpc", false, "read one HTTP response per call (pair with a responding server, e.g. -mode record)")
+		maxErr    = flag.Float64("max-err", 0, "max tolerated error rate in percent before exiting nonzero")
+		chaos     = flag.Float64("chaos", 0, "inject faults: connection-reset probability per socket op (plus partial writes, mid-stream closes and dial failures at a quarter of it)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault injector seed")
 	)
 	flag.Parse()
 
@@ -60,6 +71,28 @@ func main() {
 		Replicas: *replicas,
 		Config:   bsoap.Config{EnableStealing: true, Width: bsoap.WidthPolicy{Double: 18, Int: 9}},
 	}
+	popts.Sender.ExpectResponse = *rpc
+	var inj *faultwire.Injector
+	if *chaos > 0 {
+		if *inprocess {
+			fmt.Fprintln(os.Stderr, "bsoap-loadgen: -chaos needs a real connection; drop -inprocess")
+			os.Exit(2)
+		}
+		inj = faultwire.New(faultwire.Options{
+			Seed: *chaosSeed,
+			Probs: faultwire.Probabilities{
+				Reset:          *chaos,
+				PartialWrite:   *chaos / 4,
+				MidStreamClose: *chaos / 4,
+				DialError:      *chaos / 4,
+			},
+		})
+		popts.Sender.Dialer = inj.Dial(nil)
+		// A faulty wire can also mean a wedged one: bound every socket
+		// operation so a stalled peer costs a timeout, not a worker.
+		popts.Sender.WriteTimeout = 10 * time.Second
+		popts.Sender.ReadTimeout = 10 * time.Second
+	}
 	if *inprocess {
 		sink := bsoap.NewDiscardSink()
 		popts.Dial = func() (bsoap.Sink, error) { return sink, nil }
@@ -72,6 +105,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer pool.Close()
+	if inj != nil {
+		pool.Metrics().SetFaultSource(inj.Faults)
+	}
 
 	if *metrics != "" {
 		go func() {
@@ -86,8 +122,13 @@ func main() {
 	// one clear error, not -workers × -retries of them.
 	probe := workload.NewDoubles(1, workload.FillMin)
 	if _, err := pool.Call(probe.Msg); err != nil {
-		fmt.Fprintf(os.Stderr, "bsoap-loadgen: cannot reach %s: %v\n(start one with: go run ./cmd/bsoap-server -mode discard)\n", *addr, err)
-		os.Exit(1)
+		if inj == nil {
+			fmt.Fprintf(os.Stderr, "bsoap-loadgen: cannot reach %s: %v\n(start one with: go run ./cmd/bsoap-server -mode discard)\n", *addr, err)
+			os.Exit(1)
+		}
+		// Under chaos the probe itself may eat an injected fault; the
+		// run's error-rate accounting decides the exit code instead.
+		fmt.Fprintf(os.Stderr, "bsoap-loadgen: probe failed (continuing under -chaos): %v\n", err)
 	}
 
 	var (
@@ -111,8 +152,16 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report(os.Stdout, pool, *workers, *ops, *addr, *inprocess, elapsed)
-	if errorsN.Load() > 0 {
+	report(os.Stdout, pool, inj, *workers, *ops, *addr, *inprocess, elapsed)
+
+	st := pool.Stats()
+	errRate := 0.0
+	if st.Calls > 0 {
+		errRate = 100 * float64(errorsN.Load()) / float64(st.Calls)
+	}
+	if errRate > *maxErr {
+		fmt.Fprintf(os.Stderr, "bsoap-loadgen: error rate %.2f%% exceeds -max-err %.2f%% (%d of %d calls failed)\n",
+			errRate, *maxErr, errorsN.Load(), st.Calls)
 		os.Exit(1)
 	}
 }
@@ -166,16 +215,18 @@ func runWorker(pool *bsoap.Pool, id, ops, n int, pcts [3]int, stop *atomic.Bool,
 			t.grow()
 		}
 		if _, err := pool.Call(t.msg); err != nil {
+			// Keep driving load: failed calls are counted and judged
+			// against -max-err at the end, not allowed to silently shrink
+			// the fleet one worker at a time.
 			if errorsN.Add(1) == 1 {
-				fmt.Fprintln(os.Stderr, "bsoap-loadgen: call:", err)
+				fmt.Fprintln(os.Stderr, "bsoap-loadgen: first failed call:", err)
 			}
-			return
 		}
 	}
 }
 
 // report prints the throughput + match-class summary.
-func report(w *os.File, pool *bsoap.Pool, workers, ops int, addr string, inprocess bool, elapsed time.Duration) {
+func report(w *os.File, pool *bsoap.Pool, inj *faultwire.Injector, workers, ops int, addr string, inprocess bool, elapsed time.Duration) {
 	st := pool.Stats()
 	target := addr
 	if inprocess {
@@ -206,6 +257,22 @@ func report(w *os.File, pool *bsoap.Pool, workers, ops int, addr string, inproce
 		st.ValuesRewritten, st.TagShifts, st.Shifts, st.Steals, st.TemplateRebinds)
 	fmt.Fprintf(w, "  pool: %d checkouts (%d waited), %d dials, %d redials, %d dial failures, %d retries\n",
 		st.Checkouts, st.CheckoutWaits, st.Dials, st.Redials, st.DialFailures, st.Retries)
+	if inj != nil {
+		byKind := inj.FaultsByKind()
+		parts := make([]string, 0, len(byKind))
+		for _, k := range []string{"reset", "partial-write", "mid-stream-close", "dial-error", "read-delay", "write-delay"} {
+			if n := byKind[k]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d", k, n))
+			}
+		}
+		detail := strings.Join(parts, " · ")
+		if detail == "" {
+			detail = "none"
+		}
+		fmt.Fprintf(w, "  chaos: %d faults injected (%s)\n", st.FaultsInjected, detail)
+		fmt.Fprintf(w, "         %d degraded first-time sends, %d calls over retry budget\n",
+			st.DegradedFTS, st.RetryBudgetExhausted)
+	}
 	fmt.Fprintf(w, "  latency: p50 %v · p90 %v · p99 %v · max %v\n",
 		st.LatencyP50, st.LatencyP90, st.LatencyP99, st.LatencyMax)
 	fmt.Fprintf(w, "  templates: %d resident across %d structures; %.1f%% of calls served warm\n",

@@ -8,6 +8,9 @@
 //	-mode sum       SOAP service summing a double array
 //	-mode mcs       Metadata Catalog Service over an in-memory catalog
 //	-mode flock     Condor flock collector printing received ClassAd stats
+//	-mode record    keep every accepted request body in memory and
+//	                answer 200 (conformance/chaos runs; bound retention
+//	                with -record-limit)
 //
 // With -diff, SOAP modes decode requests through differential
 // deserialization and report decode statistics on shutdown.
@@ -33,10 +36,11 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:9999", "listen address")
-		mode    = flag.String("mode", "discard", "discard | sum | mcs | flock")
+		mode    = flag.String("mode", "discard", "discard | sum | mcs | flock | record")
 		respond = flag.Bool("respond", true, "answer every request (discard mode defaults to silent)")
 		diff    = flag.Bool("diff", true, "use differential deserialization in SOAP modes")
 		quiet   = flag.Bool("quiet", false, "suppress per-connection error logging")
+		recCap  = flag.Int("record-limit", 10000, "record mode: max bodies kept in memory (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -46,10 +50,15 @@ func main() {
 	}
 
 	var endpoint *server.SOAP
+	var rec *server.Recorder
 	opts := transport.ServerOptions{Logger: logger}
 	switch *mode {
 	case "discard":
 		opts.Respond = false // Send Time measurements never wait
+	case "record":
+		rec = server.NewRecorder(*recCap)
+		opts.Handler = rec.HTTPHandler()
+		opts.Respond = true
 	case "sum":
 		endpoint = newSumEndpoint(*diff)
 	case "mcs":
@@ -99,6 +108,9 @@ func main() {
 
 	srv.Close()
 	fmt.Printf("bsoap-server: served %d requests, %d body bytes\n", srv.Requests(), srv.Bytes())
+	if rec != nil {
+		fmt.Printf("bsoap-server: recorded %d bodies (%d dropped by -record-limit)\n", rec.Count(), rec.Dropped())
+	}
 	if endpoint != nil {
 		st := endpoint.Stats()
 		fmt.Printf("bsoap-server: decodes: %d full parses, %d differential (%d values reparsed)\n",

@@ -189,6 +189,10 @@ type CallInfo struct {
 	// Grows and Splits count chunk reallocations and chunk splits.
 	Grows  int
 	Splits int
+	// Degraded marks a first-time send that was forced because the
+	// structure's previous template was suspect (its last send failed
+	// mid-flight), rather than because no template existed.
+	Degraded bool
 }
 
 // Stats accumulates CallInfo across a Stub's lifetime.
@@ -199,14 +203,17 @@ type Stats struct {
 	StructuralMatches  int64
 	PartialMatches     int64
 	FullSerializations int64
-	BytesSent          int64
-	BytesSerialized    int64
-	ValuesRewritten    int64
-	TagShifts          int64
-	Shifts             int64
-	Steals             int64
-	Grows              int64
-	Splits             int64
+	// DegradedFTS counts the subset of FirstTimeSends forced by a
+	// suspect template (graceful degradation after a failed send).
+	DegradedFTS     int64
+	BytesSent       int64
+	BytesSerialized int64
+	ValuesRewritten int64
+	TagShifts       int64
+	Shifts          int64
+	Steals          int64
+	Grows           int64
+	Splits          int64
 }
 
 func (s *Stats) add(ci CallInfo) {
@@ -214,6 +221,9 @@ func (s *Stats) add(ci CallInfo) {
 	switch ci.Match {
 	case FirstTime:
 		s.FirstTimeSends++
+		if ci.Degraded {
+			s.DegradedFTS++
+		}
 	case ContentMatch:
 		s.ContentMatches++
 	case StructuralMatch:

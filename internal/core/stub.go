@@ -53,6 +53,19 @@ func (st *Store) lookup(op, sig string) *Template {
 	return nil
 }
 
+// remove deletes the template with the given signature, if present.
+func (st *Store) remove(op, sig string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	list := st.byOp[op]
+	for i, t := range list {
+		if t.sig == sig {
+			st.byOp[op] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
 // insert records a new template at the LRU front, evicting the least
 // recently used beyond capacity.
 func (st *Store) insert(op string, t *Template) {
@@ -113,7 +126,10 @@ func (s *Stub) Template(op, sig string) *Template { return s.store.lookup(op, si
 
 // Call serializes and sends m, reusing the saved template when possible.
 // On success the message's dirty bits are cleared; on a send error they
-// are preserved so a retry re-serializes the same changes.
+// are preserved so a retry re-serializes the same changes, and the
+// template is marked suspect: the next call of that structure is forced
+// through a full first-time serialization (CallInfo.Degraded) rather
+// than patching bytes whose delivery state is unknown.
 func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 	var ci CallInfo
 
@@ -132,6 +148,15 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 
 	op := m.Operation()
 	tpl := s.store.lookup(op, m.Signature())
+	if tpl != nil && tpl.suspect {
+		// The template's last send failed mid-flight: its on-wire state
+		// is unknown, so degrade gracefully — discard it and serialize
+		// this call from the live values as a fresh first-time send
+		// rather than trusting possibly half-delivered bytes.
+		s.store.remove(op, tpl.sig)
+		tpl = nil
+		ci.Degraded = true
+	}
 	switch {
 	case tpl == nil:
 		// First-Time Send: serialize fully and save the template.
@@ -170,6 +195,11 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 		ci.BytesSerialized = ci.Bytes
 	}
 	if err := s.sink.Send(tpl.buf.Buffers()); err != nil {
+		// The send died with the template bytes possibly half-delivered:
+		// mark the template suspect so the next call of this structure
+		// degrades to a full re-serialization instead of an incremental
+		// patch. Dirty bits stay set (see below), so no change is lost.
+		tpl.suspect = true
 		return ci, fmt.Errorf("core: send: %w", err)
 	}
 	m.ClearDirty()

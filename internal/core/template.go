@@ -24,6 +24,13 @@ type Template struct {
 	tab dut.Table
 	cfg Config
 
+	// suspect marks a template whose most recent send failed: the peer
+	// may hold a half-delivered copy and the repaired connection must not
+	// be trusted with incremental state. The next call of this structure
+	// discards the template and re-serializes from the live values (a
+	// degraded first-time send) instead of diffing against it.
+	suspect bool
+
 	// tags caches "<name>"/"</name>" pairs so emission does not
 	// concatenate per leaf.
 	tags map[string][2]string

@@ -1,0 +1,357 @@
+// Package faultwire injects network failures underneath the transport:
+// a net.Conn / dialer wrapper that can reset connections, truncate
+// writes, delay reads and writes, close a stream mid-send, and fail
+// dials — everything a flaky production network does to a long-lived
+// SOAP connection pool.
+//
+// The differential protocol's core guarantee (a resent or patched
+// template is byte-equivalent to a from-scratch serialization) is
+// easiest to break silently on exactly these paths: a send dies halfway
+// through a template, the pool redials and retries, and any stale state
+// would go out on the repaired socket. faultwire makes those sequences
+// reproducible, in two modes:
+//
+//   - Probabilistic (New): every dial/read/write rolls seeded dice —
+//     chaos testing, as the conformance suite and `bsoap-loadgen -chaos`
+//     use it.
+//   - Scripted (NewScripted): an ordered list of Steps pinning the exact
+//     operation a fault fires on — deterministic regression tests.
+//
+// An Injector wraps connections via Wrap or an entire dial function via
+// Dial; it counts every injected fault (Faults, FaultsByKind) so
+// harnesses can assert faults actually happened.
+package faultwire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// DialError fails a dial attempt before any connection is made.
+	DialError Kind = iota
+	// Reset fails a read or write immediately and closes the underlying
+	// connection — the peer-reset / broken-pipe case.
+	Reset
+	// PartialWrite delivers only a prefix of the buffer, then closes the
+	// connection and errors — a send dying mid-template.
+	PartialWrite
+	// MidStreamClose lets the current write complete, then closes the
+	// connection so the *next* operation fails — the silent hangup.
+	MidStreamClose
+	// ReadDelay and WriteDelay inject a latency spike before the
+	// operation, which otherwise proceeds normally.
+	ReadDelay
+	WriteDelay
+
+	nKinds
+)
+
+// String names the fault kind in errors, metrics and logs.
+func (k Kind) String() string {
+	switch k {
+	case DialError:
+		return "dial-error"
+	case Reset:
+		return "reset"
+	case PartialWrite:
+		return "partial-write"
+	case MidStreamClose:
+		return "mid-stream-close"
+	case ReadDelay:
+		return "read-delay"
+	case WriteDelay:
+		return "write-delay"
+	}
+	return "unknown"
+}
+
+// Op classifies the operation a fault decision applies to.
+type Op int
+
+const (
+	// OpDial is a connection attempt.
+	OpDial Op = iota
+	// OpRead is one Read call on a wrapped connection.
+	OpRead
+	// OpWrite is one Write call on a wrapped connection.
+	OpWrite
+)
+
+// ErrInjected is wrapped by every error faultwire fabricates, so tests
+// can tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("faultwire: injected fault")
+
+func injectedErr(k Kind) error {
+	return fmt.Errorf("faultwire: injected %s: %w", k, ErrInjected)
+}
+
+// plan decides, per operation, whether to inject a fault. Implementations
+// are called under the Injector's lock.
+type plan interface {
+	decide(op Op) (Kind, bool)
+}
+
+// Probabilities give the per-operation chance of each fault kind.
+// Reset applies to both reads and writes; PartialWrite and
+// MidStreamClose to writes; ReadDelay/WriteDelay to their operation;
+// DialError to dials. Zero-value probabilities inject nothing.
+type Probabilities struct {
+	DialError      float64
+	Reset          float64
+	PartialWrite   float64
+	MidStreamClose float64
+	ReadDelay      float64
+	WriteDelay     float64
+}
+
+// Options configure an Injector.
+type Options struct {
+	// Seed makes the probabilistic dice reproducible (0 picks 1).
+	Seed int64
+	// Probs are the probabilistic-mode fault rates; ignored in scripted
+	// mode.
+	Probs Probabilities
+	// Delay is the latency injected by ReadDelay/WriteDelay (default
+	// 1ms).
+	Delay time.Duration
+	// OnFault, when non-nil, observes every injected fault (e.g. to feed
+	// a metrics registry). Called synchronously on the faulting
+	// goroutine; keep it cheap.
+	OnFault func(Kind)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Delay <= 0 {
+		o.Delay = time.Millisecond
+	}
+	return o
+}
+
+// probPlan rolls seeded dice per operation.
+type probPlan struct {
+	rng *rand.Rand
+	p   Probabilities
+}
+
+func (pl *probPlan) decide(op Op) (Kind, bool) {
+	roll := func(p float64) bool { return p > 0 && pl.rng.Float64() < p }
+	switch op {
+	case OpDial:
+		if roll(pl.p.DialError) {
+			return DialError, true
+		}
+	case OpRead:
+		if roll(pl.p.Reset) {
+			return Reset, true
+		}
+		if roll(pl.p.ReadDelay) {
+			return ReadDelay, true
+		}
+	case OpWrite:
+		if roll(pl.p.Reset) {
+			return Reset, true
+		}
+		if roll(pl.p.PartialWrite) {
+			return PartialWrite, true
+		}
+		if roll(pl.p.MidStreamClose) {
+			return MidStreamClose, true
+		}
+		if roll(pl.p.WriteDelay) {
+			return WriteDelay, true
+		}
+	}
+	return 0, false
+}
+
+// Step is one scripted fault: after Skip untouched operations of class
+// Op, inject Kind; Repeat controls how many further matching operations
+// also fault (0 = fire once, n > 0 = fire 1+n times, negative = fire on
+// every matching operation from then on).
+type Step struct {
+	Op     Op
+	Skip   int
+	Kind   Kind
+	Repeat int
+}
+
+// scriptPlan consumes steps strictly in order: only the head step is
+// armed; operations of other classes pass through untouched. Operation
+// counting is global across every connection the Injector wraps, so
+// scripted tests should drive a single connection (or accept
+// scheduling-dependent attribution across several).
+type scriptPlan struct {
+	steps []Step
+	seen  int // untouched matching ops seen for the head step
+	fired int // times the head step has fired
+}
+
+func (pl *scriptPlan) decide(op Op) (Kind, bool) {
+	if len(pl.steps) == 0 {
+		return 0, false
+	}
+	s := &pl.steps[0]
+	if op != s.Op {
+		return 0, false
+	}
+	if pl.seen < s.Skip {
+		pl.seen++
+		return 0, false
+	}
+	k := s.Kind
+	pl.fired++
+	if s.Repeat >= 0 && pl.fired > s.Repeat {
+		pl.steps = pl.steps[1:]
+		pl.seen, pl.fired = 0, 0
+	}
+	return k, true
+}
+
+// Injector decides and counts faults for every connection it wraps. All
+// methods are safe for concurrent use.
+type Injector struct {
+	mu sync.Mutex
+	pl plan
+
+	delay   time.Duration
+	onFault func(Kind)
+
+	counts [nKinds]atomic.Int64
+	total  atomic.Int64
+}
+
+// New returns a probabilistic injector.
+func New(opts Options) *Injector {
+	o := opts.withDefaults()
+	return &Injector{
+		pl:      &probPlan{rng: rand.New(rand.NewSource(o.Seed)), p: o.Probs},
+		delay:   o.Delay,
+		onFault: o.OnFault,
+	}
+}
+
+// NewScripted returns an injector that fires the given steps in order
+// (Options.Probs is ignored).
+func NewScripted(opts Options, steps ...Step) *Injector {
+	o := opts.withDefaults()
+	return &Injector{
+		pl:      &scriptPlan{steps: append([]Step(nil), steps...)},
+		delay:   o.Delay,
+		onFault: o.OnFault,
+	}
+}
+
+// decide consults the plan and records any injected fault.
+func (in *Injector) decide(op Op) (Kind, bool) {
+	in.mu.Lock()
+	k, ok := in.pl.decide(op)
+	in.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	in.counts[k].Add(1)
+	in.total.Add(1)
+	if in.onFault != nil {
+		in.onFault(k)
+	}
+	return k, true
+}
+
+// Faults reports the total number of injected faults.
+func (in *Injector) Faults() int64 { return in.total.Load() }
+
+// FaultsByKind reports per-kind injection counts, keyed by Kind.String.
+func (in *Injector) FaultsByKind() map[string]int64 {
+	m := make(map[string]int64, int(nKinds))
+	for k := Kind(0); k < nKinds; k++ {
+		if n := in.counts[k].Load(); n > 0 {
+			m[k.String()] = n
+		}
+	}
+	return m
+}
+
+// Wrap returns c with fault injection applied to its reads and writes.
+func (in *Injector) Wrap(c net.Conn) net.Conn { return &conn{Conn: c, in: in} }
+
+// DialFunc matches the transport's pluggable dialer signature.
+type DialFunc func(network, addr string) (net.Conn, error)
+
+// Dial wraps a dial function with dial-failure injection and returns
+// connections wrapped by this injector. A nil base uses a plain
+// net.DialTimeout (10s); pass the transport's dialer to keep its socket
+// options.
+func (in *Injector) Dial(base DialFunc) DialFunc {
+	if base == nil {
+		base = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, 10*time.Second)
+		}
+	}
+	return func(network, addr string) (net.Conn, error) {
+		if _, ok := in.decide(OpDial); ok {
+			return nil, injectedErr(DialError)
+		}
+		c, err := base(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(c), nil
+	}
+}
+
+// conn is one fault-injected connection. Deadline and address methods
+// delegate to the embedded net.Conn, so transports can keep using
+// SetReadDeadline/SetWriteDeadline through the wrapper.
+type conn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	switch k, ok := c.in.decide(OpRead); {
+	case !ok:
+	case k == Reset:
+		_ = c.Conn.Close()
+		return 0, injectedErr(k)
+	case k == ReadDelay:
+		time.Sleep(c.in.delay)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	switch k, ok := c.in.decide(OpWrite); {
+	case !ok:
+	case k == Reset:
+		_ = c.Conn.Close()
+		return 0, injectedErr(k)
+	case k == PartialWrite:
+		// Deliver a strict prefix, then kill the connection: the peer
+		// sees a truncated frame, the sender sees an error.
+		n := len(p) / 2
+		if n > 0 {
+			n, _ = c.Conn.Write(p[:n])
+		}
+		_ = c.Conn.Close()
+		return n, injectedErr(k)
+	case k == MidStreamClose:
+		n, err := c.Conn.Write(p)
+		_ = c.Conn.Close()
+		return n, err
+	case k == WriteDelay:
+		time.Sleep(c.in.delay)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,233 @@
+package faultwire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoListener accepts connections and echoes every byte back.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln
+}
+
+func TestScriptedWriteReset(t *testing.T) {
+	ln := echoListener(t)
+	defer ln.Close()
+
+	var seen []Kind
+	in := NewScripted(Options{OnFault: func(k Kind) { seen = append(seen, k) }},
+		Step{Op: OpWrite, Skip: 2, Kind: Reset},
+	)
+	c, err := in.Dial(nil)("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	msg := []byte("hello")
+	for i := 0; i < 2; i++ {
+		if _, err := c.Write(msg); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := c.Write(msg); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write: got %v, want injected reset", err)
+	}
+	// The underlying connection is closed: further writes fail too.
+	if _, err := c.Write(msg); err == nil {
+		t.Fatal("write after injected reset succeeded")
+	}
+	if in.Faults() != 1 || len(seen) != 1 || seen[0] != Reset {
+		t.Fatalf("faults=%d seen=%v, want one reset", in.Faults(), seen)
+	}
+	if got := in.FaultsByKind()["reset"]; got != 1 {
+		t.Fatalf("FaultsByKind[reset]=%d, want 1", got)
+	}
+}
+
+func TestScriptedPartialWrite(t *testing.T) {
+	ln := echoListener(t)
+	defer ln.Close()
+
+	in := NewScripted(Options{}, Step{Op: OpWrite, Kind: PartialWrite})
+	c, err := in.Dial(nil)("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	n, err := c.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write error: %v", err)
+	}
+	if n >= 10 || n == 0 {
+		t.Fatalf("partial write delivered %d bytes, want a strict nonzero prefix", n)
+	}
+}
+
+func TestScriptedDialErrorRepeat(t *testing.T) {
+	ln := echoListener(t)
+	defer ln.Close()
+
+	in := NewScripted(Options{}, Step{Op: OpDial, Kind: DialError, Repeat: 1})
+	dial := in.Dial(nil)
+	for i := 0; i < 2; i++ {
+		if _, err := dial("tcp", ln.Addr().String()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("dial %d: got %v, want injected", i, err)
+		}
+	}
+	c, err := dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("third dial: %v", err)
+	}
+	c.Close()
+	if in.Faults() != 2 {
+		t.Fatalf("faults=%d, want 2", in.Faults())
+	}
+}
+
+func TestScriptedMidStreamClose(t *testing.T) {
+	ln := echoListener(t)
+	defer ln.Close()
+
+	in := NewScripted(Options{}, Step{Op: OpWrite, Kind: MidStreamClose})
+	c, err := in.Dial(nil)("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The faulted write itself succeeds; the connection dies after it.
+	if _, err := c.Write([]byte("bye")); err != nil {
+		t.Fatalf("mid-stream-close write: %v", err)
+	}
+	if _, err := c.Write([]byte("more")); err == nil {
+		t.Fatal("write after mid-stream close succeeded")
+	}
+}
+
+func TestScriptedDelayAndPassthrough(t *testing.T) {
+	ln := echoListener(t)
+	defer ln.Close()
+
+	in := NewScripted(Options{Delay: 5 * time.Millisecond},
+		Step{Op: OpWrite, Kind: WriteDelay},
+		Step{Op: OpRead, Kind: ReadDelay},
+	)
+	c, err := in.Dial(nil)("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("delayed write: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("delayed read: %v", err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo got %q", buf)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("round trip took %v, want ≥ 2 injected 5ms delays", d)
+	}
+	if in.Faults() != 2 {
+		t.Fatalf("faults=%d, want 2 delays", in.Faults())
+	}
+}
+
+func TestProbabilisticRates(t *testing.T) {
+	// A pipe with a discarding reader on the far end; the plan decides
+	// before touching the conn, so fault accounting is exact.
+	in := New(Options{Seed: 42, Probs: Probabilities{Reset: 0.5}})
+	const trials = 400
+	faulted := 0
+	for i := 0; i < trials; i++ {
+		c1, c2 := net.Pipe()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = io.Copy(io.Discard, c2)
+		}()
+		w := in.Wrap(c1)
+		if _, err := w.Write([]byte("x")); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("trial %d: non-injected error %v", i, err)
+			}
+			faulted++
+		}
+		c1.Close()
+		c2.Close()
+		wg.Wait()
+	}
+	if faulted != int(in.Faults()) {
+		t.Fatalf("observed %d faults, injector counted %d", faulted, in.Faults())
+	}
+	// 50% ± generous slack for 400 seeded trials.
+	if faulted < trials/4 || faulted > trials*3/4 {
+		t.Fatalf("reset rate %d/%d far from configured 50%%", faulted, trials)
+	}
+}
+
+func TestZeroProbabilitiesInjectNothing(t *testing.T) {
+	in := New(Options{Seed: 7})
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	go func() { _, _ = io.Copy(io.Discard, c2) }()
+	w := in.Wrap(c1)
+	defer w.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := w.Write([]byte("y")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if in.Faults() != 0 {
+		t.Fatalf("faults=%d, want 0", in.Faults())
+	}
+}
+
+func TestWrappedConnKeepsDeadlines(t *testing.T) {
+	ln := echoListener(t)
+	defer ln.Close()
+
+	in := New(Options{Seed: 1})
+	c, err := in.Dial(nil)("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetReadDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatalf("SetReadDeadline through wrapper: %v", err)
+	}
+	buf := make([]byte, 1)
+	_, err = c.Read(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read past deadline: got %v, want timeout", err)
+	}
+}

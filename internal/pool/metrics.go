@@ -44,6 +44,14 @@ type Metrics struct {
 	staleRebinds    atomic.Int64
 	evictions       atomic.Int64
 
+	degradedFTS          atomic.Int64
+	retryBudgetExhausted atomic.Int64
+
+	// faultSource, when set, reports how many faults an external
+	// injector (faultwire) has put on this pool's wire; snapshots read
+	// it so chaos runs can watch fault counts on the live endpoint.
+	faultSource atomic.Pointer[func() int64]
+
 	lat histogram
 }
 
@@ -67,6 +75,21 @@ func (m *Metrics) RecordCall(ci core.CallInfo, err error, d time.Duration) {
 	m.shifts.Add(int64(ci.Shifts))
 	m.steals.Add(int64(ci.Steals))
 	m.lat.observe(d)
+	if ci.Degraded && ci.Match == core.FirstTime {
+		m.degradedFTS.Add(1)
+	}
+}
+
+// SetFaultSource registers a callback reporting the running fault count
+// of an external injector (e.g. faultwire.Injector.Faults). Snapshots
+// include its value as faults_injected. Safe for concurrent use; pass
+// nil to detach.
+func (m *Metrics) SetFaultSource(f func() int64) {
+	if f == nil {
+		m.faultSource.Store(nil)
+		return
+	}
+	m.faultSource.Store(&f)
 }
 
 // Stats is a point-in-time snapshot of the registry, JSON-marshalable in
@@ -109,6 +132,16 @@ type Stats struct {
 	// TemplateEvictions counts (operation, signature) replica sets
 	// dropped by the per-operation LRU cap.
 	TemplateEvictions int64 `json:"template_evictions"`
+
+	// FaultsInjected is the external fault injector's running count
+	// (zero unless a fault source is registered; see SetFaultSource).
+	FaultsInjected int64 `json:"faults_injected"`
+	// RetryBudgetExhausted counts calls that failed because repair and
+	// retry work exceeded Options.RetryBudget.
+	RetryBudgetExhausted int64 `json:"retry_budget_exhausted"`
+	// DegradedFTS counts successful calls served as a degraded
+	// first-time send because a prior failure poisoned the template.
+	DegradedFTS int64 `json:"degraded_fts"`
 
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP90 time.Duration `json:"latency_p90_ns"`
@@ -155,10 +188,16 @@ func (m *Metrics) Snapshot() Stats {
 		TemplateStaleRebinds: m.staleRebinds.Load(),
 		TemplateEvictions:    m.evictions.Load(),
 
+		RetryBudgetExhausted: m.retryBudgetExhausted.Load(),
+		DegradedFTS:          m.degradedFTS.Load(),
+
 		LatencyP50: m.lat.quantile(0.50),
 		LatencyP90: m.lat.quantile(0.90),
 		LatencyP99: m.lat.quantile(0.99),
 		LatencyMax: time.Duration(m.lat.max.Load()),
+	}
+	if f := m.faultSource.Load(); f != nil {
+		s.FaultsInjected = (*f)()
 	}
 	s.BytesSaved = s.BytesOnWire - s.BytesSerialized
 	return s

@@ -19,6 +19,7 @@
 package pool
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -60,6 +61,12 @@ type Options struct {
 	DialAttempts     int
 	RedialBackoff    time.Duration
 	RedialBackoffMax time.Duration
+	// RetryBudget bounds the total wall-clock one Call may spend on
+	// connection repair, backoff sleeps and retries (default 10s).
+	// Together with MaxRetries and DialAttempts it makes every failure
+	// path bounded in both count and time: when the budget runs out the
+	// Call fails with ErrRetryBudgetExhausted instead of redialing on.
+	RetryBudget time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +92,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RedialBackoffMax <= 0 {
 		o.RedialBackoffMax = time.Second
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 10 * time.Second
 	}
 	return o
 }
@@ -126,15 +136,25 @@ func New(opts Options) (*Pool, error) {
 	}, nil
 }
 
+// ErrRetryBudgetExhausted is wrapped by Call when a call's repair/retry
+// work exceeds Options.RetryBudget: the failure is bounded in wall-clock,
+// not just attempt count.
+var ErrRetryBudgetExhausted = fmt.Errorf("pool: retry budget exhausted")
+
 // Call serializes and sends m through a pooled connection, reusing the
 // shared template for m's operation and structure. On a send error the
 // connection is repaired (redial with backoff) and the call retried up
-// to MaxRetries times before the error is returned.
+// to MaxRetries times — all within the RetryBudget wall-clock bound —
+// before the error is returned. A send that fails mid-template marks
+// that template suspect in the engine; the retry (or the structure's
+// next call) degrades to a full first-time serialization rather than
+// trusting possibly half-delivered bytes.
 //
 // Call is safe for concurrent use with distinct messages; a given
 // message must not have two Calls in flight at once (see Pool).
 func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
-	start := time.Now()
+	start := p.senders.now()
+	deadline := start.Add(p.opts.RetryBudget)
 	ps, err := p.senders.checkout()
 	if err != nil {
 		return core.CallInfo{}, err
@@ -150,7 +170,7 @@ func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 		// any retry's repair. (A retry may therefore land on a different
 		// replica; acquire detects that and forces a full value rewrite.)
 		var sink core.Sink
-		sink, err = p.senders.ensure(ps)
+		sink, err = p.senders.ensure(ps, deadline)
 		if err != nil {
 			break
 		}
@@ -165,9 +185,17 @@ func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 		if attempt >= p.opts.MaxRetries {
 			break
 		}
+		if !p.senders.now().Before(deadline) {
+			err = fmt.Errorf("pool: send failed and no budget to retry: %w (last error: %v)",
+				ErrRetryBudgetExhausted, err)
+			break
+		}
 		p.metrics.retries.Add(1)
 	}
-	p.metrics.RecordCall(ci, err, time.Since(start))
+	if errors.Is(err, ErrRetryBudgetExhausted) {
+		p.metrics.retryBudgetExhausted.Add(1)
+	}
+	p.metrics.RecordCall(ci, err, p.senders.now().Sub(start))
 	return ci, err
 }
 

@@ -143,13 +143,19 @@ func TestPoolRetriesBrokenConnection(t *testing.T) {
 	if err != nil {
 		t.Fatalf("call 3 should have been retried transparently: %v", err)
 	}
-	if ci.Match != core.StructuralMatch {
-		t.Fatalf("retried call match = %v, want structural match (dirty bits preserved)", ci.Match)
+	// The failed send poisoned the template, so the transparent retry is
+	// a degraded first-time send — never a diff against bytes the server
+	// may have half-received.
+	if ci.Match != core.FirstTime || !ci.Degraded {
+		t.Fatalf("retried call: match=%v degraded=%v, want degraded first-time send", ci.Match, ci.Degraded)
 	}
 	st := p.Stats()
 	if st.Errors != 0 || st.Retries != 1 || st.Dials != 2 {
 		t.Fatalf("stats after retry: errors=%d retries=%d dials=%d, want 0/1/2",
 			st.Errors, st.Retries, st.Dials)
+	}
+	if st.DegradedFTS != 1 {
+		t.Fatalf("degraded_fts=%d, want 1", st.DegradedFTS)
 	}
 }
 

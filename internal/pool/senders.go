@@ -37,6 +37,12 @@ type senderPool struct {
 	backoffBase  time.Duration
 	backoffMax   time.Duration
 
+	// now and sleep are the pool's clock, injectable so backoff growth,
+	// jitter bounds and the retry budget are testable without real
+	// sleeps. Defaults: time.Now / time.Sleep.
+	now   func() time.Time
+	sleep func(time.Duration)
+
 	metrics *Metrics
 
 	mu     sync.Mutex
@@ -56,6 +62,8 @@ func newSenderPool(size int, dial func() (core.Sink, error), opts Options, m *Me
 		dialAttempts: opts.DialAttempts,
 		backoffBase:  opts.RedialBackoff,
 		backoffMax:   opts.RedialBackoffMax,
+		now:          time.Now,
+		sleep:        time.Sleep,
 		metrics:      m,
 		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
@@ -107,18 +115,24 @@ func (sp *senderPool) checkin(ps *pooledSender) {
 }
 
 // ensure hands back a healthy sink for the slot, lazily dialing or
-// repairing it with backoff. It runs on the slot owner's goroutine, and
-// Pool.Call invokes it before acquiring a template replica so the
-// backoff sleeps here only ever hold the pool slot — never a replica
-// lock that other callers of a hot operation could be queued on.
-func (sp *senderPool) ensure(ps *pooledSender) (core.Sink, error) {
+// repairing it with backoff, never sleeping past deadline (the Call's
+// retry budget). It runs on the slot owner's goroutine, and Pool.Call
+// invokes it before acquiring a template replica so the backoff sleeps
+// here only ever hold the pool slot — never a replica lock that other
+// callers of a hot operation could be queued on.
+func (sp *senderPool) ensure(ps *pooledSender, deadline time.Time) (core.Sink, error) {
 	if ps.sink != nil && !ps.broken {
 		return ps.sink, nil
 	}
 	var lastErr error
 	for attempt := 0; attempt < sp.dialAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(sp.backoff(attempt))
+			d := sp.backoff(attempt)
+			if sp.now().Add(d).After(deadline) {
+				return nil, fmt.Errorf("pool: connection unavailable: %w (after %d attempts, last error: %v)",
+					ErrRetryBudgetExhausted, attempt, lastErr)
+			}
+			sp.sleep(d)
 		}
 		if ps.broken {
 			if s, ok := ps.sink.(*transport.Sender); ok {

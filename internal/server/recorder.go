@@ -1,0 +1,67 @@
+package server
+
+import (
+	"sync"
+
+	"bsoap/internal/transport"
+)
+
+// Recorder is a conformance-test endpoint: it keeps a verbatim copy of
+// every request body the transport accepted, so a test can later prove
+// that what the server received is byte-equivalent to a from-scratch
+// serialization of the client's values. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	bodies  [][]byte
+	limit   int
+	dropped int64
+}
+
+// NewRecorder builds a recorder retaining at most limit bodies (<= 0
+// means unbounded). Bodies beyond the limit are counted as dropped
+// rather than silently lost.
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// HTTPHandler adapts the recorder to the transport server. The handler
+// returns no response body; run the transport with Respond: true so
+// clients that expect a response get an empty 200.
+func (r *Recorder) HTTPHandler() transport.Handler {
+	return func(req *transport.Request) ([]byte, error) {
+		body := make([]byte, len(req.Body))
+		copy(body, req.Body)
+		r.mu.Lock()
+		if r.limit > 0 && len(r.bodies) >= r.limit {
+			r.dropped++
+		} else {
+			r.bodies = append(r.bodies, body)
+		}
+		r.mu.Unlock()
+		return nil, nil
+	}
+}
+
+// Bodies returns a snapshot of the recorded request bodies, in arrival
+// order.
+func (r *Recorder) Bodies() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]byte, len(r.bodies))
+	copy(out, r.bodies)
+	return out
+}
+
+// Count reports recorded bodies.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.bodies)
+}
+
+// Dropped reports bodies discarded by the retention limit.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

@@ -42,6 +42,17 @@ type SenderOptions struct {
 	// to gSOAP, complementary to (and measurable against) differential
 	// serialization. Streamed (overlay) sends are never compressed.
 	Compress bool
+	// Dialer overrides the TCP dial used by Dial and Redial (fault
+	// injection, tests, alternative transports). nil selects the default
+	// dialer with the paper's socket options.
+	Dialer func(network, addr string) (net.Conn, error)
+	// WriteTimeout bounds the socket writes of one Send/stream operation:
+	// the write deadline is re-armed at the start of each operation, so a
+	// peer that stops draining cannot stall a pooled sender forever. Zero
+	// disables the deadline.
+	WriteTimeout time.Duration
+	// ReadTimeout bounds each response read the same way. Zero disables.
+	ReadTimeout time.Duration
 }
 
 // Sender frames serialized messages as HTTP POSTs over one persistent
@@ -87,9 +98,10 @@ func NewSender(conn net.Conn, opts SenderOptions) *Sender {
 
 // Dial connects to addr over TCP with the socket options the paper sets
 // (TCP_NODELAY, 32 KiB send and receive buffers, keep-alive) and returns
-// a Sender.
+// a Sender. With opts.Dialer set, that dialer establishes the connection
+// instead (and is reused by Redial).
 func Dial(addr string, opts SenderOptions) (*Sender, error) {
-	conn, err := dialConn(addr)
+	conn, err := dialConn(addr, opts.Dialer)
 	if err != nil {
 		return nil, err
 	}
@@ -98,11 +110,14 @@ func Dial(addr string, opts SenderOptions) (*Sender, error) {
 	return s, nil
 }
 
-// dialConn establishes one experiment-configured TCP connection.
-func dialConn(addr string) (net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+// DefaultDialer establishes one experiment-configured TCP connection:
+// TCP_NODELAY, keep-alive, 32 KiB socket buffers, 10s dial timeout. It
+// is the dial SenderOptions.Dialer overrides, exported so wrappers
+// (fault injection) can keep the same socket configuration underneath.
+func DefaultDialer(network, addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout(network, addr, 10*time.Second)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		// Errors here are advisory: the experiment still runs without
@@ -111,6 +126,18 @@ func dialConn(addr string) (net.Conn, error) {
 		_ = tc.SetKeepAlive(true)
 		_ = tc.SetWriteBuffer(32 * 1024)
 		_ = tc.SetReadBuffer(32 * 1024)
+	}
+	return conn, nil
+}
+
+// dialConn dials addr through the given dialer (nil = DefaultDialer).
+func dialConn(addr string, dialer func(network, addr string) (net.Conn, error)) (net.Conn, error) {
+	if dialer == nil {
+		dialer = DefaultDialer
+	}
+	conn, err := dialer("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	return conn, nil
 }
@@ -143,7 +170,7 @@ func (s *Sender) Redial() error {
 		return ErrNotDialed
 	}
 	_ = s.Close()
-	conn, err := dialConn(s.addr)
+	conn, err := dialConn(s.addr, s.opts.Dialer)
 	if err != nil {
 		return err
 	}
@@ -153,6 +180,22 @@ func (s *Sender) Redial() error {
 	s.closed.Store(false)
 	s.streaming = false
 	return nil
+}
+
+// armWrite re-arms the per-operation write deadline (no-op when
+// WriteTimeout is zero). Errors are ignored: on a dead connection the
+// write that follows surfaces the failure with better context.
+func (s *Sender) armWrite() {
+	if s.opts.WriteTimeout > 0 {
+		_ = s.conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+}
+
+// armRead re-arms the per-operation read deadline the same way.
+func (s *Sender) armRead() {
+	if s.opts.ReadTimeout > 0 {
+		_ = s.conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+	}
 }
 
 // writeRequestHead writes the request line and common headers, leaving
@@ -185,6 +228,7 @@ func (s *Sender) Send(bufs net.Buffers) error {
 	if s.opts.Compress {
 		return s.sendCompressed(bufs)
 	}
+	s.armWrite()
 	total := 0
 	for _, b := range bufs {
 		total += len(b)
@@ -208,6 +252,7 @@ func (s *Sender) Send(bufs net.Buffers) error {
 
 // sendCompressed gzips the body and frames it with Content-Encoding.
 func (s *Sender) sendCompressed(bufs net.Buffers) error {
+	s.armWrite()
 	s.gzBuf.Reset()
 	if s.gz == nil {
 		s.gz = gzip.NewWriter(&s.gzBuf)
@@ -246,6 +291,7 @@ func (s *Sender) BeginStream() error {
 	if s.streaming {
 		return fmt.Errorf("transport: BeginStream during active stream")
 	}
+	s.armWrite()
 	if err := s.writeRequestHead(); err != nil {
 		return fmt.Errorf("transport: begin stream: %w", err)
 	}
@@ -265,6 +311,7 @@ func (s *Sender) StreamChunk(p []byte) error {
 	if len(p) == 0 {
 		return nil // a zero-length chunk would terminate the body
 	}
+	s.armWrite()
 	if _, err := s.bw.WriteString(strconv.FormatInt(int64(len(p)), 16) + "\r\n"); err != nil {
 		return fmt.Errorf("transport: chunk head: %w", err)
 	}
@@ -283,6 +330,7 @@ func (s *Sender) EndStream() error {
 		return fmt.Errorf("transport: EndStream outside a stream")
 	}
 	s.streaming = false
+	s.armWrite()
 	if _, err := s.bw.WriteString("0\r\n\r\n"); err != nil {
 		return fmt.Errorf("transport: end stream: %w", err)
 	}
@@ -302,6 +350,7 @@ func (s *Sender) Roundtrip(bufs net.Buffers) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.armRead()
 	resp, err := ReadResponse(s.br)
 	if err != nil {
 		return nil, err
@@ -313,6 +362,7 @@ func (s *Sender) maybeReadResponse() error {
 	if !s.opts.ExpectResponse {
 		return nil
 	}
+	s.armRead()
 	resp, err := ReadResponse(s.br)
 	if err != nil {
 		return err
