@@ -147,6 +147,7 @@ func BenchmarkFig05StructuralMatchDouble(b *testing.B) {
 // (excluded from the timer) and measures one grow-everything send.
 func benchWorstShift(b *testing.B, chunkSize int, build func(n int) (*wire.Message, func()), n int) {
 	sink := transport.NewDiscardSink()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

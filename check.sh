@@ -16,6 +16,14 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Allocation gates: AllocsPerRun is unreliable under the race detector
+# (instrumentation allocates), so the steady-state zero-alloc contract
+# gets its own plain run. The bench smoke (-benchtime=100x) confirms the
+# figure benchmarks still execute and report allocs without paying for a
+# full sweep.
+go test -run 'TestSteadyState' .
+go test -run '^$' -bench 'Fig0[12]' -benchtime=100x -benchmem .
+
 # Fuzz smoke: run every fuzz target briefly so a parser regression that
 # only random inputs catch fails the gate, not a user. FUZZTIME=0 skips
 # (the corpus-replay runs in `go test` above still cover committed

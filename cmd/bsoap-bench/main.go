@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ func main() {
 		maxSize = flag.Int("max-size", 10000, "largest array size swept (paper used 100000)")
 		tcp     = flag.String("tcp", "", "send over TCP to a discard server at host:port instead of in-process")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
+		jsonOut = flag.String("json", "", "write machine-readable results (ns/op, B/op, allocs/op per point) to this path; 'auto' selects BENCH_<date>.json")
 	)
 	flag.Parse()
 
@@ -62,12 +64,14 @@ func main() {
 	}
 
 	runners := bench.Figures()
+	var figures []*bench.Figure
 	for _, id := range ids {
 		start := time.Now()
 		fig, err := runners[id](opts)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
+		figures = append(figures, fig)
 		if err := fig.WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
@@ -85,6 +89,42 @@ func main() {
 			}
 		}
 	}
+
+	if *jsonOut != "" {
+		path := *jsonOut
+		if path == "auto" {
+			path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+		}
+		doc := struct {
+			Date    string          `json:"date"`
+			Reps    int             `json:"reps"`
+			MaxSize int             `json:"max_size"`
+			Sink    string          `json:"sink"`
+			Figures []*bench.Figure `json:"figures"`
+		}{
+			Date:    time.Now().Format(time.RFC3339),
+			Reps:    *reps,
+			MaxSize: *maxSize,
+			Sink:    sinkName(*tcp),
+			Figures: figures,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", path)
+	}
+}
+
+// sinkName names the measurement sink for the JSON metadata.
+func sinkName(tcp string) string {
+	if tcp != "" {
+		return "tcp " + tcp
+	}
+	return "in-process discard"
 }
 
 // parseFigs turns "1,2,12" or "all" into figure IDs.

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof" // -pprof flag: live heap/alloc profiles
 	"os"
 	"strings"
 	"sync"
@@ -49,6 +50,7 @@ func main() {
 		shards    = flag.Int("shards", 16, "template store shards")
 		mix       = flag.String("mix", "60/30/10", "percent of iterations that are untouched/touched/grown")
 		metrics   = flag.String("metrics", "", "serve live metrics JSON on this address (e.g. :8123)")
+		pprofSrv  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) — verify the send path's allocation profile under load")
 		rpc       = flag.Bool("rpc", false, "read one HTTP response per call (pair with a responding server, e.g. -mode record)")
 		maxErr    = flag.Float64("max-err", 0, "max tolerated error rate in percent before exiting nonzero")
 		chaos     = flag.Float64("chaos", 0, "inject faults: connection-reset probability per socket op (plus partial writes, mid-stream closes and dial failures at a quarter of it)")
@@ -116,6 +118,15 @@ func main() {
 			}
 		}()
 		fmt.Printf("bsoap-loadgen: metrics JSON on http://%s/\n", *metrics)
+	}
+	if *pprofSrv != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "bsoap-loadgen: pprof endpoint:", err)
+			}
+		}()
+		fmt.Printf("bsoap-loadgen: pprof on http://%s/debug/pprof/\n", *pprofSrv)
 	}
 
 	// Probe the target before spawning the fleet so a missing server is

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof flag: live heap/alloc profiles
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,14 +37,25 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9999", "listen address")
-		mode    = flag.String("mode", "discard", "discard | sum | mcs | flock | record")
-		respond = flag.Bool("respond", true, "answer every request (discard mode defaults to silent)")
-		diff    = flag.Bool("diff", true, "use differential deserialization in SOAP modes")
-		quiet   = flag.Bool("quiet", false, "suppress per-connection error logging")
-		recCap  = flag.Int("record-limit", 10000, "record mode: max bodies kept in memory (0 = unbounded)")
+		addr     = flag.String("addr", "127.0.0.1:9999", "listen address")
+		mode     = flag.String("mode", "discard", "discard | sum | mcs | flock | record")
+		respond  = flag.Bool("respond", true, "answer every request (discard mode defaults to silent)")
+		diff     = flag.Bool("diff", true, "use differential deserialization in SOAP modes")
+		quiet    = flag.Bool("quiet", false, "suppress per-connection error logging")
+		recCap   = flag.Int("record-limit", 10000, "record mode: max bodies kept in memory (0 = unbounded)")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) — verify the receive path's allocation profile under load")
 	)
 	flag.Parse()
+
+	if *pprofSrv != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "bsoap-server: pprof endpoint:", err)
+			}
+		}()
+		fmt.Printf("bsoap-server: pprof on http://%s/debug/pprof/\n", *pprofSrv)
+	}
 
 	var logger *log.Logger
 	if !*quiet {

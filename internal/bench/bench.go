@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
@@ -15,25 +16,36 @@ import (
 	"bsoap/internal/transport"
 )
 
-// Point is one measurement: array size → average send time.
+// Sample aggregates what one timed measurement observed per call:
+// wall-clock and — since the buffer-ownership refactor made steady-state
+// sends allocation-free — the heap traffic, so regressions show up in
+// the recorded artifacts, not just in ns.
+type Sample struct {
+	Millis      float64 `json:"millis"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Point is one measurement: array size → per-call sample.
 type Point struct {
-	X      int
-	Millis float64
+	X int `json:"x"`
+	Sample
 }
 
 // Series is one labelled line of a figure.
 type Series struct {
-	Label  string
-	Points []Point
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
 }
 
 // Figure is one reproduced evaluation figure.
 type Figure struct {
-	ID     string // "fig01" … "fig12"
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
+	ID     string   `json:"id"` // "fig01" … "fig12"
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
 }
 
 // Options configure a run.
@@ -104,34 +116,64 @@ func (o Options) linearSizes() []int {
 }
 
 // timeCalls measures the average wall time of reps invocations of f.
-func timeCalls(reps int, f func() error) (float64, error) {
+func timeCalls(reps int, f func() error) (Sample, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	var total time.Duration
 	for i := 0; i < reps; i++ {
 		start := time.Now()
 		if err := f(); err != nil {
-			return 0, err
+			return Sample{}, err
 		}
 		total += time.Since(start)
 	}
-	return float64(total.Microseconds()) / float64(reps) / 1000.0, nil
+	runtime.ReadMemStats(&m1)
+	return newSample(total, reps, &m0, &m1), nil
+}
+
+// newSample folds a timing total and the MemStats delta around it into
+// per-call figures.
+func newSample(total time.Duration, reps int, m0, m1 *runtime.MemStats) Sample {
+	r := float64(reps)
+	return Sample{
+		Millis:      float64(total.Microseconds()) / r / 1000.0,
+		NsPerOp:     float64(total.Nanoseconds()) / r,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / r,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / r,
+	}
 }
 
 // timePrepared measures reps rounds of (untimed prepare, timed send) —
 // used when each repetition must reset template state (worst-case
 // shifting, stuffing tag shifts).
-func timePrepared(reps int, prepare func() error, send func() error) (float64, error) {
+func timePrepared(reps int, prepare func() error, send func() error) (Sample, error) {
+	// The allocation window brackets only the timed sends; prepare runs
+	// between ReadMemStats... which would charge its garbage to the
+	// sample, so instead each rep measures around the send alone.
 	var total time.Duration
+	var allocs, bytes uint64
+	var m0, m1 runtime.MemStats
 	for i := 0; i < reps; i++ {
 		if err := prepare(); err != nil {
-			return 0, err
+			return Sample{}, err
 		}
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		if err := send(); err != nil {
-			return 0, err
+			return Sample{}, err
 		}
 		total += time.Since(start)
+		runtime.ReadMemStats(&m1)
+		allocs += m1.Mallocs - m0.Mallocs
+		bytes += m1.TotalAlloc - m0.TotalAlloc
 	}
-	return float64(total.Microseconds()) / float64(reps) / 1000.0, nil
+	r := float64(reps)
+	return Sample{
+		Millis:      float64(total.Microseconds()) / r / 1000.0,
+		NsPerOp:     float64(total.Nanoseconds()) / r,
+		AllocsPerOp: float64(allocs) / r,
+		BytesPerOp:  float64(bytes) / r,
+	}, nil
 }
 
 // WriteText renders the figure as an aligned table: one row per size,

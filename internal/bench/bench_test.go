@@ -106,8 +106,8 @@ func TestWriteTextAndCSV(t *testing.T) {
 	fig := &Figure{
 		ID: "figXX", Title: "Test", XLabel: "size", YLabel: "Send Time",
 		Series: []Series{
-			{Label: "a", Points: []Point{{1, 0.5}, {10, 5}}},
-			{Label: "b", Points: []Point{{1, 1.5}}},
+			{Label: "a", Points: []Point{{X: 1, Sample: Sample{Millis: 0.5}}, {X: 10, Sample: Sample{Millis: 5}}}},
+			{Label: "b", Points: []Point{{X: 1, Sample: Sample{Millis: 1.5}}}},
 		},
 	}
 	var txt bytes.Buffer
@@ -131,8 +131,8 @@ func TestWriteTextAndCSV(t *testing.T) {
 
 func TestRatio(t *testing.T) {
 	fig := &Figure{Series: []Series{
-		{Label: "slow", Points: []Point{{10, 10}, {100, 100}}},
-		{Label: "fast", Points: []Point{{10, 1}, {100, 10}}},
+		{Label: "slow", Points: []Point{{X: 10, Sample: Sample{Millis: 10}}, {X: 100, Sample: Sample{Millis: 100}}}},
+		{Label: "fast", Points: []Point{{X: 10, Sample: Sample{Millis: 1}}, {X: 100, Sample: Sample{Millis: 10}}}},
 	}}
 	r, ok := fig.Ratio("slow", "fast")
 	if !ok || r != 10 {

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+
+	"bsoap/internal/membuf"
 )
 
 // DefaultChunkSize is the default capacity of a freshly allocated chunk.
@@ -33,6 +35,11 @@ type Config struct {
 	// during initial serialization, allowing shifts without reallocation.
 	// Zero selects ChunkSize/8.
 	TrailingSlack int
+	// Pool supplies chunk backing arrays. Nil selects membuf.Default.
+	// Arenas are returned to it by Buffer.Release (template discard and
+	// eviction paths); class rounding may grant chunks more capacity
+	// than requested, which only adds shift slack.
+	Pool *membuf.Pool
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -49,6 +56,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.TrailingSlack >= cfg.ChunkSize {
 		cfg.TrailingSlack = cfg.ChunkSize / 2
 	}
+	if cfg.Pool == nil {
+		cfg.Pool = membuf.Default
+	}
 	return cfg
 }
 
@@ -58,6 +68,7 @@ func (cfg Config) withDefaults() Config {
 // untouched.
 type Chunk struct {
 	buf        []byte // len = used bytes, cap = allocated
+	arena      *membuf.Buf
 	prev, next *Chunk
 	owner      *Buffer
 
@@ -153,7 +164,11 @@ func (b *Buffer) newChunk(capacity int) *Chunk {
 	if capacity < b.cfg.ChunkSize {
 		capacity = b.cfg.ChunkSize
 	}
-	c := &Chunk{buf: make([]byte, 0, capacity), owner: b}
+	a := b.cfg.Pool.Acquire(capacity)
+	// Three-index slice: the arena may be class-rounded above the
+	// requested capacity, but chunk growth/split behavior must match the
+	// configured sizes exactly, so the extra is hidden.
+	c := &Chunk{buf: a.B[0:0:capacity], arena: a, owner: b}
 	if b.tail == nil {
 		b.head, b.tail = c, c
 	} else {
@@ -235,9 +250,12 @@ func (b *Buffer) GrowChunk(c *Chunk, need int) {
 	if capacity < want {
 		capacity = want
 	}
-	nb := make([]byte, len(c.buf), capacity)
+	a := b.cfg.Pool.Acquire(capacity)
+	nb := a.B[0:len(c.buf):capacity]
 	copy(nb, c.buf)
 	c.buf = nb
+	c.arena.Release()
+	c.arena = a
 }
 
 // SplitChunk moves the bytes [at:Len()) of c into a freshly allocated
@@ -254,7 +272,8 @@ func (b *Buffer) SplitChunk(c *Chunk, at int) *Chunk {
 	if capacity < b.cfg.ChunkSize {
 		capacity = b.cfg.ChunkSize
 	}
-	nc := &Chunk{buf: make([]byte, movedLen, capacity), owner: b}
+	a := b.cfg.Pool.Acquire(capacity)
+	nc := &Chunk{buf: a.B[0:movedLen:capacity], arena: a, owner: b}
 	copy(nc.buf, c.buf[at:])
 	c.buf = c.buf[:at]
 
@@ -272,24 +291,48 @@ func (b *Buffer) SplitChunk(c *Chunk, at int) *Chunk {
 
 // Buffers returns the used byte ranges of every chunk, in order, suitable
 // for a vectored write (writev / net.Buffers). The slices alias chunk
-// storage.
+// storage. It allocates a fresh vector; steady-state send paths use
+// BuffersInto with a retained header instead.
 func (b *Buffer) Buffers() net.Buffers {
-	out := make(net.Buffers, 0, b.nchunks)
+	var out net.Buffers
+	return b.BuffersInto(&out)
+}
+
+// BuffersInto fills *dst with the used byte ranges of every chunk,
+// reusing dst's backing array — the allocation-free counterpart of
+// Buffers. The slices alias chunk storage; the vector is valid until the
+// buffer is next mutated or released. Returns the filled vector.
+func (b *Buffer) BuffersInto(dst *net.Buffers) net.Buffers {
+	out := (*dst)[:0]
 	for c := b.head; c != nil; c = c.next {
 		if len(c.buf) > 0 {
 			out = append(out, c.buf)
 		}
 	}
+	*dst = out
 	return out
 }
 
-// Bytes returns a copy of the buffer's contents as one contiguous slice.
-func (b *Buffer) Bytes() []byte {
-	out := make([]byte, 0, b.total)
-	for c := b.head; c != nil; c = c.next {
-		out = append(out, c.buf...)
+// AppendTo appends the buffer's contents to dst and returns the extended
+// slice — flattening without a fresh allocation when dst has capacity.
+func (b *Buffer) AppendTo(dst []byte) []byte {
+	if need := len(dst) + b.total; cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return out
+	for c := b.head; c != nil; c = c.next {
+		dst = append(dst, c.buf...)
+	}
+	return dst
+}
+
+// Bytes returns a copy of the buffer's contents as one contiguous slice.
+// It allocates per call and exists for tests, tools and cold paths; hot
+// paths flatten with AppendTo or send the chunks directly via
+// BuffersInto.
+func (b *Buffer) Bytes() []byte {
+	return b.AppendTo(make([]byte, 0, b.total))
 }
 
 // WriteTo writes the buffer's contents to w, chunk by chunk.
@@ -321,10 +364,27 @@ func (b *Buffer) Footprint() int {
 	return n
 }
 
-// Reset discards all chunks, keeping the configuration.
+// Reset discards all chunks without returning their arenas to the pool,
+// keeping the configuration. Use Release when the caller owns the buffer
+// exclusively and no slices into it remain live.
 func (b *Buffer) Reset() {
 	b.head, b.tail = nil, nil
 	b.nchunks, b.total = 0, 0
+}
+
+// Release returns every chunk's arena to the pool and resets the buffer.
+// The caller must hold exclusive ownership: no slice obtained from
+// Bytes-free accessors (chunk Bytes, Buffers, BuffersInto, AppendTo's
+// aliasing inputs) may be used afterwards. Owners that cannot prove
+// exclusivity (e.g. eviction racing in-flight sends) must Reset or simply
+// drop the buffer instead.
+func (b *Buffer) Release() {
+	for c := b.head; c != nil; c = c.next {
+		c.arena.Release()
+		c.arena = nil
+		c.buf = nil
+	}
+	b.Reset()
 }
 
 // CheckInvariants validates the internal consistency of the buffer:

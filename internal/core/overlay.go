@@ -26,8 +26,10 @@ import (
 // overlayState is the resident-chunk layout for one operation, rebuilt
 // whenever the message structure changes.
 type overlayState struct {
-	sig          string
-	head, tail   string
+	sig string
+	// head/tail are kept as []byte so the per-call StreamChunk sends
+	// need no string conversion (and hence no allocation).
+	head, tail   []byte
 	itemSpan     int   // bytes per item in the resident chunk
 	perItem      int   // scalar leaves per item
 	valueOff     []int // per-leaf value offset within the item span
@@ -81,7 +83,7 @@ func (s *Stub) CallOverlay(m *wire.Message, sink StreamSink) (CallInfo, error) {
 	if err := sink.BeginStream(); err != nil {
 		return ci, fmt.Errorf("core: overlay begin: %w", err)
 	}
-	if err := sink.StreamChunk([]byte(st.head)); err != nil {
+	if err := sink.StreamChunk(st.head); err != nil {
 		return ci, fmt.Errorf("core: overlay head: %w", err)
 	}
 	ci.Bytes += len(st.head)
@@ -91,7 +93,7 @@ func (s *Stub) CallOverlay(m *wire.Message, sink StreamSink) (CallInfo, error) {
 		if n > st.itemsPerMbuf {
 			n = st.itemsPerMbuf
 		}
-		portion, err := st.fillPortion(m, arr, base, n, 0, &ci)
+		portion, err := st.fillPortion(m, arr, base, n, 0, &s.scr, &ci)
 		if err != nil {
 			return ci, err
 		}
@@ -101,7 +103,7 @@ func (s *Stub) CallOverlay(m *wire.Message, sink StreamSink) (CallInfo, error) {
 		ci.Bytes += len(portion)
 	}
 
-	if err := sink.StreamChunk([]byte(st.tail)); err != nil {
+	if err := sink.StreamChunk(st.tail); err != nil {
 		return ci, fmt.Errorf("core: overlay tail: %w", err)
 	}
 	ci.Bytes += len(st.tail)
@@ -154,8 +156,8 @@ func buildOverlayState(m *wire.Message, cfg Config) (*overlayState, error) {
 		head += soapenv.ScalarStart(p.Name, p.Type) + string(enc) + soapenv.CloseTag(p.Name)
 	}
 	head += soapenv.ArrayStart(arr.Name, arr.Type.Elem, arr.Count)
-	st.head = head
-	st.tail = soapenv.ArrayEnd(arr.Name) + soapenv.OperationEnd(m.Operation()) + soapenv.EnvelopeEnd
+	st.head = []byte(head)
+	st.tail = []byte(soapenv.ArrayEnd(arr.Name) + soapenv.OperationEnd(m.Operation()) + soapenv.EnvelopeEnd)
 
 	// Per-item layout: collect scalar fields in document order and build
 	// the static frame (tags plus blank value fields) as one pass.
@@ -217,7 +219,7 @@ func buildOverlayState(m *wire.Message, cfg Config) (*overlayState, error) {
 // are laid out the first time the buffer must hold that many items;
 // afterwards only the values are rewritten — "the tags that describe
 // the data need not be rewritten" (§3.3).
-func (st *overlayState) fillPortion(m *wire.Message, arr wire.Param, base, n, buf int, ci *CallInfo) ([]byte, error) {
+func (st *overlayState) fillPortion(m *wire.Message, arr wire.Param, base, n, buf int, sc *scratch, ci *CallInfo) ([]byte, error) {
 	res := st.resident[buf]
 	if res == nil {
 		res = make([]byte, st.itemsPerMbuf*st.itemSpan)
@@ -227,13 +229,12 @@ func (st *overlayState) fillPortion(m *wire.Message, arr wire.Param, base, n, bu
 		copy(res[st.laidOut[buf]*st.itemSpan:], st.frame)
 		st.laidOut[buf]++
 	}
-	var scratch [xsdlex.MaxDoubleWidth]byte
 	for it := 0; it < n; it++ {
 		ibase := it * st.itemSpan
 		leaf := arr.First + (base+it)*st.perItem
 		for f := 0; f < st.perItem; f++ {
 			off := ibase + st.valueOff[f]
-			enc := encodeLeaf(m, leaf+f, m.LeafType(leaf+f), scratch[:])
+			enc := sc.encode(m, leaf+f, m.LeafType(leaf+f))
 			if len(enc) > st.valueWidth[f] {
 				return nil, fmt.Errorf("core: overlay value wider (%d) than field (%d); use a bounded WidthPolicy", len(enc), st.valueWidth[f])
 			}
@@ -295,7 +296,7 @@ func (s *Stub) CallOverlayPipelined(m *wire.Message, sink StreamSink) (CallInfo,
 		}
 	}
 
-	ok := send([]byte(st.head))
+	ok := send(st.head)
 	ci.Bytes += len(st.head)
 	buf := 0
 	for base := 0; ok && base < arr.Count; base += st.itemsPerMbuf {
@@ -303,7 +304,7 @@ func (s *Stub) CallOverlayPipelined(m *wire.Message, sink StreamSink) (CallInfo,
 		if n > st.itemsPerMbuf {
 			n = st.itemsPerMbuf
 		}
-		portion, ferr := st.fillPortion(m, arr, base, n, buf, &ci)
+		portion, ferr := st.fillPortion(m, arr, base, n, buf, &s.scr, &ci)
 		if ferr != nil {
 			werr := finish()
 			if werr != nil {
@@ -316,7 +317,7 @@ func (s *Stub) CallOverlayPipelined(m *wire.Message, sink StreamSink) (CallInfo,
 		buf ^= 1
 	}
 	if ok {
-		send([]byte(st.tail))
+		send(st.tail)
 		ci.Bytes += len(st.tail)
 	}
 	if err := finish(); err != nil {

@@ -33,7 +33,7 @@ func TestStoreConcurrentAccess(t *testing.T) {
 				arr.Set(0, float64(i))
 				m.ClearDirty()
 				if st.lookup(op, m.Signature()) == nil {
-					st.insert(op, newTemplate(m, cfg))
+					st.insert(op, newTemplate(m, cfg, new(scratch)))
 				}
 				if n := st.TemplateCount(); n < 0 {
 					t.Errorf("negative template count %d", n)
@@ -63,14 +63,14 @@ func TestStoreLookupMovesToFront(t *testing.T) {
 		return m
 	}
 	a, b, c := mk(1), mk(2), mk(3)
-	st.insert("op", newTemplate(a, cfg))
-	st.insert("op", newTemplate(b, cfg))
+	st.insert("op", newTemplate(a, cfg, new(scratch)))
+	st.insert("op", newTemplate(b, cfg, new(scratch)))
 
 	// Touch a so b becomes the LRU victim when c arrives.
 	if st.lookup("op", a.Signature()) == nil {
 		t.Fatal("template for a missing")
 	}
-	st.insert("op", newTemplate(c, cfg))
+	st.insert("op", newTemplate(c, cfg, new(scratch)))
 
 	if st.lookup("op", b.Signature()) != nil {
 		t.Error("b should have been evicted as least recently used")

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"bsoap/internal/wire"
+	"bsoap/internal/xsdlex"
 )
 
 // Store holds templates keyed by operation. Each Stub owns one by
@@ -53,13 +54,16 @@ func (st *Store) lookup(op, sig string) *Template {
 	return nil
 }
 
-// remove deletes the template with the given signature, if present.
+// remove deletes the template with the given signature, if present,
+// returning its arenas to the pool (callers discard suspect templates;
+// their bytes are no longer in flight once the failed send returned).
 func (st *Store) remove(op, sig string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	list := st.byOp[op]
 	for i, t := range list {
 		if t.sig == sig {
+			t.release()
 			st.byOp[op] = append(list[:i], list[i+1:]...)
 			return
 		}
@@ -67,15 +71,22 @@ func (st *Store) remove(op, sig string) {
 }
 
 // insert records a new template at the LRU front, evicting the least
-// recently used beyond capacity.
+// recently used beyond capacity. The rotation happens in place — on a
+// warm store this method allocates nothing — and an evicted template's
+// chunk arenas go back to the pool (safe here: insert runs under the
+// same external synchronization as the Calls that use the templates, so
+// nothing evicted can be mid-send).
 func (st *Store) insert(op string, t *Template) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	list := st.byOp[op]
-	list = append([]*Template{t}, list...)
-	if len(list) > st.cap {
-		list = list[:st.cap]
+	if len(list) < st.cap {
+		list = append(list, nil)
+	} else if victim := list[len(list)-1]; victim != nil {
+		victim.release()
 	}
+	copy(list[1:], list)
+	list[0] = t
 	st.byOp[op] = list
 }
 
@@ -101,6 +112,39 @@ type Stub struct {
 	stats    Stats
 	overlays map[string]*overlayState
 	flat     flatRenderer // DisableDiff reusable buffer
+	scr      scratch      // per-stub send scratch, alive across calls
+}
+
+// scratch is the stub's reusable working memory: everything a warm send
+// needs that is not part of the template itself. It is confined to the
+// owning stub (one goroutine at a time — for pooled replicas, whoever
+// holds the replica lock), so no locking is needed, and it is never
+// released: a steady-state send reuses it wholesale and performs zero
+// heap allocations.
+type scratch struct {
+	// bufs is the vectored-send header handed to Sink.Send, refilled
+	// from the template's chunks each call (see Buffer.BuffersInto).
+	bufs net.Buffers
+	// enc holds one leaf's lexical form. It starts at the numeric
+	// maximum width and grows to the longest string leaf seen, so
+	// re-serializing strings stays allocation-free once warm.
+	enc []byte
+}
+
+// encode renders leaf i's lexical form into the scratch buffer. The
+// returned slice aliases the scratch and is valid until the next encode.
+// When a string leaf escapes to more than the scratch holds, the grown
+// buffer is kept: the scratch converges on the longest leaf seen and
+// then stops allocating.
+func (sc *scratch) encode(m *wire.Message, i int, typ *wire.Type) []byte {
+	if cap(sc.enc) < xsdlex.MaxDoubleWidth {
+		sc.enc = make([]byte, 0, xsdlex.MaxDoubleWidth)
+	}
+	out := encodeLeaf(m, i, typ, sc.enc[:cap(sc.enc)])
+	if cap(out) > cap(sc.enc) {
+		sc.enc = out
+	}
+	return out
 }
 
 // NewStub returns a stub sending through sink.
@@ -138,7 +182,8 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 		data := s.flat.render(m)
 		ci.Bytes = len(data)
 		ci.BytesSerialized = len(data)
-		if err := s.sink.Send(net.Buffers{data}); err != nil {
+		s.scr.bufs = append(s.scr.bufs[:0], data)
+		if err := s.sink.Send(s.scr.bufs); err != nil {
 			return ci, fmt.Errorf("core: send: %w", err)
 		}
 		m.ClearDirty()
@@ -161,7 +206,7 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 	case tpl == nil:
 		// First-Time Send: serialize fully and save the template.
 		ci.Match = FirstTime
-		tpl = newTemplate(m, s.cfg)
+		tpl = newTemplate(m, s.cfg, &s.scr)
 		s.store.insert(op, tpl)
 
 	case tpl.msg == m && tpl.version == m.Version():
@@ -169,7 +214,7 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 			ci.Match = ContentMatch
 		} else {
 			ci.Match = StructuralMatch
-			tpl.applyDiff(m, &ci)
+			tpl.applyDiff(m, &ci, &s.scr)
 			if ci.Shifts > 0 || ci.Steals > 0 {
 				ci.Match = PartialMatch
 			}
@@ -184,7 +229,7 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 		tpl.version = m.Version()
 		m.MarkAllDirty()
 		ci.Match = StructuralMatch
-		tpl.applyDiff(m, &ci)
+		tpl.applyDiff(m, &ci, &s.scr)
 		if ci.Shifts > 0 || ci.Steals > 0 {
 			ci.Match = PartialMatch
 		}
@@ -194,7 +239,7 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 	if ci.Match == FirstTime {
 		ci.BytesSerialized = ci.Bytes
 	}
-	if err := s.sink.Send(tpl.buf.Buffers()); err != nil {
+	if err := s.sink.Send(tpl.buf.BuffersInto(&s.scr.bufs)); err != nil {
 		// The send died with the template bytes possibly half-delivered:
 		// mark the template suspect so the next call of this structure
 		// degrades to a full re-serialization instead of an incremental

@@ -86,9 +86,17 @@ func encodeLeaf(m *wire.Message, i int, typ *wire.Type, scratch []byte) []byte {
 	panic("core: encodeLeaf of non-scalar " + typ.Name)
 }
 
+// release returns the template's chunk arenas to the pool. Only the
+// template store calls this, on eviction or suspect removal, under the
+// same external synchronization as the Calls using the template — so
+// nothing released can still be mid-send.
+func (t *Template) release() {
+	t.buf.Release()
+}
+
 // newTemplate fully serializes m and records the DUT table — the
 // paper's First-Time Send.
-func newTemplate(m *wire.Message, cfg Config) *Template {
+func newTemplate(m *wire.Message, cfg Config, sc *scratch) *Template {
 	t := &Template{
 		sig:     m.Signature(),
 		msg:     m,
@@ -101,7 +109,7 @@ func newTemplate(m *wire.Message, cfg Config) *Template {
 	t.buf.AppendString(soapenv.OperationStart(m.Operation()))
 	leaf := 0
 	for _, p := range m.Params() {
-		leaf = t.emitParam(m, &p, leaf)
+		leaf = t.emitParam(m, &p, leaf, sc)
 	}
 	t.buf.AppendString(soapenv.OperationEnd(m.Operation()))
 	t.buf.AppendString(soapenv.EnvelopeEnd)
@@ -113,48 +121,47 @@ func newTemplate(m *wire.Message, cfg Config) *Template {
 
 // emitParam serializes one parameter starting at leaf index `leaf` and
 // returns the next leaf index.
-func (t *Template) emitParam(m *wire.Message, p *wire.Param, leaf int) int {
+func (t *Template) emitParam(m *wire.Message, p *wire.Param, leaf int, sc *scratch) int {
 	switch p.Type.Kind {
 	case wire.Array:
 		t.buf.AppendString(soapenv.ArrayStart(p.Name, p.Type.Elem, p.Count))
 		for i := 0; i < p.Count; i++ {
-			leaf = t.emitValue(m, p.Type.Elem, soapenv.ItemTag, leaf)
+			leaf = t.emitValue(m, p.Type.Elem, soapenv.ItemTag, leaf, sc)
 		}
 		t.buf.AppendString(soapenv.ArrayEnd(p.Name))
 	case wire.Struct:
 		t.buf.AppendString(soapenv.StructStart(p.Name, p.Type))
 		for _, f := range p.Type.Fields {
-			leaf = t.emitValue(m, f.Type, f.Name, leaf)
+			leaf = t.emitValue(m, f.Type, f.Name, leaf, sc)
 		}
 		t.buf.AppendString(soapenv.CloseTag(p.Name))
 	default:
 		open := soapenv.ScalarStart(p.Name, p.Type)
-		leaf = t.emitScalar(m, p.Type, open, soapenv.CloseTag(p.Name), leaf)
+		leaf = t.emitScalar(m, p.Type, open, soapenv.CloseTag(p.Name), leaf, sc)
 	}
 	return leaf
 }
 
 // emitValue serializes one value of type typ wrapped in <tag>…</tag>.
-func (t *Template) emitValue(m *wire.Message, typ *wire.Type, tag string, leaf int) int {
+func (t *Template) emitValue(m *wire.Message, typ *wire.Type, tag string, leaf int, sc *scratch) int {
 	if typ.Kind == wire.Struct {
 		open, cls := t.tagPair(tag)
 		t.buf.AppendString(open)
 		for _, f := range typ.Fields {
-			leaf = t.emitValue(m, f.Type, f.Name, leaf)
+			leaf = t.emitValue(m, f.Type, f.Name, leaf, sc)
 		}
 		t.buf.AppendString(cls)
 		return leaf
 	}
 	open, cls := t.tagPair(tag)
-	return t.emitScalar(m, typ, open, cls, leaf)
+	return t.emitScalar(m, typ, open, cls, leaf, sc)
 }
 
 // emitScalar serializes one scalar leaf with the configured stuffing and
 // records its DUT entry.
-func (t *Template) emitScalar(m *wire.Message, typ *wire.Type, open, cls string, leaf int) int {
+func (t *Template) emitScalar(m *wire.Message, typ *wire.Type, open, cls string, leaf int, sc *scratch) int {
 	t.buf.AppendString(open)
-	var scratch [xsdlex.MaxDoubleWidth]byte
-	enc := encodeLeaf(m, leaf, typ, scratch[:])
+	enc := sc.encode(m, leaf, typ)
 	width := t.cfg.Width.widthFor(typ, len(enc))
 	span := width + len(cls)
 	pos := t.buf.Reserve(span)
@@ -175,21 +182,20 @@ func (t *Template) emitScalar(m *wire.Message, typ *wire.Type, open, cls string,
 
 // applyDiff re-serializes exactly the dirty leaves of m into the
 // template, expanding fields as needed, and updates ci.
-func (t *Template) applyDiff(m *wire.Message, ci *CallInfo) {
-	var scratch [xsdlex.MaxDoubleWidth]byte
+func (t *Template) applyDiff(m *wire.Message, ci *CallInfo, sc *scratch) {
 	n := t.tab.Len()
 	for i := 0; i < n; i++ {
 		if !m.Dirty(i) {
 			continue
 		}
-		t.rewriteLeaf(m, i, scratch[:], ci)
+		t.rewriteLeaf(m, i, sc, ci)
 	}
 }
 
 // rewriteLeaf writes leaf i's current value into its template field.
-func (t *Template) rewriteLeaf(m *wire.Message, i int, scratch []byte, ci *CallInfo) {
+func (t *Template) rewriteLeaf(m *wire.Message, i int, sc *scratch, ci *CallInfo) {
 	e := t.tab.At(i)
-	enc := encodeLeaf(m, i, e.Type, scratch)
+	enc := sc.encode(m, i, e.Type)
 	if len(enc) > e.Width {
 		// Partial structural match: the field must be expanded.
 		deficit := len(enc) - e.Width

@@ -1,0 +1,8 @@
+//go:build !membufpoison
+
+package membuf
+
+// poisonDefault is false in normal builds: released arenas keep their
+// bytes until recycled. Build with -tags membufpoison to overwrite them
+// with PoisonByte and make any use-after-release visible immediately.
+const poisonDefault = false

@@ -1,0 +1,9 @@
+//go:build membufpoison
+
+package membuf
+
+// poisonDefault is true under the membufpoison tag: every Release
+// overwrites the arena with PoisonByte, so a holder that kept a slice
+// past release reads garbage deterministically instead of silently
+// racing the next owner.
+const poisonDefault = true

@@ -17,22 +17,61 @@ import (
 	"strings"
 )
 
-// Request is one parsed HTTP request.
+// Request is one parsed HTTP request. A Request reused across messages
+// with ReadRequestInto keeps its header map, body array and string
+// intern cache, so steady-state parsing on a keep-alive connection does
+// not allocate; consumers that retain any part of a reused request past
+// the next ReadRequestInto must copy it.
 type Request struct {
 	Method  string
 	Target  string
 	Proto   string
 	Headers map[string]string // keys lower-cased
 	Body    []byte
+
+	scratch parseScratch
 }
 
-// Response is one parsed HTTP response.
+// Response is one parsed HTTP response. The reuse contract matches
+// Request's: ReadResponseInto recycles the map, body and interns.
 type Response struct {
 	Proto   string
 	Status  int
 	Headers map[string]string
 	Body    []byte
+
+	scratch parseScratch
 }
+
+// parseScratch is the reusable state behind ReadRequestInto and
+// ReadResponseInto: a line buffer for headers longer than the reader's
+// window, the body backing array, and an intern cache mapping header and
+// status strings to previously allocated copies. On a connection
+// carrying the same shape of message repeatedly — the differential
+// steady state — every lookup hits and parsing allocates nothing.
+type parseScratch struct {
+	line    []byte
+	body    []byte
+	interns map[string]string
+}
+
+// intern returns the cached string equal to b, allocating only on first
+// sight. The cache is bounded; a pathological peer cycling values resets
+// it rather than growing it without limit.
+func (ps *parseScratch) intern(b []byte) string {
+	if s, ok := ps.interns[string(b)]; ok { // no alloc: lookup conversion
+		return s
+	}
+	if ps.interns == nil || len(ps.interns) >= maxInterned {
+		ps.interns = make(map[string]string, 16)
+	}
+	s := string(b)
+	ps.interns[s] = s
+	return s
+}
+
+// maxInterned bounds a connection's intern cache.
+const maxInterned = 1024
 
 // ErrConnClosed reports a cleanly closed connection between messages.
 var ErrConnClosed = errors.New("transport: connection closed")
@@ -44,12 +83,114 @@ const MaxHeaderBytes = 64 * 1024
 // below it).
 const MaxBodyBytes = 1 << 30
 
-// readHeaders parses "Key: Value" lines up to the blank line.
-func readHeaders(br *bufio.Reader) (map[string]string, error) {
-	h := make(map[string]string, 8)
+// readLine returns the next \n-terminated line including the terminator.
+// The fast path hands back a slice of br's internal buffer, valid only
+// until the next read; lines longer than the buffer accumulate into
+// *scratch. An incomplete final line is returned alongside its error.
+func readLine(br *bufio.Reader, scratch *[]byte) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == nil || err != bufio.ErrBufferFull {
+		return line, err
+	}
+	buf := append((*scratch)[:0], line...)
+	for {
+		line, err = br.ReadSlice('\n')
+		buf = append(buf, line...)
+		*scratch = buf
+		if err != bufio.ErrBufferFull {
+			return buf, err
+		}
+		if len(buf) > MaxHeaderBytes {
+			return buf, errors.New("transport: line too long")
+		}
+	}
+}
+
+// trimCRLF strips one trailing "\n" or "\r\n".
+func trimCRLF(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// lowerASCIIInPlace lowercases b where it lies. Callers pass slices of
+// already-consumed reader buffer or scratch, which nothing else reads.
+func lowerASCIIInPlace(b []byte) []byte {
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return b
+}
+
+// parseUintBytes is strconv.ParseUint(string(b), base, 32) without the
+// string conversion or allocation; base is 10 or 16.
+func parseUintBytes[T ~string | ~[]byte](b T, base uint64) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		var d uint64
+		switch {
+		case '0' <= c && c <= '9':
+			d = uint64(c - '0')
+		case base == 16 && 'a' <= c && c <= 'f':
+			d = uint64(c-'a') + 10
+		case base == 16 && 'A' <= c && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n*base + d
+		if n > 1<<32 {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// fields3 splits line into exactly three whitespace-separated tokens.
+func fields3(line []byte) (a, b, c []byte, ok bool) {
+	var out [3][]byte
+	n := 0
+	for i := 0; i < len(line); {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if n == 3 {
+			return nil, nil, nil, false
+		}
+		out[n] = line[start:i]
+		n++
+	}
+	return out[0], out[1], out[2], n == 3
+}
+
+// readHeadersInto parses "Key: Value" lines up to the blank line into h,
+// which is cleared and reused (or allocated when nil).
+func readHeadersInto(br *bufio.Reader, h map[string]string, ps *parseScratch) (map[string]string, error) {
+	if h == nil {
+		h = make(map[string]string, 8)
+	} else {
+		clear(h)
+	}
 	total := 0
 	for {
-		line, err := br.ReadString('\n')
+		line, err := readLine(br, &ps.line)
 		if err != nil {
 			return nil, fmt.Errorf("transport: reading header: %w", err)
 		}
@@ -57,23 +198,26 @@ func readHeaders(br *bufio.Reader) (map[string]string, error) {
 		if total > MaxHeaderBytes {
 			return nil, errors.New("transport: header section too large")
 		}
-		line = strings.TrimRight(line, "\r\n")
-		if line == "" {
+		line = trimCRLF(line)
+		if len(line) == 0 {
 			return h, nil
 		}
-		colon := strings.IndexByte(line, ':')
+		colon := bytes.IndexByte(line, ':')
 		if colon < 0 {
 			return nil, fmt.Errorf("transport: malformed header line %q", line)
 		}
-		key := strings.ToLower(strings.TrimSpace(line[:colon]))
-		h[key] = strings.TrimSpace(line[colon+1:])
+		key := lowerASCIIInPlace(bytes.TrimSpace(line[:colon]))
+		val := bytes.TrimSpace(line[colon+1:])
+		h[ps.intern(key)] = ps.intern(val)
 	}
 }
 
-// readBody consumes the message body per the framing headers,
-// transparently decoding gzip content encoding.
-func readBody(br *bufio.Reader, h map[string]string) ([]byte, error) {
-	body, err := readRawBody(br, h)
+// readBodyInto consumes the message body per the framing headers into
+// ps.body, transparently decoding gzip content encoding (the decode
+// path allocates; compressed connections are off the zero-alloc
+// contract).
+func readBodyInto(br *bufio.Reader, h map[string]string, ps *parseScratch) ([]byte, error) {
+	body, err := readRawBodyInto(br, h, ps)
 	if err != nil {
 		return nil, err
 	}
@@ -97,62 +241,72 @@ func readBody(br *bufio.Reader, h map[string]string) ([]byte, error) {
 	return body, nil
 }
 
-// readRawBody reads the framed (still possibly compressed) body bytes.
-func readRawBody(br *bufio.Reader, h map[string]string) ([]byte, error) {
+// readRawBodyInto reads the framed (still possibly compressed) body
+// bytes into ps.body.
+func readRawBodyInto(br *bufio.Reader, h map[string]string, ps *parseScratch) ([]byte, error) {
 	if te, ok := h["transfer-encoding"]; ok {
 		if !strings.EqualFold(te, "chunked") {
 			return nil, fmt.Errorf("transport: unsupported transfer encoding %q", te)
 		}
-		return readChunkedBody(br)
+		return readChunkedBodyInto(br, ps)
 	}
 	cl, ok := h["content-length"]
 	if !ok {
 		return nil, errors.New("transport: message without content-length or chunked encoding")
 	}
-	n, err := strconv.ParseInt(cl, 10, 64)
-	if err != nil || n < 0 || n > MaxBodyBytes {
+	n, okn := parseUintBytes(cl, 10)
+	if !okn || n > MaxBodyBytes {
 		return nil, fmt.Errorf("transport: bad content-length %q", cl)
 	}
-	body := make([]byte, n)
+	if uint64(cap(ps.body)) < n {
+		ps.body = make([]byte, n)
+	}
+	body := ps.body[:n]
 	if _, err := io.ReadFull(br, body); err != nil {
 		return nil, fmt.Errorf("transport: reading body: %w", err)
 	}
 	return body, nil
 }
 
-// readChunkedBody decodes an HTTP/1.1 chunked body.
-func readChunkedBody(br *bufio.Reader) ([]byte, error) {
-	var body []byte
+// readChunkedBodyInto decodes an HTTP/1.1 chunked body into ps.body.
+func readChunkedBodyInto(br *bufio.Reader, ps *parseScratch) ([]byte, error) {
+	body := ps.body[:0]
 	for {
-		line, err := br.ReadString('\n')
+		line, err := readLine(br, &ps.line)
 		if err != nil {
 			return nil, fmt.Errorf("transport: reading chunk size: %w", err)
 		}
-		line = strings.TrimRight(line, "\r\n")
-		if semi := strings.IndexByte(line, ';'); semi >= 0 {
+		line = trimCRLF(line)
+		if semi := bytes.IndexByte(line, ';'); semi >= 0 {
 			line = line[:semi] // chunk extensions, ignored
 		}
-		size, err := strconv.ParseUint(strings.TrimSpace(line), 16, 32)
-		if err != nil {
+		size, ok := parseUintBytes(bytes.TrimSpace(line), 16)
+		if !ok {
 			return nil, fmt.Errorf("transport: bad chunk size %q", line)
 		}
 		if size == 0 {
 			// Trailer section: consume up to the final blank line.
 			for {
-				t, err := br.ReadString('\n')
+				t, err := readLine(br, &ps.line)
 				if err != nil {
 					return nil, fmt.Errorf("transport: reading trailer: %w", err)
 				}
-				if strings.TrimRight(t, "\r\n") == "" {
+				if len(trimCRLF(t)) == 0 {
+					ps.body = body
 					return body, nil
 				}
 			}
 		}
-		if len(body)+int(size) > MaxBodyBytes {
+		if uint64(len(body))+size > MaxBodyBytes {
 			return nil, errors.New("transport: chunked body too large")
 		}
 		off := len(body)
-		body = append(body, make([]byte, size)...)
+		need := off + int(size)
+		for cap(body) < need {
+			body = append(body[:cap(body)], 0)
+		}
+		body = body[:need]
+		ps.body = body
 		if _, err := io.ReadFull(br, body[off:]); err != nil {
 			return nil, fmt.Errorf("transport: reading chunk data: %w", err)
 		}
@@ -166,71 +320,114 @@ func readChunkedBody(br *bufio.Reader) ([]byte, error) {
 // ReadRequest parses one HTTP request from br. io.EOF before the first
 // byte maps to ErrConnClosed so servers distinguish clean closes.
 func ReadRequest(br *bufio.Reader) (*Request, error) {
-	line, err := br.ReadString('\n')
-	if err != nil {
-		if err == io.EOF && line == "" {
-			return nil, ErrConnClosed
-		}
-		return nil, fmt.Errorf("transport: reading request line: %w", err)
-	}
-	parts := strings.Fields(strings.TrimRight(line, "\r\n"))
-	if len(parts) != 3 {
-		return nil, fmt.Errorf("transport: malformed request line %q", line)
-	}
-	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
-	if req.Headers, err = readHeaders(br); err != nil {
-		return nil, err
-	}
-	if req.Method == "GET" || req.Method == "HEAD" {
-		return req, nil
-	}
-	if req.Body, err = readBody(br, req.Headers); err != nil {
+	req := &Request{}
+	if err := ReadRequestInto(br, req); err != nil {
 		return nil, err
 	}
 	return req, nil
 }
 
+// ReadRequestInto parses one HTTP request into req, reusing its header
+// map, body backing and intern cache. Everything reachable from req is
+// valid only until the next ReadRequestInto on it.
+func ReadRequestInto(br *bufio.Reader, req *Request) error {
+	line, err := readLine(br, &req.scratch.line)
+	if err != nil {
+		if err == io.EOF && len(line) == 0 {
+			return ErrConnClosed
+		}
+		return fmt.Errorf("transport: reading request line: %w", err)
+	}
+	method, target, proto, ok := fields3(trimCRLF(line))
+	if !ok {
+		return fmt.Errorf("transport: malformed request line %q", line)
+	}
+	ps := &req.scratch
+	req.Method = ps.intern(method)
+	req.Target = ps.intern(target)
+	req.Proto = ps.intern(proto)
+	if req.Headers, err = readHeadersInto(br, req.Headers, ps); err != nil {
+		return err
+	}
+	req.Body = nil
+	if req.Method == "GET" || req.Method == "HEAD" {
+		return nil
+	}
+	req.Body, err = readBodyInto(br, req.Headers, ps)
+	return err
+}
+
 // ReadResponse parses one HTTP response from br.
 func ReadResponse(br *bufio.Reader) (*Response, error) {
-	line, err := br.ReadString('\n')
-	if err != nil {
-		if err == io.EOF && line == "" {
-			return nil, ErrConnClosed
-		}
-		return nil, fmt.Errorf("transport: reading status line: %w", err)
-	}
-	parts := strings.SplitN(strings.TrimRight(line, "\r\n"), " ", 3)
-	if len(parts) < 2 {
-		return nil, fmt.Errorf("transport: malformed status line %q", line)
-	}
-	status, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return nil, fmt.Errorf("transport: bad status %q", parts[1])
-	}
-	resp := &Response{Proto: parts[0], Status: status}
-	if resp.Headers, err = readHeaders(br); err != nil {
-		return nil, err
-	}
-	if status == 204 || status == 304 {
-		return resp, nil
-	}
-	if resp.Body, err = readBody(br, resp.Headers); err != nil {
+	resp := &Response{}
+	if err := ReadResponseInto(br, resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
 }
 
-// WriteResponse writes a complete HTTP/1.1 response with Content-Length
-// framing.
-func WriteResponse(w io.Writer, status int, contentType string, body []byte) error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, statusText(status))
-	if contentType != "" {
-		fmt.Fprintf(&b, "Content-Type: %s\r\n", contentType)
+// ReadResponseInto parses one HTTP response into resp under the same
+// reuse contract as ReadRequestInto.
+func ReadResponseInto(br *bufio.Reader, resp *Response) error {
+	line, err := readLine(br, &resp.scratch.line)
+	if err != nil {
+		if err == io.EOF && len(line) == 0 {
+			return ErrConnClosed
+		}
+		return fmt.Errorf("transport: reading status line: %w", err)
 	}
-	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n", len(body))
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	line = trimCRLF(line)
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 {
+		return fmt.Errorf("transport: malformed status line %q", line)
+	}
+	proto, rest := line[:sp], line[sp+1:]
+	statusB := rest
+	if sp2 := bytes.IndexByte(rest, ' '); sp2 >= 0 {
+		statusB = rest[:sp2] // reason phrase ignored
+	}
+	status, ok := parseUintBytes(statusB, 10)
+	if !ok {
+		return fmt.Errorf("transport: bad status %q", statusB)
+	}
+	ps := &resp.scratch
+	resp.Proto = ps.intern(proto)
+	resp.Status = int(status)
+	if resp.Headers, err = readHeadersInto(br, resp.Headers, ps); err != nil {
 		return err
+	}
+	resp.Body = nil
+	if resp.Status == 204 || resp.Status == 304 {
+		return nil
+	}
+	resp.Body, err = readBodyInto(br, resp.Headers, ps)
+	return err
+}
+
+// WriteResponse writes a complete HTTP/1.1 response with Content-Length
+// framing. The header section is assembled in one stack buffer — no
+// per-response builder.
+func WriteResponse(w io.Writer, status int, contentType string, body []byte) error {
+	var hdr [160]byte
+	b := append(hdr[:0], "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(status), 10)
+	b = append(b, ' ')
+	b = append(b, statusText(status)...)
+	b = append(b, crlf...)
+	if contentType != "" {
+		b = append(b, "Content-Type: "...)
+		b = append(b, contentType...)
+		b = append(b, crlf...)
+	}
+	b = append(b, "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, crlf...)
+	b = append(b, crlf...)
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
 	}
 	_, err := w.Write(body)
 	return err

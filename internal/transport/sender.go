@@ -74,6 +74,11 @@ type Sender struct {
 	streaming bool
 	gz        *gzip.Writer
 	gzBuf     bytes.Buffer
+
+	// resp is reused across maybeReadResponse roundtrips: the ack of a
+	// warm send is parsed into recycled storage (Roundtrip, whose caller
+	// keeps the response, reads into a fresh one instead).
+	resp Response
 }
 
 // NewSender wraps an established connection.
@@ -363,12 +368,11 @@ func (s *Sender) maybeReadResponse() error {
 		return nil
 	}
 	s.armRead()
-	resp, err := ReadResponse(s.br)
-	if err != nil {
+	if err := ReadResponseInto(s.br, &s.resp); err != nil {
 		return err
 	}
-	if resp.Status/100 != 2 {
-		return fmt.Errorf("transport: server returned %d", resp.Status)
+	if s.resp.Status/100 != 2 {
+		return fmt.Errorf("transport: server returned %d", s.resp.Status)
 	}
 	return nil
 }

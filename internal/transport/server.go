@@ -137,8 +137,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	defer s.untrack(conn)
 	br := bufio.NewReaderSize(conn, 32*1024)
+	// One Request per connection, reused across keep-alive messages:
+	// handlers get storage that is recycled on the next read, and must
+	// copy anything they keep (both in-tree handlers do).
+	req := &Request{}
 	for {
-		req, err := ReadRequest(br)
+		err := ReadRequestInto(br, req)
 		if err != nil {
 			if !errors.Is(err, ErrConnClosed) && !s.closed.Load() {
 				s.logf("read request: %v", err)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bsoap_test
+
+const raceEnabled = false

@@ -1,0 +1,202 @@
+// Steady-state allocation gates: the contract the buffer-ownership
+// refactor establishes is that a warm send — the paper's measurement
+// regime, where templates exist and calls repeat — performs ZERO heap
+// allocations end to end. These tests enforce it with
+// testing.AllocsPerRun rather than benchmarks, so a regression fails
+// `go test ./...` instead of silently inflating allocs/op.
+//
+// The gates are skipped under the race detector (its instrumentation
+// allocates); check.sh runs them explicitly without -race.
+package bsoap_test
+
+import (
+	"testing"
+
+	"bsoap/internal/chunk"
+	"bsoap/internal/core"
+	"bsoap/internal/pool"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+)
+
+// gateAllocs asserts fn performs at most want allocations per run once
+// warm.
+func gateAllocs(t *testing.T, want float64, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	if got := testing.AllocsPerRun(100, fn); got > want {
+		t.Errorf("steady-state allocs/op = %v, want <= %v", got, want)
+	}
+}
+
+// TestSteadyStateAllocsMCM gates the cheapest path: a content match
+// resends the saved template untouched.
+func TestSteadyStateAllocsMCM(t *testing.T) {
+	sink := transport.NewDiscardSink()
+	stub := core.NewStub(core.Config{Chunk: chunk.Config{ChunkSize: 32 * 1024}}, sink)
+
+	m := wire.NewMessage("urn:bench", "echo")
+	arr := m.AddDoubleArray("values", 1000)
+	for i := 0; i < 1000; i++ {
+		arr.Set(i, float64(i))
+	}
+	if _, err := stub.Call(m); err != nil { // first-time send builds the template
+		t.Fatal(err)
+	}
+
+	gateAllocs(t, 0, func() {
+		if _, err := stub.Call(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSteadyStateAllocsPSM gates the differential path: every value
+// dirty each call, rewritten in place under full stuffing (no shifts).
+func TestSteadyStateAllocsPSM(t *testing.T) {
+	sink := transport.NewDiscardSink()
+	stub := core.NewStub(core.Config{
+		Chunk: chunk.Config{ChunkSize: 32 * 1024},
+		Width: core.WidthPolicy{Double: core.MaxWidth},
+	}, sink)
+
+	m := wire.NewMessage("urn:bench", "echo")
+	arr := m.AddDoubleArray("values", 1000)
+	for i := 0; i < 1000; i++ {
+		arr.Set(i, float64(i))
+	}
+	if _, err := stub.Call(m); err != nil {
+		t.Fatal(err)
+	}
+
+	v := 1.0
+	gateAllocs(t, 0, func() {
+		for i := 0; i < 1000; i++ {
+			arr.Set(i, v)
+		}
+		v++
+		if _, err := stub.Call(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSteadyStateAllocsPaSMSteal gates the partial-match path where a
+// growing field is served by stealing a neighbour's padding. Three
+// exact-width string leaves rotate which one holds the long value;
+// because leaves are rewritten in ascending order, the field that just
+// shrank always has donatable padding by the time a later field grows,
+// so once the combined widths stabilize every expansion is served by a
+// steal — never a shift or a chunk grow — and no call allocates.
+func TestSteadyStateAllocsPaSMSteal(t *testing.T) {
+	sink := transport.NewDiscardSink()
+	stub := core.NewStub(core.Config{
+		Chunk:          chunk.Config{ChunkSize: 32 * 1024},
+		EnableStealing: true,
+	}, sink)
+
+	const long, short = "xxxxxxxxxxxxxxxx", "y"
+	m := wire.NewMessage("urn:bench", "echo")
+	leaves := []wire.StringRef{
+		m.AddString("a", long),
+		m.AddString("b", short),
+		m.AddString("c", short),
+	}
+
+	phase := 0 // index of the leaf holding the long value
+	call := func() {
+		phase = (phase + 1) % 3
+		for i, l := range leaves {
+			if i == phase {
+				l.Set(long)
+			} else {
+				l.Set(short)
+			}
+		}
+		if _, err := stub.Call(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up past the transient shifts while total field width grows to
+	// its fixed point (two leaves' worth of long values).
+	if _, err := stub.Call(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		call()
+	}
+	before := stub.Stats()
+	gateAllocs(t, 0, call)
+	after := stub.Stats()
+	if after.Steals == before.Steals {
+		t.Fatalf("workload did not exercise stealing (steals %d -> %d)", before.Steals, after.Steals)
+	}
+	if after.Shifts != before.Shifts || after.Grows != before.Grows {
+		t.Fatalf("workload shifted/grew instead of stealing (shifts %d->%d grows %d->%d)",
+			before.Shifts, after.Shifts, before.Grows, after.Grows)
+	}
+}
+
+// TestSteadyStateAllocsPool gates the concurrent runtime's whole warm
+// path: checkout, replica acquire, differential send, metrics. The
+// engine being allocation-free is not enough if the runtime around it
+// churns per call.
+func TestSteadyStateAllocsPool(t *testing.T) {
+	p, err := pool.New(pool.Options{
+		Size: 2,
+		Dial: func() (core.Sink, error) { return transport.NewDiscardSink(), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	m := wire.NewMessage("urn:bench", "echo")
+	arr := m.AddDoubleArray("values", 100)
+	for i := 0; i < 100; i++ {
+		arr.Set(i, float64(i))
+	}
+	// Warm every replica the store may route this message to.
+	for i := 0; i < 20; i++ {
+		if _, err := p.Call(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gateAllocs(t, 0, func() {
+		if _, err := p.Call(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSteadyStateAllocsOverlay gates the chunk-overlaying path: once the
+// resident chunk is laid out, re-serializing an array many times its
+// size must not allocate.
+func TestSteadyStateAllocsOverlay(t *testing.T) {
+	sink := transport.NewDiscardSink()
+	stub := core.NewStub(core.Config{
+		Chunk: chunk.Config{ChunkSize: 4 * 1024},
+		Width: core.WidthPolicy{Double: core.MaxWidth},
+	}, sink)
+
+	m := wire.NewMessage("urn:bench", "echo")
+	arr := m.AddDoubleArray("values", 2000)
+	for i := 0; i < 2000; i++ {
+		arr.Set(i, float64(i))
+	}
+	if _, err := stub.CallOverlay(m, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	v := 1.0
+	gateAllocs(t, 0, func() {
+		arr.Set(0, v)
+		v++
+		if _, err := stub.CallOverlay(m, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
