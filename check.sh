@@ -18,11 +18,46 @@ go test -race ./...
 
 # Allocation gates: AllocsPerRun is unreliable under the race detector
 # (instrumentation allocates), so the steady-state zero-alloc contract
-# gets its own plain run. The bench smoke (-benchtime=100x) confirms the
-# figure benchmarks still execute and report allocs without paying for a
-# full sweep.
+# gets its own plain run — twice: once with the flight recorder off and
+# once recording every call (BSOAP_TRACE=1), since "recording never
+# allocates" is the tracer's core claim. The bench smoke
+# (-benchtime=100x) confirms the figure benchmarks still execute and
+# report allocs without paying for a full sweep.
 go test -run 'TestSteadyState' .
+BSOAP_TRACE=1 go test -count=1 -run 'TestSteadyState' .
 go test -run '^$' -bench 'Fig0[12]' -benchtime=100x -benchmem .
+
+# Observability smoke: a real loadgen run against a discard server with
+# the flight recorder on, then scrape both debug ports — /metrics must
+# parse as valid Prometheus exposition (bsoap-inspect validates it) and
+# /debug/trace must contain at least one complete call span.
+obs_smoke() {
+    tmp=$(mktemp -d)
+    go build -o "$tmp/bsoap-server" ./cmd/bsoap-server
+    go build -o "$tmp/bsoap-loadgen" ./cmd/bsoap-loadgen
+    go build -o "$tmp/bsoap-inspect" ./cmd/bsoap-inspect
+    "$tmp/bsoap-server" -mode discard -addr 127.0.0.1:29999 \
+        -metrics 127.0.0.1:28124 -quiet &
+    srv=$!
+    sleep 0.5
+    "$tmp/bsoap-loadgen" -addr 127.0.0.1:29999 -workers 2 -duration 4s \
+        -trace -metrics 127.0.0.1:28123 -max-err 0 &
+    lg=$!
+    sleep 2
+    "$tmp/bsoap-inspect" metrics -url http://127.0.0.1:28123/metrics
+    "$tmp/bsoap-inspect" metrics -url http://127.0.0.1:28124/metrics
+    timeline=$("$tmp/bsoap-inspect" trace -url http://127.0.0.1:28123/debug/trace -spans 5)
+    echo "$timeline" | grep -q 'start sendDoubles' || {
+        echo "obs smoke: no call-start event in the trace" >&2; exit 1; }
+    echo "$timeline" | grep -q 'done: ' || {
+        echo "obs smoke: no completed call span in the trace" >&2; exit 1; }
+    wait "$lg"
+    kill "$srv" 2>/dev/null || true
+    wait "$srv" 2>/dev/null || true
+    rm -rf "$tmp"
+    echo "check.sh: observability smoke ok"
+}
+obs_smoke
 
 # Fuzz smoke: run every fuzz target briefly so a parser regression that
 # only random inputs catch fails the gate, not a user. FUZZTIME=0 skips

@@ -5,6 +5,12 @@
 //
 //	bsoap-inspect -type doubles -n 8 -width max
 //	bsoap-inspect -type mios -n 6 -script "touch:0.5,grow:1.0,touch:0.25"
+//
+// Two subcommands instead inspect a running process over its -metrics
+// endpoint (see remote.go):
+//
+//	bsoap-inspect trace   -url http://127.0.0.1:8123/debug/trace
+//	bsoap-inspect metrics -url http://127.0.0.1:8123/metrics
 package main
 
 import (
@@ -21,6 +27,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			runTrace(os.Args[2:])
+			return
+		case "metrics":
+			runMetrics(os.Args[2:])
+			return
+		}
+	}
 	var (
 		typ    = flag.String("type", "doubles", "doubles | mios")
 		n      = flag.Int("n", 8, "array elements")

@@ -1,0 +1,243 @@
+// Subcommands that inspect a *running* process over its -metrics
+// endpoint:
+//
+//	bsoap-inspect trace   -url http://127.0.0.1:8123/debug/trace
+//	bsoap-inspect metrics -url http://127.0.0.1:8123/metrics
+//
+// `trace` fetches the flight-recorder ring and renders it as per-call
+// timelines — one line per recorded event, grouped by span, with the
+// binary A/B/C arguments decoded back into the engine's vocabulary
+// ("field 7 grew 12→14", "stole 2 B pad from field 8"). `metrics`
+// fetches a Prometheus scrape and validates it against the text
+// exposition format, exiting nonzero on malformed output.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"bsoap/internal/core"
+	"bsoap/internal/promtext"
+	"bsoap/internal/trace"
+)
+
+// runTrace implements `bsoap-inspect trace`.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var (
+		url   = fs.String("url", "http://127.0.0.1:8123/debug/trace", "flight-recorder endpoint")
+		clear = fs.Bool("clear", false, "clear the ring after dumping")
+		spans = fs.Int("spans", 0, "show only the last N call spans (0 = all)")
+	)
+	_ = fs.Parse(args)
+
+	u := *url
+	if *clear {
+		u += "?clear=1"
+	}
+	body, err := fetch(u)
+	if err != nil {
+		fatal(err)
+	}
+	var d trace.Dump
+	if err := json.Unmarshal(body, &d); err != nil {
+		fatal(fmt.Errorf("decoding %s: %w", *url, err))
+	}
+	printTimelines(os.Stdout, &d, *spans)
+}
+
+// printTimelines groups a dump's events by span and renders each call's
+// decision trail in recording order.
+func printTimelines(w io.Writer, d *trace.Dump, limit int) {
+	fmt.Fprintf(w, "trace: %d events recorded, %d retained, %d overwritten\n",
+		d.Recorded, len(d.Events), d.Dropped)
+
+	// Span 0 carries events not bound to any call (fresh dials).
+	bySpan := make(map[uint64][]trace.EventJSON)
+	var order []uint64
+	for _, ev := range d.Events {
+		if _, seen := bySpan[ev.Span]; !seen {
+			order = append(order, ev.Span)
+		}
+		bySpan[ev.Span] = append(bySpan[ev.Span], ev)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return bySpan[order[a]][0].Seq < bySpan[order[b]][0].Seq
+	})
+	if limit > 0 {
+		calls := 0
+		for _, s := range order {
+			if s != 0 {
+				calls++
+			}
+		}
+		for calls > limit && len(order) > 0 {
+			if order[0] != 0 {
+				calls--
+			}
+			delete(bySpan, order[0])
+			order = order[1:]
+		}
+	}
+
+	for _, span := range order {
+		evs := bySpan[span]
+		if span == 0 {
+			fmt.Fprintf(w, "\nunbound events (no call span):\n")
+		} else {
+			fmt.Fprintf(w, "\ncall %d:\n", span)
+		}
+		t0 := evs[0].Time
+		for _, ev := range evs {
+			dt := time.Duration(ev.Time - t0)
+			fmt.Fprintf(w, "  %+10v  %s\n", dt.Round(time.Microsecond), renderEvent(ev, d.Ops))
+		}
+	}
+}
+
+// shortMatch maps core.MatchKind values to the paper's abbreviations.
+func shortMatch(a int64) string {
+	switch core.MatchKind(a) {
+	case core.FirstTime:
+		return "FTS"
+	case core.ContentMatch:
+		return "MCM"
+	case core.StructuralMatch:
+		return "PSM"
+	case core.PartialMatch:
+		return "PaSM"
+	case core.FullSerialization:
+		return "full serialization"
+	}
+	return "?"
+}
+
+// renderEvent decodes one event's A/B/C arguments per its kind.
+func renderEvent(ev trace.EventJSON, ops map[int64]string) string {
+	op := func(id int64) string {
+		if name, ok := ops[id]; ok {
+			return name
+		}
+		return fmt.Sprintf("op#%d", id)
+	}
+	k, _ := trace.KindFromString(ev.Kind)
+	switch k {
+	case trace.KindCallStart:
+		return fmt.Sprintf("start %s, %d dirty leaves", op(ev.A), ev.B)
+	case trace.KindMatch:
+		s := fmt.Sprintf("classified %s (%s)", shortMatch(ev.A), core.MatchKind(ev.A))
+		if ev.B == 1 {
+			s += " — degraded: suspect template discarded"
+		}
+		return s
+	case trace.KindRewrite:
+		if ev.B == ev.C {
+			return fmt.Sprintf("field %d rewritten in place (%d B)", ev.A, ev.B)
+		}
+		return fmt.Sprintf("field %d grew %d→%d", ev.A, ev.B, ev.C)
+	case trace.KindTagShift:
+		return fmt.Sprintf("field %d closing tag shifted (serlen %d of width %d)", ev.A, ev.B, ev.C)
+	case trace.KindShift:
+		return fmt.Sprintf("shifted %d B within chunk %d (field %d)", ev.B, ev.C, ev.A)
+	case trace.KindSteal:
+		return fmt.Sprintf("stole %d B pad from field %d (for field %d)", ev.B, ev.C, ev.A)
+	case trace.KindChunkGrow:
+		return fmt.Sprintf("chunk %d reallocated (len %d, needed %d more)", ev.C, ev.A, ev.B)
+	case trace.KindChunkSplit:
+		return fmt.Sprintf("chunk %d split at offset %d (len %d)", ev.C, ev.B, ev.A)
+	case trace.KindTemplateBuild:
+		return fmt.Sprintf("template built for %s (%d B)", op(ev.A), ev.B)
+	case trace.KindTemplateSuspect:
+		return fmt.Sprintf("template %s marked suspect (send failed mid-template)", op(ev.A))
+	case trace.KindTemplateRebind:
+		return fmt.Sprintf("template %s rebound to a new message", op(ev.A))
+	case trace.KindStaleRebind:
+		return fmt.Sprintf("forced full rewrite of %s (returned to a stale replica)", op(ev.A))
+	case trace.KindPoolCheckout:
+		if ev.A == 1 {
+			return "connection checked out (waited for a free slot)"
+		}
+		return "connection checked out"
+	case trace.KindPoolRetry:
+		return fmt.Sprintf("send retry #%d after connection repair", ev.A)
+	case trace.KindDial, trace.KindRedial:
+		verb := "dial"
+		if k == trace.KindRedial {
+			verb = "redial"
+		}
+		if ev.A == 1 {
+			return fmt.Sprintf("%s ok in %v", verb, time.Duration(ev.B).Round(time.Microsecond))
+		}
+		return fmt.Sprintf("%s FAILED after %v", verb, time.Duration(ev.B).Round(time.Microsecond))
+	case trace.KindDeadline:
+		if ev.A == 1 {
+			return "read deadline hit"
+		}
+		return "write deadline hit"
+	case trace.KindCallEnd:
+		return fmt.Sprintf("done: %s, %d B on wire (%d B serialized)", shortMatch(ev.A), ev.B, ev.C)
+	case trace.KindCallErr:
+		if ev.A < 0 {
+			return "FAILED before reaching the engine (no healthy connection)"
+		}
+		return fmt.Sprintf("FAILED after %s, %d B attempted", shortMatch(ev.A), ev.B)
+	case trace.KindOverlayPortion:
+		return fmt.Sprintf("overlay portion streamed: items [%d,%d) — %d B", ev.A, ev.A+ev.B, ev.C)
+	}
+	return fmt.Sprintf("%s a=%d b=%d c=%d", ev.Kind, ev.A, ev.B, ev.C)
+}
+
+// runMetrics implements `bsoap-inspect metrics`.
+func runMetrics(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	var (
+		url  = fs.String("url", "http://127.0.0.1:8123/metrics", "Prometheus scrape endpoint")
+		dump = fs.Bool("dump", false, "also print the raw exposition text")
+	)
+	_ = fs.Parse(args)
+
+	body, err := fetch(*url)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		os.Stdout.Write(body)
+	}
+	st, err := promtext.Validate(bytes.NewReader(body))
+	if err != nil {
+		fatal(fmt.Errorf("%s: invalid Prometheus exposition: %w", *url, err))
+	}
+	names := make([]string, 0, len(st.Names))
+	for n := range st.Names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("valid Prometheus exposition: %d families, %d samples\n", st.Families, st.Samples)
+	for _, n := range names {
+		fmt.Printf("  %s\n", n)
+	}
+}
+
+func fetch(url string) ([]byte, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}

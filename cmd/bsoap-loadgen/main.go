@@ -9,8 +9,10 @@
 //	go run ./cmd/bsoap-loadgen -workers 8
 //
 // Use -inprocess to measure without a server (in-process discard sink),
-// and -metrics :8123 to expose the live registry as JSON at
-// http://localhost:8123/ while the run is in flight.
+// and -metrics :8123 to expose the live registry while the run is in
+// flight: JSON at http://localhost:8123/, Prometheus text exposition at
+// /metrics, the flight-recorder ring at /debug/trace (pair with -trace)
+// and the live template store at /debug/templates.
 //
 // -chaos 0.05 runs the same load through a fault injector that resets
 // 5% of socket operations (plus partial writes, mid-stream closes and
@@ -33,6 +35,7 @@ import (
 
 	"bsoap"
 	"bsoap/internal/faultwire"
+	"bsoap/internal/trace"
 	"bsoap/internal/workload"
 )
 
@@ -49,7 +52,9 @@ func main() {
 		replicas  = flag.Int("replicas", 4, "template replicas per operation structure")
 		shards    = flag.Int("shards", 16, "template store shards")
 		mix       = flag.String("mix", "60/30/10", "percent of iterations that are untouched/touched/grown")
-		metrics   = flag.String("metrics", "", "serve live metrics JSON on this address (e.g. :8123)")
+		metrics   = flag.String("metrics", "", "serve live metrics on this address (e.g. :8123): JSON at /, Prometheus at /metrics, /debug/trace, /debug/templates")
+		traceOn   = flag.Bool("trace", false, "enable the flight recorder (dump via -metrics /debug/trace or report a summary on exit)")
+		traceSamp = flag.Uint64("trace-sample", 1, "record every Nth rewrite/tag-shift event (1 = all)")
 		pprofSrv  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) — verify the send path's allocation profile under load")
 		rpc       = flag.Bool("rpc", false, "read one HTTP response per call (pair with a responding server, e.g. -mode record)")
 		maxErr    = flag.Float64("max-err", 0, "max tolerated error rate in percent before exiting nonzero")
@@ -111,13 +116,27 @@ func main() {
 		pool.Metrics().SetFaultSource(inj.Faults)
 	}
 
+	if *traceOn {
+		trace.Enable()
+		if *traceSamp > 1 {
+			// Rewrites and tag shifts are the per-leaf kinds: a single
+			// 1000-element PSM send is 1000 of each at rate 1.
+			trace.Default.SetSampling(trace.KindRewrite, *traceSamp, 0)
+			trace.Default.SetSampling(trace.KindTagShift, *traceSamp, 0)
+		}
+	}
 	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", pool.Metrics())
+		mux.Handle("/metrics", pool.Metrics().PrometheusHandler())
+		mux.Handle("/debug/trace", trace.Handler())
+		mux.Handle("/debug/templates", pool.TemplatesHandler())
 		go func() {
-			if err := http.ListenAndServe(*metrics, pool.Metrics()); err != nil {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "bsoap-loadgen: metrics endpoint:", err)
 			}
 		}()
-		fmt.Printf("bsoap-loadgen: metrics JSON on http://%s/\n", *metrics)
+		fmt.Printf("bsoap-loadgen: metrics on http://%s/ (JSON), /metrics (Prometheus), /debug/trace, /debug/templates\n", *metrics)
 	}
 	if *pprofSrv != "" {
 		go func() {
@@ -164,6 +183,11 @@ func main() {
 	elapsed := time.Since(start)
 
 	report(os.Stdout, pool, inj, *workers, *ops, *addr, *inprocess, elapsed)
+	if *traceOn {
+		d := trace.Default.Snapshot()
+		fmt.Printf("  trace: %d events recorded, %d retained in the ring (%d overwritten)\n",
+			d.Recorded, len(d.Events), d.Dropped)
+	}
 
 	st := pool.Stats()
 	errRate := 0.0

@@ -14,6 +14,11 @@
 //
 // With -diff, SOAP modes decode requests through differential
 // deserialization and report decode statistics on shutdown.
+//
+// -metrics :8124 exposes the server's registry while it runs: JSON at
+// http://localhost:8124/, Prometheus text exposition at /metrics, and
+// the flight-recorder ring at /debug/trace (enable it with -trace to
+// record the response path's template decisions).
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"bsoap/internal/mcs"
 	"bsoap/internal/server"
 	"bsoap/internal/soapdec"
+	"bsoap/internal/trace"
 	"bsoap/internal/transport"
 	"bsoap/internal/wire"
 	"bsoap/internal/wsdl"
@@ -44,6 +50,8 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-connection error logging")
 		recCap   = flag.Int("record-limit", 10000, "record mode: max bodies kept in memory (0 = unbounded)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) — verify the receive path's allocation profile under load")
+		metrics  = flag.String("metrics", "", "serve server metrics on this address (e.g. :8124): JSON at /, Prometheus at /metrics, /debug/trace")
+		traceOn  = flag.Bool("trace", false, "enable the flight recorder (records the response path's template decisions)")
 	)
 	flag.Parse()
 
@@ -62,9 +70,14 @@ func main() {
 		logger = log.New(os.Stderr, "bsoap-server: ", log.LstdFlags)
 	}
 
+	if *traceOn {
+		trace.Enable()
+	}
+	sm := transport.NewServerMetrics()
+
 	var endpoint *server.SOAP
 	var rec *server.Recorder
-	opts := transport.ServerOptions{Logger: logger}
+	opts := transport.ServerOptions{Logger: logger, Metrics: sm}
 	switch *mode {
 	case "discard":
 		opts.Respond = false // Send Time measurements never wait
@@ -112,6 +125,18 @@ func main() {
 					},
 				}})
 		}
+	}
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", sm.StatsHandler())
+		mux.Handle("/metrics", sm.PrometheusHandler())
+		mux.Handle("/debug/trace", trace.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "bsoap-server: metrics endpoint:", err)
+			}
+		}()
+		fmt.Printf("bsoap-server: metrics on http://%s/ (JSON), /metrics (Prometheus), /debug/trace\n", *metrics)
 	}
 	fmt.Printf("bsoap-server: mode=%s listening on %s\n", *mode, srv.Addr())
 

@@ -16,6 +16,7 @@ import (
 	"net"
 
 	"bsoap/internal/membuf"
+	"bsoap/internal/trace"
 )
 
 // DefaultChunkSize is the default capacity of a freshly allocated chunk.
@@ -136,6 +137,12 @@ type Buffer struct {
 	nchunks    int
 	total      int
 	cfg        Config
+
+	// Span is the trace span id of the call currently mutating the
+	// buffer; the template layer sets it before applying a diff so chunk
+	// grow/split events land in the right call's timeline. Zero records
+	// the events unattributed.
+	Span uint64
 }
 
 // New returns an empty buffer with the given configuration.
@@ -246,6 +253,9 @@ func (b *Buffer) GrowChunk(c *Chunk, need int) {
 	if want <= cap(c.buf) {
 		return
 	}
+	if trace.Enabled() {
+		trace.Rec(b.Span, trace.KindChunkGrow, int64(len(c.buf)), int64(need), int64(b.Ordinal(c)))
+	}
 	capacity := cap(c.buf) * 2
 	if capacity < want {
 		capacity = want
@@ -267,6 +277,9 @@ func (b *Buffer) SplitChunk(c *Chunk, at int) *Chunk {
 	if at < 0 || at > len(c.buf) {
 		panic(fmt.Sprintf("chunk: SplitChunk at %d out of range (len %d)", at, len(c.buf)))
 	}
+	if trace.Enabled() {
+		trace.Rec(b.Span, trace.KindChunkSplit, int64(len(c.buf)), int64(at), int64(b.Ordinal(c)))
+	}
 	movedLen := len(c.buf) - at
 	capacity := movedLen + b.cfg.TrailingSlack
 	if capacity < b.cfg.ChunkSize {
@@ -287,6 +300,16 @@ func (b *Buffer) SplitChunk(c *Chunk, at int) *Chunk {
 	c.next = nc
 	b.nchunks++
 	return nc
+}
+
+// Ordinal reports c's 0-based position in the chunk list; trace events
+// use it to name the chunk a shift or split happened in.
+func (b *Buffer) Ordinal(c *Chunk) int {
+	n := 0
+	for x := b.head; x != nil && x != c; x = x.next {
+		n++
+	}
+	return n
 }
 
 // Buffers returns the used byte ranges of every chunk, in order, suitable

@@ -168,6 +168,9 @@ type StreamSink interface {
 // CallInfo reports what one Call did.
 type CallInfo struct {
 	Match MatchKind
+	// Span is the flight-recorder span id grouping this call's trace
+	// events (zero when tracing is off).
+	Span uint64
 	// Bytes is the total message size handed to the sink.
 	Bytes int
 	// BytesSerialized counts the bytes this call actually converted from

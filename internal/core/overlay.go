@@ -6,6 +6,7 @@ import (
 
 	"bsoap/internal/fastconv"
 	"bsoap/internal/soapenv"
+	"bsoap/internal/trace"
 	"bsoap/internal/wire"
 	"bsoap/internal/xsdlex"
 )
@@ -80,11 +81,23 @@ func (s *Stub) CallOverlay(m *wire.Message, sink StreamSink) (CallInfo, error) {
 	}
 	arr := m.Params()[len(m.Params())-1]
 
+	if trace.Enabled() && s.scr.span == 0 {
+		s.scr.span = trace.BeginSpan()
+	}
+	if s.scr.span != 0 {
+		ci.Span = s.scr.span
+		trace.Rec(s.scr.span, trace.KindCallStart, trace.OpID(m.Operation()), int64(m.DirtyCount()), 0)
+	}
+
 	if err := sink.BeginStream(); err != nil {
-		return ci, fmt.Errorf("core: overlay begin: %w", err)
+		err = fmt.Errorf("core: overlay begin: %w", err)
+		s.endSpan(&ci, err)
+		return ci, err
 	}
 	if err := sink.StreamChunk(st.head); err != nil {
-		return ci, fmt.Errorf("core: overlay head: %w", err)
+		err = fmt.Errorf("core: overlay head: %w", err)
+		s.endSpan(&ci, err)
+		return ci, err
 	}
 	ci.Bytes += len(st.head)
 
@@ -95,24 +108,35 @@ func (s *Stub) CallOverlay(m *wire.Message, sink StreamSink) (CallInfo, error) {
 		}
 		portion, err := st.fillPortion(m, arr, base, n, 0, &s.scr, &ci)
 		if err != nil {
+			s.endSpan(&ci, err)
 			return ci, err
 		}
 		if err := sink.StreamChunk(portion); err != nil {
-			return ci, fmt.Errorf("core: overlay portion: %w", err)
+			err = fmt.Errorf("core: overlay portion: %w", err)
+			s.endSpan(&ci, err)
+			return ci, err
 		}
 		ci.Bytes += len(portion)
+		if s.scr.span != 0 {
+			trace.Rec(s.scr.span, trace.KindOverlayPortion, int64(base), int64(n), int64(len(portion)))
+		}
 	}
 
 	if err := sink.StreamChunk(st.tail); err != nil {
-		return ci, fmt.Errorf("core: overlay tail: %w", err)
+		err = fmt.Errorf("core: overlay tail: %w", err)
+		s.endSpan(&ci, err)
+		return ci, err
 	}
 	ci.Bytes += len(st.tail)
 	if err := sink.EndStream(); err != nil {
-		return ci, fmt.Errorf("core: overlay end: %w", err)
+		err = fmt.Errorf("core: overlay end: %w", err)
+		s.endSpan(&ci, err)
+		return ci, err
 	}
 	ci.Match = StructuralMatch
 	m.ClearDirty()
 	s.stats.add(ci)
+	s.endSpan(&ci, nil)
 	return ci, nil
 }
 
@@ -260,8 +284,18 @@ func (s *Stub) CallOverlayPipelined(m *wire.Message, sink StreamSink) (CallInfo,
 	}
 	arr := m.Params()[len(m.Params())-1]
 
+	if trace.Enabled() && s.scr.span == 0 {
+		s.scr.span = trace.BeginSpan()
+	}
+	if s.scr.span != 0 {
+		ci.Span = s.scr.span
+		trace.Rec(s.scr.span, trace.KindCallStart, trace.OpID(m.Operation()), int64(m.DirtyCount()), 0)
+	}
+
 	if err := sink.BeginStream(); err != nil {
-		return ci, fmt.Errorf("core: overlay begin: %w", err)
+		err = fmt.Errorf("core: overlay begin: %w", err)
+		s.endSpan(&ci, err)
+		return ci, err
 	}
 
 	writeCh := make(chan []byte)
@@ -308,12 +342,18 @@ func (s *Stub) CallOverlayPipelined(m *wire.Message, sink StreamSink) (CallInfo,
 		if ferr != nil {
 			werr := finish()
 			if werr != nil {
-				return ci, fmt.Errorf("core: overlay: %v (writer: %w)", ferr, werr)
+				werr = fmt.Errorf("core: overlay: %v (writer: %w)", ferr, werr)
+				s.endSpan(&ci, werr)
+				return ci, werr
 			}
+			s.endSpan(&ci, ferr)
 			return ci, ferr
 		}
 		ok = send(portion)
 		ci.Bytes += len(portion)
+		if ok && s.scr.span != 0 {
+			trace.Rec(s.scr.span, trace.KindOverlayPortion, int64(base), int64(n), int64(len(portion)))
+		}
 		buf ^= 1
 	}
 	if ok {
@@ -321,13 +361,18 @@ func (s *Stub) CallOverlayPipelined(m *wire.Message, sink StreamSink) (CallInfo,
 		ci.Bytes += len(st.tail)
 	}
 	if err := finish(); err != nil {
-		return ci, fmt.Errorf("core: overlay portion: %w", err)
+		err = fmt.Errorf("core: overlay portion: %w", err)
+		s.endSpan(&ci, err)
+		return ci, err
 	}
 	if err := sink.EndStream(); err != nil {
-		return ci, fmt.Errorf("core: overlay end: %w", err)
+		err = fmt.Errorf("core: overlay end: %w", err)
+		s.endSpan(&ci, err)
+		return ci, err
 	}
 	ci.Match = StructuralMatch
 	m.ClearDirty()
 	s.stats.add(ci)
+	s.endSpan(&ci, nil)
 	return ci, nil
 }

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"bsoap/internal/trace"
 	"bsoap/internal/wire"
 	"bsoap/internal/xsdlex"
 )
@@ -129,6 +130,12 @@ type scratch struct {
 	// maximum width and grows to the longest string leaf seen, so
 	// re-serializing strings stays allocation-free once warm.
 	enc []byte
+	// span is the flight-recorder span of the call in progress: set by
+	// the pool runtime (SetTraceSpan) or self-allocated at Call entry
+	// when tracing is on, consumed (reset to zero) when the call's span
+	// is closed. Zero whenever tracing is off, making every hook a plain
+	// field test.
+	span uint64
 }
 
 // encode renders leaf i's lexical form into the scratch buffer. The
@@ -161,6 +168,28 @@ func NewStubWithStore(cfg Config, sink Sink, store *Store) *Stub {
 // Stats returns cumulative counters.
 func (s *Stub) Stats() Stats { return s.stats }
 
+// SetTraceSpan hands the stub the flight-recorder span for the next
+// Call, letting a runtime that owns the call lifecycle (internal/pool)
+// stitch pool-level events (checkout, redial, retry) and core-level
+// events (match, rewrite, shift) into one timeline. The span is consumed
+// by the Call; without one, a traced Call allocates its own span id.
+func (s *Stub) SetTraceSpan(span uint64) { s.scr.span = span }
+
+// endSpan closes the in-progress call's trace span and resets it so it
+// cannot leak into the next call.
+func (s *Stub) endSpan(ci *CallInfo, err error) {
+	span := s.scr.span
+	if span == 0 {
+		return
+	}
+	if err != nil {
+		trace.Rec(span, trace.KindCallErr, int64(ci.Match), int64(ci.Bytes), 0)
+	} else {
+		trace.Rec(span, trace.KindCallEnd, int64(ci.Match), int64(ci.Bytes), int64(ci.BytesSerialized))
+	}
+	s.scr.span = 0
+}
+
 // Store exposes the template store (tests, inspector tool).
 func (s *Stub) Store() *Store { return s.store }
 
@@ -177,6 +206,14 @@ func (s *Stub) Template(op, sig string) *Template { return s.store.lookup(op, si
 func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 	var ci CallInfo
 
+	if trace.Enabled() && s.scr.span == 0 {
+		s.scr.span = trace.BeginSpan()
+	}
+	if s.scr.span != 0 {
+		ci.Span = s.scr.span
+		trace.Rec(s.scr.span, trace.KindCallStart, trace.OpID(m.Operation()), int64(m.DirtyCount()), 0)
+	}
+
 	if s.cfg.DisableDiff {
 		ci.Match = FullSerialization
 		data := s.flat.render(m)
@@ -184,10 +221,13 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 		ci.BytesSerialized = len(data)
 		s.scr.bufs = append(s.scr.bufs[:0], data)
 		if err := s.sink.Send(s.scr.bufs); err != nil {
-			return ci, fmt.Errorf("core: send: %w", err)
+			err = fmt.Errorf("core: send: %w", err)
+			s.endSpan(&ci, err)
+			return ci, err
 		}
 		m.ClearDirty()
 		s.stats.add(ci)
+		s.endSpan(&ci, nil)
 		return ci, nil
 	}
 
@@ -208,6 +248,9 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 		ci.Match = FirstTime
 		tpl = newTemplate(m, s.cfg, &s.scr)
 		s.store.insert(op, tpl)
+		if s.scr.span != 0 {
+			trace.Rec(s.scr.span, trace.KindTemplateBuild, trace.OpID(op), int64(tpl.buf.Len()), 0)
+		}
 
 	case tpl.msg == m && tpl.version == m.Version():
 		if !m.AnyDirty() {
@@ -229,10 +272,21 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 		tpl.version = m.Version()
 		m.MarkAllDirty()
 		ci.Match = StructuralMatch
+		if s.scr.span != 0 {
+			trace.Rec(s.scr.span, trace.KindTemplateRebind, trace.OpID(op), 0, 0)
+		}
 		tpl.applyDiff(m, &ci, &s.scr)
 		if ci.Shifts > 0 || ci.Steals > 0 {
 			ci.Match = PartialMatch
 		}
+	}
+
+	if s.scr.span != 0 {
+		degraded := int64(0)
+		if ci.Degraded {
+			degraded = 1
+		}
+		trace.Rec(s.scr.span, trace.KindMatch, int64(ci.Match), degraded, 0)
 	}
 
 	ci.Bytes = tpl.buf.Len()
@@ -245,9 +299,15 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 		// degrades to a full re-serialization instead of an incremental
 		// patch. Dirty bits stay set (see below), so no change is lost.
 		tpl.suspect = true
-		return ci, fmt.Errorf("core: send: %w", err)
+		err = fmt.Errorf("core: send: %w", err)
+		if s.scr.span != 0 {
+			trace.Rec(s.scr.span, trace.KindTemplateSuspect, trace.OpID(op), 0, 0)
+		}
+		s.endSpan(&ci, err)
+		return ci, err
 	}
 	m.ClearDirty()
 	s.stats.add(ci)
+	s.endSpan(&ci, nil)
 	return ci, nil
 }

@@ -7,6 +7,7 @@ import (
 	"bsoap/internal/dut"
 	"bsoap/internal/fastconv"
 	"bsoap/internal/soapenv"
+	"bsoap/internal/trace"
 	"bsoap/internal/wire"
 	"bsoap/internal/xsdlex"
 )
@@ -54,6 +55,11 @@ func (t *Template) Table() *dut.Table { return &t.tab }
 
 // Signature returns the structural signature the template was built for.
 func (t *Template) Signature() string { return t.sig }
+
+// Suspect reports whether the template's last send failed mid-flight
+// (the next call of this structure will degrade to a fresh first-time
+// serialization). Exposed for the /debug/templates view and tests.
+func (t *Template) Suspect() bool { return t.suspect }
 
 // Bytes returns a contiguous copy of the serialized message.
 func (t *Template) Bytes() []byte { return t.buf.Bytes() }
@@ -105,6 +111,7 @@ func newTemplate(m *wire.Message, cfg Config, sc *scratch) *Template {
 		cfg:     cfg,
 		tags:    make(map[string][2]string, 8),
 	}
+	t.buf.Span = sc.span
 	t.buf.AppendString(soapenv.EnvelopeStart(m.Namespace()))
 	t.buf.AppendString(soapenv.OperationStart(m.Operation()))
 	leaf := 0
@@ -183,6 +190,7 @@ func (t *Template) emitScalar(m *wire.Message, typ *wire.Type, open, cls string,
 // applyDiff re-serializes exactly the dirty leaves of m into the
 // template, expanding fields as needed, and updates ci.
 func (t *Template) applyDiff(m *wire.Message, ci *CallInfo, sc *scratch) {
+	t.buf.Span = sc.span // attribute chunk grow/split events to this call
 	n := t.tab.Len()
 	for i := 0; i < n; i++ {
 		if !m.Dirty(i) {
@@ -196,13 +204,23 @@ func (t *Template) applyDiff(m *wire.Message, ci *CallInfo, sc *scratch) {
 func (t *Template) rewriteLeaf(m *wire.Message, i int, sc *scratch, ci *CallInfo) {
 	e := t.tab.At(i)
 	enc := sc.encode(m, i, e.Type)
+	if sc.span != 0 {
+		trace.Rec(sc.span, trace.KindRewrite, int64(i), int64(e.SerLen), int64(len(enc)))
+	}
 	if len(enc) > e.Width {
 		// Partial structural match: the field must be expanded.
 		deficit := len(enc) - e.Width
-		if t.cfg.EnableStealing && t.trySteal(i, deficit) {
+		donor, stolen := -1, false
+		if t.cfg.EnableStealing {
+			donor, stolen = t.trySteal(i, deficit)
+		}
+		if stolen {
 			ci.Steals++
+			if sc.span != 0 {
+				trace.Rec(sc.span, trace.KindSteal, int64(i), int64(deficit), int64(donor))
+			}
 		} else {
-			t.shiftGrow(i, deficit, ci)
+			t.shiftGrow(i, deficit, ci, sc)
 			ci.Shifts++
 		}
 		e = t.tab.At(i) // the entry's chunk may have changed
@@ -216,6 +234,9 @@ func (t *Template) rewriteLeaf(m *wire.Message, i int, sc *scratch, ci *CallInfo
 		fastconv.Pad(b, e.Off+len(enc)+len(e.CloseTag), e.SpanEnd())
 		e.SerLen = len(enc)
 		ci.TagShifts++
+		if sc.span != 0 {
+			trace.Rec(sc.span, trace.KindTagShift, int64(i), int64(len(enc)), int64(e.Width))
+		}
 	}
 	ci.ValuesRewritten++
 	ci.BytesSerialized += len(enc)
@@ -224,7 +245,7 @@ func (t *Template) rewriteLeaf(m *wire.Message, i int, sc *scratch, ci *CallInfo
 // shiftGrow expands entry i's field by deficit bytes using on-the-fly
 // message expansion: consume the chunk's slack, grow the chunk up to the
 // split threshold, or split the chunk and expand there (paper §3.2).
-func (t *Template) shiftGrow(i, deficit int, ci *CallInfo) {
+func (t *Template) shiftGrow(i, deficit int, ci *CallInfo, sc *scratch) {
 	e := t.tab.At(i)
 	c := e.Chunk
 	pos := e.SpanEnd()
@@ -254,6 +275,9 @@ func (t *Template) shiftGrow(i, deficit int, ci *CallInfo) {
 			}
 		}
 	}
+	if sc.span != 0 {
+		trace.Rec(sc.span, trace.KindShift, int64(i), int64(c.Len()-pos), int64(t.buf.Ordinal(c)))
+	}
 	if !c.InsertGap(pos, deficit) {
 		panic("core: InsertGap failed after ensuring room")
 	}
@@ -266,13 +290,17 @@ func (t *Template) shiftGrow(i, deficit int, ci *CallInfo) {
 // the donor's padding instead of shifting the whole chunk tail
 // (companion paper [4] explores this dynamic field resizing). Donors to
 // the right are preferred — the move there excludes the grower's own
-// bytes — then donors to the left.
-func (t *Template) trySteal(i, deficit int) bool {
-	return t.stealRight(i, deficit) || t.stealLeft(i, deficit)
+// bytes — then donors to the left. Returns the donor's entry index so
+// the flight recorder can name it.
+func (t *Template) trySteal(i, deficit int) (int, bool) {
+	if j, ok := t.stealRight(i, deficit); ok {
+		return j, true
+	}
+	return t.stealLeft(i, deficit)
 }
 
 // stealRight takes padding from a donor after the grower.
-func (t *Template) stealRight(i, deficit int) bool {
+func (t *Template) stealRight(i, deficit int) (int, bool) {
 	e := t.tab.At(i)
 	c := e.Chunk
 	limit := i + 1 + t.cfg.StealScan
@@ -297,15 +325,15 @@ func (t *Template) stealRight(i, deficit int) bool {
 		}
 		d.Width -= deficit
 		e.Width += deficit
-		return true
+		return j, true
 	}
-	return false
+	return 0, false
 }
 
 // stealLeft takes padding from a donor before the grower: the bytes
 // from the donor's trimmed span end up to the grower's value start move
 // left, and the grower's field opens toward lower offsets.
-func (t *Template) stealLeft(i, deficit int) bool {
+func (t *Template) stealLeft(i, deficit int) (int, bool) {
 	e := t.tab.At(i)
 	c := e.Chunk
 	limit := i - t.cfg.StealScan
@@ -328,7 +356,7 @@ func (t *Template) stealLeft(i, deficit int) bool {
 		}
 		d.Width -= deficit
 		e.Width += deficit
-		return true
+		return j, true
 	}
-	return false
+	return 0, false
 }

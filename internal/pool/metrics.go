@@ -2,15 +2,34 @@ package pool
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
+	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"bsoap/internal/core"
+	"bsoap/internal/promtext"
 )
+
+// errKind indexes the per-kind error counters: what stopped a failed
+// call (connection never established, socket deadline, retry budget, or
+// a plain send error).
+const (
+	errKindDial = iota
+	errKindDeadline
+	errKindBudget
+	errKindSend
+	errKindCount
+)
+
+// errKindNames are the stable label values the JSON and Prometheus
+// endpoints use.
+var errKindNames = [errKindCount]string{"dial", "deadline", "budget_exhausted", "send"}
 
 // Metrics is the pool's registry: lock-free atomic counters covering the
 // differential-serialization outcome of every call (per-match-kind
@@ -21,6 +40,9 @@ import (
 type Metrics struct {
 	calls  atomic.Int64
 	errors atomic.Int64
+
+	// errorsByKind breaks failed calls down by what stopped them.
+	errorsByKind [errKindCount]atomic.Int64
 
 	// matches indexes per-kind call counts by core.MatchKind.
 	matches [5]atomic.Int64
@@ -58,26 +80,51 @@ type Metrics struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics { return &Metrics{} }
 
-// RecordCall folds one call's outcome into the registry.
+// RecordCall folds one call's outcome into the registry. Byte and
+// repair counters are recorded whether or not the call succeeded: a
+// failed send may still have pushed most of the template onto the wire
+// and done all its rewrite work, and dashboards under-report wire
+// traffic in chaos runs if those bytes vanish. Match-kind counts and the
+// latency histogram remain success-only (a failed call has no completed
+// classification or meaningful service time).
 func (m *Metrics) RecordCall(ci core.CallInfo, err error, d time.Duration) {
 	m.calls.Add(1)
-	if err != nil {
-		m.errors.Add(1)
-		return
-	}
-	if k := int(ci.Match); k >= 0 && k < len(m.matches) {
-		m.matches[k].Add(1)
-	}
 	m.bytesWire.Add(int64(ci.Bytes))
 	m.bytesSerialized.Add(int64(ci.BytesSerialized))
 	m.valuesRewritten.Add(int64(ci.ValuesRewritten))
 	m.tagShifts.Add(int64(ci.TagShifts))
 	m.shifts.Add(int64(ci.Shifts))
 	m.steals.Add(int64(ci.Steals))
+	if err != nil {
+		m.errors.Add(1)
+		m.errorsByKind[classifyErr(err)].Add(1)
+		return
+	}
+	if k := int(ci.Match); k >= 0 && k < len(m.matches) {
+		m.matches[k].Add(1)
+	}
 	m.lat.observe(d)
 	if ci.Degraded && ci.Match == core.FirstTime {
 		m.degradedFTS.Add(1)
 	}
+}
+
+// classifyErr maps a failed call's error to its errKind bucket. Budget
+// exhaustion wins over the dial/deadline cause that consumed the budget;
+// a dial sentinel beats the generic timeout check because dial errors
+// can themselves be timeouts.
+func classifyErr(err error) int {
+	switch {
+	case errors.Is(err, ErrRetryBudgetExhausted):
+		return errKindBudget
+	case errors.Is(err, ErrDialFailed):
+		return errKindDial
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return errKindDeadline
+	}
+	return errKindSend
 }
 
 // SetFaultSource registers a callback reporting the running fault count
@@ -92,12 +139,29 @@ func (m *Metrics) SetFaultSource(f func() int64) {
 	m.faultSource.Store(&f)
 }
 
+// ErrorsByKind breaks the error count down by what stopped each failed
+// call.
+type ErrorsByKind struct {
+	// Dial counts calls that never got a healthy connection.
+	Dial int64 `json:"dial"`
+	// Deadline counts calls stopped by a socket read/write deadline.
+	Deadline int64 `json:"deadline"`
+	// BudgetExhausted counts calls whose repair/retry work exceeded
+	// Options.RetryBudget.
+	BudgetExhausted int64 `json:"budget_exhausted"`
+	// Send counts every other send failure (resets, broken pipes, …).
+	Send int64 `json:"send"`
+}
+
 // Stats is a point-in-time snapshot of the registry, JSON-marshalable in
 // the expvar style (the loadgen's -metrics endpoint serves exactly this
 // object).
 type Stats struct {
 	Calls  int64 `json:"calls"`
 	Errors int64 `json:"errors"`
+
+	// ErrorsByKind partitions Errors by failure cause.
+	ErrorsByKind ErrorsByKind `json:"errors_by_kind"`
 
 	FirstTimeSends     int64 `json:"first_time_sends"`
 	ContentMatches     int64 `json:"content_matches"`
@@ -147,6 +211,17 @@ type Stats struct {
 	LatencyP90 time.Duration `json:"latency_p90_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
 	LatencyMax time.Duration `json:"latency_max_ns"`
+
+	// LatencyBuckets are the histogram's raw power-of-two buckets:
+	// bucket i counts observations whose latency in nanoseconds lies in
+	// [2^(i-1), 2^i). Both the Prometheus exposition and offline
+	// analysis derive their views from these; the quantile fields above
+	// are convenience summaries.
+	LatencyBuckets []int64 `json:"latency_buckets"`
+	// LatencyCount and LatencySumNs are the histogram's total
+	// observation count and nanosecond sum (mean = sum/count).
+	LatencyCount int64 `json:"latency_count"`
+	LatencySumNs int64 `json:"latency_sum_ns"`
 }
 
 // WarmCalls counts calls served from an existing template (everything
@@ -162,6 +237,13 @@ func (m *Metrics) Snapshot() Stats {
 	s := Stats{
 		Calls:  m.calls.Load(),
 		Errors: m.errors.Load(),
+
+		ErrorsByKind: ErrorsByKind{
+			Dial:            m.errorsByKind[errKindDial].Load(),
+			Deadline:        m.errorsByKind[errKindDeadline].Load(),
+			BudgetExhausted: m.errorsByKind[errKindBudget].Load(),
+			Send:            m.errorsByKind[errKindSend].Load(),
+		},
 
 		FirstTimeSends:     m.matches[core.FirstTime].Load(),
 		ContentMatches:     m.matches[core.ContentMatch].Load(),
@@ -195,6 +277,10 @@ func (m *Metrics) Snapshot() Stats {
 		LatencyP90: m.lat.quantile(0.90),
 		LatencyP99: m.lat.quantile(0.99),
 		LatencyMax: time.Duration(m.lat.max.Load()),
+
+		LatencyBuckets: m.lat.bucketCounts(),
+		LatencyCount:   m.lat.count.Load(),
+		LatencySumNs:   m.lat.sum.Load(),
 	}
 	if f := m.faultSource.Load(); f != nil {
 		s.FaultsInjected = (*f)()
@@ -214,6 +300,64 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 	return err
 }
 
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format (version 0.0.4): every counter plus the latency histogram as a
+// native _bucket/_sum/_count series in seconds.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	p := promtext.New(w)
+
+	p.Counter("bsoap_client_calls_total", "Calls issued through the pool.", s.Calls)
+	p.CounterWithLabel("bsoap_client_call_errors_total", "Failed calls by what stopped them.",
+		"kind", []promtext.LabeledValue{
+			{Label: errKindNames[errKindDial], Value: s.ErrorsByKind.Dial},
+			{Label: errKindNames[errKindDeadline], Value: s.ErrorsByKind.Deadline},
+			{Label: errKindNames[errKindBudget], Value: s.ErrorsByKind.BudgetExhausted},
+			{Label: errKindNames[errKindSend], Value: s.ErrorsByKind.Send},
+		})
+	p.CounterWithLabel("bsoap_client_matches_total", "Successful calls by differential match class.",
+		"kind", []promtext.LabeledValue{
+			{Label: "first_time", Value: s.FirstTimeSends},
+			{Label: "content", Value: s.ContentMatches},
+			{Label: "structural", Value: s.StructuralMatches},
+			{Label: "partial", Value: s.PartialMatches},
+			{Label: "full", Value: s.FullSerializations},
+		})
+
+	p.Counter("bsoap_client_bytes_on_wire_total", "Bytes handed to the transport.", s.BytesOnWire)
+	p.Counter("bsoap_client_bytes_serialized_total", "Bytes actually converted from in-memory values.", s.BytesSerialized)
+	p.Counter("bsoap_client_bytes_saved_total", "Serialization bytes avoided by diffing.", s.BytesSaved)
+
+	p.Counter("bsoap_client_values_rewritten_total", "Dirty leaves re-serialized into templates.", s.ValuesRewritten)
+	p.Counter("bsoap_client_tag_shifts_total", "Closing-tag shifts within a field.", s.TagShifts)
+	p.Counter("bsoap_client_shifts_total", "Field expansions served by shifting.", s.Shifts)
+	p.Counter("bsoap_client_steals_total", "Field expansions served by padding steals.", s.Steals)
+
+	p.Counter("bsoap_client_pool_checkouts_total", "Connection checkouts.", s.Checkouts)
+	p.Counter("bsoap_client_pool_checkout_waits_total", "Checkouts that blocked on a free slot.", s.CheckoutWaits)
+	p.Counter("bsoap_client_pool_dials_total", "Fresh connections dialed.", s.Dials)
+	p.Counter("bsoap_client_pool_redials_total", "Broken connections repaired in place.", s.Redials)
+	p.Counter("bsoap_client_pool_dial_failures_total", "Dial and redial attempts that failed.", s.DialFailures)
+	p.Counter("bsoap_client_pool_send_retries_total", "Calls retried after connection repair.", s.Retries)
+
+	p.Counter("bsoap_client_template_rebinds_total", "Template rebinds to a different message object.", s.TemplateRebinds)
+	p.Counter("bsoap_client_template_stale_rebinds_total", "Full rewrites forced by replica bounce.", s.TemplateStaleRebinds)
+	p.Counter("bsoap_client_template_evictions_total", "Replica sets evicted by the per-op LRU.", s.TemplateEvictions)
+
+	p.Counter("bsoap_client_faults_injected_total", "Faults the external injector put on the wire.", s.FaultsInjected)
+	p.Counter("bsoap_client_retry_budget_exhausted_total", "Calls that ran out of retry budget.", s.RetryBudgetExhausted)
+	p.Counter("bsoap_client_degraded_fts_total", "Degraded first-time sends after a poisoned template.", s.DegradedFTS)
+
+	uppers := make([]float64, len(s.LatencyBuckets))
+	for i := range uppers {
+		uppers[i] = float64(uint64(1)<<uint(i)) / 1e9
+	}
+	p.Histogram("bsoap_client_call_latency_seconds", "Successful call latency (power-of-two buckets).",
+		uppers, s.LatencyBuckets, float64(s.LatencySumNs)/1e9, s.LatencyCount)
+
+	return p.Err()
+}
+
 // ServeHTTP makes the registry an http.Handler so a live system can
 // expose match-class rates on a debug port (net/http is used only here;
 // the data path stays on the hand-rolled transport).
@@ -224,11 +368,23 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// PrometheusHandler serves the registry in text exposition format — the
+// /metrics endpoint a Prometheus scraper points at.
+func (m *Metrics) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", promtext.ContentType)
+		if err := m.WritePrometheus(w); err != nil {
+			http.Error(w, fmt.Sprintf("metrics: %v", err), http.StatusInternalServerError)
+		}
+	})
+}
+
 // histogram tracks latencies in power-of-two nanosecond buckets: bucket
 // i holds observations in [2^(i-1), 2^i). 40 buckets cover ~18 minutes.
 type histogram struct {
 	buckets [40]atomic.Int64
 	count   atomic.Int64
+	sum     atomic.Int64
 	max     atomic.Int64
 }
 
@@ -243,6 +399,7 @@ func (h *histogram) observe(d time.Duration) {
 	}
 	h.buckets[i].Add(1)
 	h.count.Add(1)
+	h.sum.Add(ns)
 	for {
 		cur := h.max.Load()
 		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
@@ -251,17 +408,32 @@ func (h *histogram) observe(d time.Duration) {
 	}
 }
 
+// bucketCounts copies the raw bucket counters out.
+func (h *histogram) bucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // quantile returns an upper bound for the q-quantile (the top of the
 // bucket the quantile falls in), good to a factor of two — enough to
-// tell microseconds from milliseconds in a report.
+// tell microseconds from milliseconds in a report. The rank is the
+// ceiling of q×count: the observation at or above which a fraction q of
+// all observations lie, so q=0.99 over 10 observations selects the 10th
+// (truncating would select the 9th — a bucket below the true quantile).
 func (h *histogram) quantile(q float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
-	rank := int64(q * float64(total))
+	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > total {
+		rank = total
 	}
 	max := h.max.Load()
 	var cum int64

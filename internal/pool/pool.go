@@ -19,11 +19,14 @@
 package pool
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"time"
 
 	"bsoap/internal/core"
+	"bsoap/internal/trace"
 	"bsoap/internal/transport"
 	"bsoap/internal/wire"
 )
@@ -155,11 +158,22 @@ var ErrRetryBudgetExhausted = fmt.Errorf("pool: retry budget exhausted")
 func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 	start := p.senders.now()
 	deadline := start.Add(p.opts.RetryBudget)
-	ps, err := p.senders.checkout()
+	var span uint64
+	if trace.Enabled() {
+		span = trace.BeginSpan()
+	}
+	ps, waited, err := p.senders.checkout()
 	if err != nil {
 		return core.CallInfo{}, err
 	}
 	defer p.senders.checkin(ps)
+	if span != 0 {
+		w := int64(0)
+		if waited {
+			w = 1
+		}
+		trace.Rec(span, trace.KindPoolCheckout, w, 0, 0)
+	}
 
 	var ci core.CallInfo
 	for attempt := 0; ; attempt++ {
@@ -170,12 +184,27 @@ func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 		// any retry's repair. (A retry may therefore land on a different
 		// replica; acquire detects that and forces a full value rewrite.)
 		var sink core.Sink
+		if span != 0 {
+			// Attribute a repair redial of the slot's existing connection
+			// to this call's span before ensure runs.
+			if ts, ok := ps.sink.(*transport.Sender); ok {
+				ts.TraceSpan = span
+			}
+		}
 		sink, err = p.senders.ensure(ps, deadline)
 		if err != nil {
 			break
 		}
-		r := p.store.acquire(m)
+		if span != 0 {
+			if ts, ok := sink.(*transport.Sender); ok {
+				ts.TraceSpan = span
+			}
+		}
+		r := p.store.acquire(m, span)
 		r.sink.s = sink
+		if span != 0 {
+			r.stub.SetTraceSpan(span)
+		}
 		ci, err = r.stub.Call(m)
 		p.store.release(r)
 		if err == nil {
@@ -191,9 +220,18 @@ func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 			break
 		}
 		p.metrics.retries.Add(1)
+		if span != 0 {
+			trace.Rec(span, trace.KindPoolRetry, int64(attempt+1), 0, 0)
+		}
 	}
 	if errors.Is(err, ErrRetryBudgetExhausted) {
 		p.metrics.retryBudgetExhausted.Add(1)
+	}
+	if span != 0 && err != nil && ci.Span == 0 {
+		// The call never reached the engine (no healthy connection):
+		// close the span from the pool layer. A=-1 marks "no match
+		// classification happened".
+		trace.Rec(span, trace.KindCallErr, -1, 0, 0)
 	}
 	p.metrics.RecordCall(ci, err, p.senders.now().Sub(start))
 	return ci, err
@@ -210,6 +248,25 @@ func (p *Pool) TemplateCount() int { return p.store.TemplateCount() }
 
 // Entries reports distinct (operation, signature) keys seen.
 func (p *Pool) Entries() int { return p.store.Entries() }
+
+// DebugTemplates snapshots the live template store (see
+// ShardedStore.DebugSnapshot).
+func (p *Pool) DebugTemplates() []TemplateInfo { return p.store.DebugSnapshot() }
+
+// TemplatesHandler serves the live template store as indented JSON — the
+// /debug/templates endpoint.
+func (p *Pool) TemplatesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			TemplateCount int            `json:"template_count"`
+			Entries       int            `json:"entries"`
+			Templates     []TemplateInfo `json:"templates"`
+		}{p.TemplateCount(), p.Entries(), p.DebugTemplates()})
+	})
+}
 
 // Close shuts the pool down: blocked and future checkouts fail, idle
 // connections close now, checked-out ones as they return.

@@ -15,6 +15,11 @@ import (
 // errPoolClosed is returned by checkout after Close.
 var errPoolClosed = fmt.Errorf("pool: closed")
 
+// ErrDialFailed is wrapped by Call errors whose cause was never getting
+// a healthy connection (all dial/redial attempts failed). Metrics use it
+// to separate dial failures from send and deadline errors.
+var ErrDialFailed = fmt.Errorf("pool: dial failed")
+
 // pooledSender is one slot of the connection pool: an (initially
 // undialed) sink plus its health state. It is owned exclusively by the
 // goroutine that checked it out.
@@ -74,12 +79,13 @@ func newSenderPool(size int, dial func() (core.Sink, error), opts Options, m *Me
 }
 
 // checkout removes a slot from the pool, blocking when all slots are in
-// use (the blocked case is counted as a checkout wait).
-func (sp *senderPool) checkout() (*pooledSender, error) {
+// use (the blocked case is counted as a checkout wait and reported via
+// waited, which the flight recorder tags the checkout event with).
+func (sp *senderPool) checkout() (ps *pooledSender, waited bool, err error) {
 	sp.mu.Lock()
 	if sp.closed {
 		sp.mu.Unlock()
-		return nil, errPoolClosed
+		return nil, false, errPoolClosed
 	}
 	sp.mu.Unlock()
 
@@ -87,17 +93,17 @@ func (sp *senderPool) checkout() (*pooledSender, error) {
 	select {
 	case ps, ok := <-sp.slots:
 		if !ok {
-			return nil, errPoolClosed
+			return nil, false, errPoolClosed
 		}
-		return ps, nil
+		return ps, false, nil
 	default:
 	}
 	sp.metrics.checkoutWaits.Add(1)
 	ps, ok := <-sp.slots
 	if !ok {
-		return nil, errPoolClosed
+		return nil, true, errPoolClosed
 	}
-	return ps, nil
+	return ps, true, nil
 }
 
 // checkin returns a slot. The channel has capacity for every slot, so
@@ -166,7 +172,7 @@ func (sp *senderPool) ensure(ps *pooledSender, deadline time.Time) (core.Sink, e
 		}
 		return ps.sink, nil
 	}
-	return nil, fmt.Errorf("pool: connection unavailable after %d attempts: %w", sp.dialAttempts, lastErr)
+	return nil, fmt.Errorf("pool: connection unavailable after %d attempts: %w: %w", sp.dialAttempts, ErrDialFailed, lastErr)
 }
 
 // backoff computes the pre-attempt delay: base doubled per attempt,

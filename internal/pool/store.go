@@ -4,9 +4,11 @@ import (
 	"hash/fnv"
 	"net"
 	"reflect"
+	"sort"
 	"sync"
 
 	"bsoap/internal/core"
+	"bsoap/internal/trace"
 	"bsoap/internal/wire"
 )
 
@@ -180,7 +182,8 @@ func msgAffinity(m *wire.Message) uint64 {
 // acquire returns a locked replica for m's operation+signature. The
 // caller must release it after the call completes. m must not have
 // another call in flight (see Pool's per-message confinement contract).
-func (s *ShardedStore) acquire(m *wire.Message) *replica {
+// span is the call's flight-recorder span (zero when tracing is off).
+func (s *ShardedStore) acquire(m *wire.Message, span uint64) *replica {
 	key := storeKey{op: m.Operation(), sig: m.Signature()}
 	sh := &s.shards[opHash(key.op)&s.mask]
 	aff := msgAffinity(m)
@@ -245,6 +248,9 @@ func (s *ShardedStore) acquire(m *wire.Message) *replica {
 		// full (tag generation is still skipped).
 		m.MarkAllDirty()
 		s.metrics.staleRebinds.Add(1)
+		if span != 0 {
+			trace.Rec(span, trace.KindStaleRebind, trace.OpID(key.op), 0, 0)
+		}
 	}
 	return r
 }
@@ -271,6 +277,66 @@ func (s *ShardedStore) TemplateCount() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// TemplateInfo describes one replica of one (operation, signature) key
+// for the /debug/templates view.
+type TemplateInfo struct {
+	Op        string `json:"op"`
+	Signature string `json:"sig"`
+	Replica   int    `json:"replica"`
+	// Busy means the replica's lock was held mid-call when the snapshot
+	// ran; its template fields are zero rather than racily read.
+	Busy bool `json:"busy,omitempty"`
+	// Present distinguishes "replica exists but has no template yet"
+	// (never called, or its template was discarded as suspect).
+	Present   bool `json:"present"`
+	Bytes     int  `json:"bytes,omitempty"`
+	Chunks    int  `json:"chunks,omitempty"`
+	Entries   int  `json:"dut_entries,omitempty"`
+	Footprint int  `json:"footprint,omitempty"`
+	Suspect   bool `json:"suspect,omitempty"`
+}
+
+// DebugSnapshot walks every shard and reports the live template replicas.
+// Replicas whose lock is held (a call in flight) are reported Busy with
+// no template detail — the walk never blocks on a send.
+func (s *ShardedStore) DebugSnapshot() []TemplateInfo {
+	var out []TemplateInfo
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			for ri, r := range e.replicas {
+				info := TemplateInfo{Op: key.op, Signature: key.sig, Replica: ri}
+				if r.mu.TryLock() {
+					if tpl := r.stub.Template(key.op, key.sig); tpl != nil {
+						info.Present = true
+						info.Bytes = tpl.Buffer().Len()
+						info.Chunks = tpl.Buffer().NumChunks()
+						info.Entries = tpl.Table().Len()
+						info.Footprint = tpl.MemoryFootprint()
+						info.Suspect = tpl.Suspect()
+					}
+					r.mu.Unlock()
+				} else {
+					info.Busy = true
+				}
+				out = append(out, info)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Op != out[b].Op {
+			return out[a].Op < out[b].Op
+		}
+		if out[a].Signature != out[b].Signature {
+			return out[a].Signature < out[b].Signature
+		}
+		return out[a].Replica < out[b].Replica
+	})
+	return out
 }
 
 // Entries reports the number of distinct (operation, signature) keys.

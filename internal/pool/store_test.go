@@ -21,7 +21,7 @@ func TestReplicaBounceForcesRewrite(t *testing.T) {
 
 	call := func() (core.CallInfo, []byte, *replica) {
 		t.Helper()
-		r := st.acquire(m)
+		r := st.acquire(m, 0)
 		var buf bytes.Buffer
 		r.sink.s = transport.WriterSink{W: &buf}
 		ci, err := r.stub.Call(m)

@@ -1,0 +1,109 @@
+// Package promtext emits the Prometheus text exposition format
+// (text/plain; version=0.0.4): HELP/TYPE comments, counter and gauge
+// samples, and native histograms as cumulative _bucket/_sum/_count
+// series. Both metrics registries (the client pool's and the server
+// transport's) render through it, so the two endpoints agree on format
+// details a scraper is strict about — label escaping, bucket cumulation,
+// the +Inf bucket, and the trailing newline per sample.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ContentType is the exposition content type scrapers expect.
+const ContentType = "text/plain; version=0.0.4"
+
+// Writer accumulates exposition lines onto an io.Writer. Errors are
+// sticky: after the first write error every method is a no-op and Err
+// reports the failure.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// New returns a Writer emitting to w.
+func New(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error, if any.
+func (p *Writer) Err() error { return p.err }
+
+func (p *Writer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header emits the HELP and TYPE comment lines for a metric.
+func (p *Writer) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Counter emits one counter metric (name should end in _total by
+// convention).
+func (p *Writer) Counter(name, help string, value int64) {
+	p.header(name, help, "counter")
+	p.printf("%s %d\n", name, value)
+}
+
+// Gauge emits one gauge metric.
+func (p *Writer) Gauge(name, help string, value int64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %d\n", name, value)
+}
+
+// CounterWithLabel emits a counter family with one label across several
+// values (e.g. errors_total{kind="dial"}).
+func (p *Writer) CounterWithLabel(name, help, label string, values []LabeledValue) {
+	p.header(name, help, "counter")
+	for _, v := range values {
+		p.printf("%s{%s=%q} %d\n", name, label, v.Label, v.Value)
+	}
+}
+
+// LabeledValue is one sample of a labeled family.
+type LabeledValue struct {
+	Label string
+	Value int64
+}
+
+// Histogram emits a native histogram: per-bucket cumulative counts with
+// le upper bounds, the implicit +Inf bucket, _sum and _count. uppers[i]
+// is bucket i's inclusive upper bound; counts[i] its (non-cumulative)
+// observation count. sum is in the same unit as the bounds.
+func (p *Writer) Histogram(name, help string, uppers []float64, counts []int64, sum float64, count int64) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for i, ub := range uppers {
+		cum += counts[i]
+		p.printf("%s_bucket{le=%q} %d\n", name, formatBound(ub), cum)
+	}
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	p.printf("%s_sum %s\n", name, strconv.FormatFloat(sum, 'g', -1, 64))
+	p.printf("%s_count %d\n", name, count)
+}
+
+// formatBound renders a bucket boundary the way Prometheus does: shortest
+// float representation.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the format spec.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

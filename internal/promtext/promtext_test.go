@@ -1,0 +1,85 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	w.Counter("bsoap_calls_total", "Total calls.", 42)
+	w.Gauge("bsoap_active_conns", "Open connections.", 3)
+	w.CounterWithLabel("bsoap_errors_total", "Errors by kind.", "kind", []LabeledValue{
+		{Label: "dial", Value: 1},
+		{Label: "deadline", Value: 2},
+	})
+	w.Histogram("bsoap_latency_seconds", "Call latency.",
+		[]float64{0.001, 0.01, 0.1}, []int64{5, 3, 1}, 0.123, 9)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	st, err := Validate(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("self-emitted output fails validation: %v\n%s", err, out)
+	}
+	if st.Families != 4 {
+		t.Errorf("families = %d, want 4", st.Families)
+	}
+	for _, want := range []string{
+		"bsoap_calls_total 42",
+		"bsoap_active_conns 3",
+		`bsoap_errors_total{kind="dial"} 1`,
+		`bsoap_latency_seconds_bucket{le="0.001"} 5`,
+		`bsoap_latency_seconds_bucket{le="0.01"} 8`, // cumulative
+		`bsoap_latency_seconds_bucket{le="0.1"} 9`,  // cumulative
+		`bsoap_latency_seconds_bucket{le="+Inf"} 9`, // implicit
+		"bsoap_latency_seconds_sum 0.123",
+		"bsoap_latency_seconds_count 9",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"9metric 1",              // name starts with digit
+		"m{le=unquoted} 1",       // unquoted label value
+		"m 1 2 3",                // extra fields
+		"m notanumber",           // bad value
+		"# BOGUS m counter\nm 1", // unknown comment keyword
+		"# TYPE m flavor\nm 1",   // unknown type
+		"",                       // no samples at all
+	} {
+		if _, err := Validate(strings.NewReader(bad)); err == nil {
+			t.Errorf("Validate accepted %q", bad)
+		}
+	}
+}
+
+func TestValidateAcceptsSpecials(t *testing.T) {
+	good := "# HELP m A help \\\\ with escapes.\n# TYPE m gauge\nm +Inf\nm{a=\"b,c\",d=\"e\"} -Inf 1234567\n"
+	st, err := Validate(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("Validate rejected valid input: %v", err)
+	}
+	if st.Samples != 2 {
+		t.Errorf("samples = %d, want 2", st.Samples)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	var sb strings.Builder
+	New(&sb).Counter("m_total", "line\nbreak \\ slash", 1)
+	out := sb.String()
+	if !strings.Contains(out, `line\nbreak \\ slash`) {
+		t.Errorf("help not escaped: %q", out)
+	}
+	if _, err := Validate(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+}

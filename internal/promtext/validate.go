@@ -1,0 +1,182 @@
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Stats summarizes a validated exposition: how many metric families and
+// samples it carried, and which family names were seen.
+type Stats struct {
+	Families int
+	Samples  int
+	Names    map[string]bool
+}
+
+// Validate parses r as Prometheus text format (version 0.0.4), returning
+// an error on the first malformed line. It checks the grammar a scraper
+// enforces — comment structure, metric-name charset, label syntax, float
+// sample values — without interpreting the metrics. check.sh and
+// `bsoap-inspect metrics` use it to assert the endpoints stay scrapable.
+func Validate(r io.Reader) (Stats, error) {
+	st := Stats{Names: map[string]bool{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return st, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validName(fields[2]) {
+				return st, fmt.Errorf("line %d: bad metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return st, fmt.Errorf("line %d: TYPE missing type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return st, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				st.Families++
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validName(name) {
+			return st, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+		}
+		// rest is "value" or "value timestamp".
+		parts := strings.Fields(rest)
+		if len(parts) == 0 || len(parts) > 2 {
+			return st, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		if _, err := parseValue(parts[0]); err != nil {
+			return st, fmt.Errorf("line %d: bad value %q: %v", lineNo, parts[0], err)
+		}
+		if len(parts) == 2 {
+			if _, err := strconv.ParseInt(parts[1], 10, 64); err != nil {
+				return st, fmt.Errorf("line %d: bad timestamp %q", lineNo, parts[1])
+			}
+		}
+		st.Names[name] = true
+		st.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	if st.Samples == 0 {
+		return st, fmt.Errorf("no samples found")
+	}
+	return st, nil
+}
+
+// splitSample splits a sample line into metric name (label braces
+// stripped but syntax-checked) and the remainder after the name/labels.
+func splitSample(line string) (name, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", "", fmt.Errorf("sample without value: %q", line)
+		}
+		return line[:sp], line[sp+1:], nil
+	}
+	name = line[:brace]
+	end := strings.IndexByte(line, '}')
+	if end < brace {
+		return "", "", fmt.Errorf("unterminated label set: %q", line)
+	}
+	if err := validLabels(line[brace+1 : end]); err != nil {
+		return "", "", err
+	}
+	rest = strings.TrimPrefix(line[end+1:], " ")
+	return name, rest, nil
+}
+
+// validLabels checks `k="v",k2="v2"` syntax (values must be quoted; a
+// trailing comma is permitted by the format).
+func validLabels(s string) error {
+	s = strings.TrimSuffix(s, ",")
+	if s == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(s) {
+		eq := strings.IndexByte(pair, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		if !validName(pair[:eq]) {
+			return fmt.Errorf("bad label name %q", pair[:eq])
+		}
+		v := pair[eq+1:]
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted label value in %q", pair)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// parseValue accepts Prometheus sample values: Go floats plus +Inf,
+// -Inf, NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validName checks the metric/label name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

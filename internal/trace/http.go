@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler serves the tracer over HTTP — the /debug/trace endpoint:
+//
+//	GET  /debug/trace          dump the ring as JSON (oldest-first)
+//	GET  /debug/trace?clear=1  dump, then clear the ring
+//	POST /debug/trace/clear    clear without dumping
+//
+// net/http is used only on the debug port; the data path stays on the
+// hand-rolled transport.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			t.Clear()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		d := t.Snapshot()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(d); err != nil {
+			http.Error(w, fmt.Sprintf("trace: %v", err), http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Query().Get("clear") == "1" {
+			t.Clear()
+		}
+	})
+}
+
+// Handler serves the default tracer (see Tracer.Handler).
+func Handler() http.Handler { return Default.Handler() }

@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"bsoap/internal/promtext"
+)
+
+// ServerMetrics is the server-side counterpart of pool.Metrics: a
+// registry of counters a receiving endpoint cares about. One instance
+// can back several Servers (e.g. a plain and a TLS listener) since every
+// field is an independent atomic.
+type ServerMetrics struct {
+	requests     atomic.Int64
+	bytesIn      atomic.Int64
+	parseErrors  atomic.Int64
+	deadlineHits atomic.Int64
+	activeConns  atomic.Int64
+	connsTotal   atomic.Int64
+}
+
+// NewServerMetrics returns an empty registry.
+func NewServerMetrics() *ServerMetrics { return &ServerMetrics{} }
+
+// ServerStats is a point-in-time snapshot of ServerMetrics, shaped for
+// JSON.
+type ServerStats struct {
+	Requests     int64 `json:"requests"`
+	BytesIn      int64 `json:"bytes_in"`
+	ParseErrors  int64 `json:"parse_errors"`
+	DeadlineHits int64 `json:"deadline_hits"`
+	ActiveConns  int64 `json:"active_conns"`
+	ConnsTotal   int64 `json:"conns_total"`
+}
+
+// Snapshot reads every counter. Counters are read independently, so a
+// snapshot taken mid-request may be off by one between related fields.
+func (m *ServerMetrics) Snapshot() ServerStats {
+	return ServerStats{
+		Requests:     m.requests.Load(),
+		BytesIn:      m.bytesIn.Load(),
+		ParseErrors:  m.parseErrors.Load(),
+		DeadlineHits: m.deadlineHits.Load(),
+		ActiveConns:  m.activeConns.Load(),
+		ConnsTotal:   m.connsTotal.Load(),
+	}
+}
+
+// connOpened / connClosed maintain the active-connection gauge.
+func (m *ServerMetrics) connOpened() {
+	m.activeConns.Add(1)
+	m.connsTotal.Add(1)
+}
+
+func (m *ServerMetrics) connClosed() { m.activeConns.Add(-1) }
+
+// recordRequest counts one fully received request body.
+func (m *ServerMetrics) recordRequest(bodyLen int) {
+	m.requests.Add(1)
+	m.bytesIn.Add(int64(bodyLen))
+}
+
+// recordReadError classifies a failed request read: a timeout (possibly
+// wrapped) is a deadline hit, anything else that isn't a clean close is
+// a parse (or framing) error.
+func (m *ServerMetrics) recordReadError(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		m.deadlineHits.Add(1)
+		return
+	}
+	m.parseErrors.Add(1)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4).
+func (m *ServerMetrics) WritePrometheus(w io.Writer) error {
+	st := m.Snapshot()
+	p := promtext.New(w)
+	p.Counter("bsoap_server_requests_total", "Requests fully received.", st.Requests)
+	p.Counter("bsoap_server_bytes_in_total", "Request body bytes received.", st.BytesIn)
+	p.Counter("bsoap_server_parse_errors_total", "Requests aborted by a framing or parse error.", st.ParseErrors)
+	p.Counter("bsoap_server_deadline_hits_total", "Request reads aborted by an I/O deadline.", st.DeadlineHits)
+	p.Counter("bsoap_server_conns_total", "Connections accepted.", st.ConnsTotal)
+	p.Gauge("bsoap_server_active_conns", "Connections currently open.", st.ActiveConns)
+	return p.Err()
+}
+
+// PrometheusHandler serves the registry as a /metrics scrape target.
+func (m *ServerMetrics) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", promtext.ContentType)
+		_ = m.WritePrometheus(w)
+	})
+}
+
+// StatsHandler serves the registry as indented JSON.
+func (m *ServerMetrics) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Snapshot())
+	})
+}

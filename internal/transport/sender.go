@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"bsoap/internal/trace"
 )
 
 // Version selects the HTTP framing used by a Sender.
@@ -71,6 +74,12 @@ type Sender struct {
 	addr   string
 	closed atomic.Bool
 
+	// TraceSpan attributes this sender's flight-recorder events (redial,
+	// deadline hits) to the call in progress. The pool sets it before
+	// each call; zero records the events unattributed. Written only by
+	// the sender's owner (same synchronization as every send method).
+	TraceSpan uint64
+
 	streaming bool
 	gz        *gzip.Writer
 	gzBuf     bytes.Buffer
@@ -106,7 +115,17 @@ func NewSender(conn net.Conn, opts SenderOptions) *Sender {
 // a Sender. With opts.Dialer set, that dialer establishes the connection
 // instead (and is reused by Redial).
 func Dial(addr string, opts SenderOptions) (*Sender, error) {
+	start := time.Now()
 	conn, err := dialConn(addr, opts.Dialer)
+	if trace.Enabled() {
+		ok := int64(1)
+		if err != nil {
+			ok = 0
+		}
+		// Fresh dials happen before a sender is bound to any call, so the
+		// event is unattributed (span 0) and ordered by time.
+		trace.Rec(0, trace.KindDial, ok, time.Since(start).Nanoseconds(), 0)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +194,15 @@ func (s *Sender) Redial() error {
 		return ErrNotDialed
 	}
 	_ = s.Close()
+	start := time.Now()
 	conn, err := dialConn(s.addr, s.opts.Dialer)
+	if trace.Enabled() {
+		ok := int64(1)
+		if err != nil {
+			ok = 0
+		}
+		trace.Rec(s.TraceSpan, trace.KindRedial, ok, time.Since(start).Nanoseconds(), 0)
+	}
 	if err != nil {
 		return err
 	}
@@ -201,6 +228,26 @@ func (s *Sender) armRead() {
 	if s.opts.ReadTimeout > 0 {
 		_ = s.conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
 	}
+}
+
+// noteIOErr records a flight-recorder deadline event when err is a
+// socket timeout, returning err unchanged so call sites can keep
+// wrapping it.
+func (s *Sender) noteIOErr(err error, read bool) error {
+	if err == nil {
+		return nil
+	}
+	if trace.Enabled() {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			rw := int64(0)
+			if read {
+				rw = 1
+			}
+			trace.Rec(s.TraceSpan, trace.KindDeadline, rw, 0, 0)
+		}
+	}
+	return err
 }
 
 // writeRequestHead writes the request line and common headers, leaving
@@ -246,11 +293,11 @@ func (s *Sender) Send(bufs net.Buffers) error {
 	}
 	for _, b := range bufs {
 		if _, err := s.bw.Write(b); err != nil {
-			return fmt.Errorf("transport: send body: %w", err)
+			return fmt.Errorf("transport: send body: %w", s.noteIOErr(err, false))
 		}
 	}
 	if err := s.bw.Flush(); err != nil {
-		return fmt.Errorf("transport: flush: %w", err)
+		return fmt.Errorf("transport: flush: %w", s.noteIOErr(err, false))
 	}
 	return s.maybeReadResponse()
 }
@@ -280,10 +327,10 @@ func (s *Sender) sendCompressed(bufs net.Buffers) error {
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	if _, err := s.bw.Write(s.gzBuf.Bytes()); err != nil {
-		return fmt.Errorf("transport: send body: %w", err)
+		return fmt.Errorf("transport: send body: %w", s.noteIOErr(err, false))
 	}
 	if err := s.bw.Flush(); err != nil {
-		return fmt.Errorf("transport: flush: %w", err)
+		return fmt.Errorf("transport: flush: %w", s.noteIOErr(err, false))
 	}
 	return s.maybeReadResponse()
 }
@@ -326,7 +373,7 @@ func (s *Sender) StreamChunk(p []byte) error {
 	if _, err := s.bw.WriteString("\r\n"); err != nil {
 		return fmt.Errorf("transport: chunk tail: %w", err)
 	}
-	return s.bw.Flush()
+	return s.noteIOErr(s.bw.Flush(), false)
 }
 
 // EndStream terminates the chunked body.
@@ -340,7 +387,7 @@ func (s *Sender) EndStream() error {
 		return fmt.Errorf("transport: end stream: %w", err)
 	}
 	if err := s.bw.Flush(); err != nil {
-		return fmt.Errorf("transport: end stream flush: %w", err)
+		return fmt.Errorf("transport: end stream flush: %w", s.noteIOErr(err, false))
 	}
 	return s.maybeReadResponse()
 }
@@ -358,7 +405,7 @@ func (s *Sender) Roundtrip(bufs net.Buffers) (*Response, error) {
 	s.armRead()
 	resp, err := ReadResponse(s.br)
 	if err != nil {
-		return nil, err
+		return nil, s.noteIOErr(err, true)
 	}
 	return resp, nil
 }
@@ -369,7 +416,7 @@ func (s *Sender) maybeReadResponse() error {
 	}
 	s.armRead()
 	if err := ReadResponseInto(s.br, &s.resp); err != nil {
-		return err
+		return s.noteIOErr(err, true)
 	}
 	if s.resp.Status/100 != 2 {
 		return fmt.Errorf("transport: server returned %d", s.resp.Status)

@@ -19,14 +19,13 @@ type Handler func(req *Request) ([]byte, error)
 // are read and discarded without parsing the SOAP payload, and a minimal
 // 202 is returned only when the client asks for responses.
 type Server struct {
-	ln       net.Listener
-	handler  Handler
-	respond  bool
-	logger   *log.Logger
-	wg       sync.WaitGroup
-	closed   atomic.Bool
-	requests atomic.Int64
-	bytes    atomic.Int64
+	ln      net.Listener
+	handler Handler
+	respond bool
+	logger  *log.Logger
+	metrics *ServerMetrics
+	wg      sync.WaitGroup
+	closed  atomic.Bool
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -43,14 +42,23 @@ type ServerOptions struct {
 	Respond bool
 	// Logger receives per-connection errors; nil disables logging.
 	Logger *log.Logger
+	// Metrics receives the server's counters. Nil gets a private
+	// registry, so Requests/Bytes always work; pass a shared one to
+	// export it (bsoap-server -metrics does).
+	Metrics *ServerMetrics
 }
 
 // Serve starts a server on ln; it returns immediately and serves until
 // Close.
 func Serve(ln net.Listener, opts ServerOptions) *Server {
+	m := opts.Metrics
+	if m == nil {
+		m = NewServerMetrics()
+	}
 	s := &Server{
 		ln: ln, handler: opts.Handler, respond: opts.Respond, logger: opts.Logger,
-		conns: make(map[net.Conn]struct{}),
+		metrics: m,
+		conns:   make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -71,10 +79,14 @@ func Listen(addr string, opts ServerOptions) (*Server, error) {
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Requests reports how many requests have been fully received.
-func (s *Server) Requests() int64 { return s.requests.Load() }
+func (s *Server) Requests() int64 { return s.metrics.requests.Load() }
 
 // Bytes reports total body bytes received.
-func (s *Server) Bytes() int64 { return s.bytes.Load() }
+func (s *Server) Bytes() int64 { return s.metrics.bytesIn.Load() }
+
+// Metrics returns the server's registry (the one from ServerOptions, or
+// the private default).
+func (s *Server) Metrics() *ServerMetrics { return s.metrics }
 
 // Close stops accepting, force-closes open connections, and waits for
 // connection goroutines to exit.
@@ -135,6 +147,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	if !s.track(conn) {
 		return
 	}
+	s.metrics.connOpened()
+	defer s.metrics.connClosed()
 	defer s.untrack(conn)
 	br := bufio.NewReaderSize(conn, 32*1024)
 	// One Request per connection, reused across keep-alive messages:
@@ -145,12 +159,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		err := ReadRequestInto(br, req)
 		if err != nil {
 			if !errors.Is(err, ErrConnClosed) && !s.closed.Load() {
+				s.metrics.recordReadError(err)
 				s.logf("read request: %v", err)
 			}
 			return
 		}
-		s.requests.Add(1)
-		s.bytes.Add(int64(len(req.Body)))
+		s.metrics.recordRequest(len(req.Body))
 
 		if s.handler == nil {
 			// Dummy server: the body has been drained; optionally ack.

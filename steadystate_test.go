@@ -10,14 +10,27 @@
 package bsoap_test
 
 import (
+	"os"
 	"testing"
 
 	"bsoap/internal/chunk"
 	"bsoap/internal/core"
 	"bsoap/internal/pool"
+	"bsoap/internal/trace"
 	"bsoap/internal/transport"
 	"bsoap/internal/wire"
 )
+
+// TestMain honours BSOAP_TRACE=1 by enabling the flight recorder for the
+// whole test binary. check.sh re-runs the allocation gates this way: the
+// zero-alloc contract must hold with tracing recording every call, not
+// just with the hooks compiled to their disabled branch.
+func TestMain(m *testing.M) {
+	if os.Getenv("BSOAP_TRACE") == "1" {
+		trace.Enable()
+	}
+	os.Exit(m.Run())
+}
 
 // gateAllocs asserts fn performs at most want allocations per run once
 // warm.
