@@ -59,6 +59,56 @@ obs_smoke() {
 }
 obs_smoke
 
+# Server-scaling smoke: the serverpool runtime under 8 concurrent RPC
+# clients must serve with zero failed calls and keep the server-side
+# differential fast path at ≥90% — loadgen scrapes the server's own
+# /metrics page and enforces both.
+scaling_smoke() {
+    tmp=$(mktemp -d)
+    go build -o "$tmp/bsoap-server" ./cmd/bsoap-server
+    go build -o "$tmp/bsoap-loadgen" ./cmd/bsoap-loadgen
+    "$tmp/bsoap-server" -mode bench -addr 127.0.0.1:29998 \
+        -metrics 127.0.0.1:28125 -quiet > "$tmp/srv.log" 2>&1 &
+    srv=$!
+    sleep 0.5
+    "$tmp/bsoap-loadgen" -addr 127.0.0.1:29998 -workers 8 -duration 4s -rpc \
+        -max-err 0 -server-metrics http://127.0.0.1:28125/metrics \
+        -min-server-fast 90
+    kill -TERM "$srv"
+    wait "$srv" || { echo "scaling smoke: server exited nonzero" >&2; exit 1; }
+    rm -rf "$tmp"
+    echo "check.sh: server-scaling smoke ok"
+}
+scaling_smoke
+
+# Drain smoke: SIGTERM mid-load must drain gracefully — the server
+# exits 0 having aborted zero in-flight requests (clients racing the
+# closed listener see errors; server-side cleanliness is the contract).
+drain_smoke() {
+    tmp=$(mktemp -d)
+    go build -o "$tmp/bsoap-server" ./cmd/bsoap-server
+    go build -o "$tmp/bsoap-loadgen" ./cmd/bsoap-loadgen
+    "$tmp/bsoap-server" -mode bench -addr 127.0.0.1:29997 -quiet \
+        > "$tmp/srv.log" 2>&1 &
+    srv=$!
+    sleep 0.5
+    "$tmp/bsoap-loadgen" -addr 127.0.0.1:29997 -workers 4 -duration 6s -rpc \
+        > "$tmp/lg.log" 2>&1 &
+    lg=$!
+    sleep 1.5
+    kill -TERM "$srv"
+    wait "$srv" || { echo "drain smoke: server exited nonzero" >&2; exit 1; }
+    wait "$lg" || true
+    grep -q 'drain complete (0 in-flight requests aborted)' "$tmp/srv.log" || {
+        echo "drain smoke: no clean-drain line in server output:" >&2
+        cat "$tmp/srv.log" >&2
+        exit 1
+    }
+    rm -rf "$tmp"
+    echo "check.sh: drain smoke ok"
+}
+drain_smoke
+
 # Fuzz smoke: run every fuzz target briefly so a parser regression that
 # only random inputs catch fails the gate, not a user. FUZZTIME=0 skips
 # (the corpus-replay runs in `go test` above still cover committed

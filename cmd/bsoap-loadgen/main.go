@@ -35,6 +35,7 @@ import (
 
 	"bsoap"
 	"bsoap/internal/faultwire"
+	"bsoap/internal/promtext"
 	"bsoap/internal/trace"
 	"bsoap/internal/workload"
 )
@@ -60,6 +61,8 @@ func main() {
 		maxErr    = flag.Float64("max-err", 0, "max tolerated error rate in percent before exiting nonzero")
 		chaos     = flag.Float64("chaos", 0, "inject faults: connection-reset probability per socket op (plus partial writes, mid-stream closes and dial failures at a quarter of it)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault injector seed")
+		srvMet    = flag.String("server-metrics", "", "scrape this server /metrics URL at end of run and report its differential-decode counters")
+		minFast   = flag.Float64("min-server-fast", 0, "with -server-metrics: min server DDS fast-path percent before exiting nonzero")
 	)
 	flag.Parse()
 
@@ -189,6 +192,13 @@ func main() {
 			d.Recorded, len(d.Events), d.Dropped)
 	}
 
+	if *srvMet != "" {
+		if err := checkServerMetrics(*srvMet, *minFast); err != nil {
+			fmt.Fprintln(os.Stderr, "bsoap-loadgen:", err)
+			os.Exit(1)
+		}
+	}
+
 	st := pool.Stats()
 	errRate := 0.0
 	if st.Calls > 0 {
@@ -258,6 +268,43 @@ func runWorker(pool *bsoap.Pool, id, ops, n int, pcts [3]int, stop *atomic.Bool,
 			}
 		}
 	}
+}
+
+// checkServerMetrics scrapes the server's Prometheus page, prints its
+// differential-decode summary, and errors when the fast-path rate falls
+// below minFast percent.
+func checkServerMetrics(url string, minFast float64) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: status %s", url, resp.Status)
+	}
+	vals, err := promtext.ReadValues(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	fast := vals["bsoap_server_dds_fast_path_total"]
+	full := vals["bsoap_server_dds_full_parse_total"]
+	rejected := vals["bsoap_server_rejected_conns_total"] + vals["bsoap_server_rejected_requests_total"]
+	rate := 0.0
+	if fast+full > 0 {
+		rate = 100 * fast / (fast + full)
+	}
+	fmt.Printf("  server: %.0f requests · dds fast-path %.1f%% (%.0f fast / %.0f full) · %.0f rejected · %.0f replica evictions\n",
+		vals["bsoap_server_requests_total"], rate, fast, full, rejected,
+		vals["bsoap_server_replica_evictions_total"])
+	if minFast > 0 {
+		if fast+full == 0 {
+			return fmt.Errorf("server reported no decodes; cannot judge -min-server-fast %.1f", minFast)
+		}
+		if rate < minFast {
+			return fmt.Errorf("server dds fast-path %.1f%% below -min-server-fast %.1f%%", rate, minFast)
+		}
+	}
+	return nil
 }
 
 // report prints the throughput + match-class summary.

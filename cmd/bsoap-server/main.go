@@ -8,20 +8,34 @@
 //	-mode sum       SOAP service summing a double array
 //	-mode mcs       Metadata Catalog Service over an in-memory catalog
 //	-mode flock     Condor flock collector printing received ClassAd stats
+//	-mode bench     acknowledge the loadgen workload operations
+//	                (sendDoubles/sendInts/sendMIOs)
 //	-mode record    keep every accepted request body in memory and
 //	                answer 200 (conformance/chaos runs; bound retention
 //	                with -record-limit)
 //
-// With -diff, SOAP modes decode requests through differential
-// deserialization and report decode statistics on shutdown.
+// SOAP modes run on the concurrent serverpool runtime: each connection
+// gets its own differential-deserializer replica and response stub, so
+// concurrent clients decode in parallel without thrashing shared
+// templates. -locked falls back to the single-mutex endpoint (the
+// scaling baseline). With -diff, requests decode through differential
+// deserialization; decode statistics are reported on shutdown.
+//
+// Admission control: -max-conns and -max-inflight reject excess load
+// with fast 503s, -request-timeout bounds each request read.
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, then the
+// process reports "drain complete" and exits 0. -drain-timeout bounds
+// the wait; a second signal hard-stops immediately.
 //
 // -metrics :8124 exposes the server's registry while it runs: JSON at
 // http://localhost:8124/, Prometheus text exposition at /metrics, and
 // the flight-recorder ring at /debug/trace (enable it with -trace to
-// record the response path's template decisions).
+// record decode and response-path template decisions).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,28 +44,40 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"bsoap/internal/classad"
 	"bsoap/internal/mcs"
 	"bsoap/internal/server"
+	"bsoap/internal/serverpool"
 	"bsoap/internal/soapdec"
 	"bsoap/internal/trace"
 	"bsoap/internal/transport"
 	"bsoap/internal/wire"
+	"bsoap/internal/workload"
 	"bsoap/internal/wsdl"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:9999", "listen address")
-		mode     = flag.String("mode", "discard", "discard | sum | mcs | flock | record")
+		mode     = flag.String("mode", "discard", "discard | sum | mcs | flock | bench | record")
 		respond  = flag.Bool("respond", true, "answer every request (discard mode defaults to silent)")
 		diff     = flag.Bool("diff", true, "use differential deserialization in SOAP modes")
+		locked   = flag.Bool("locked", false, "single-mutex endpoint instead of the sharded serverpool runtime")
+		selfchk  = flag.Bool("selfcheck", false, "re-verify every differential fast-path decode against a full parse")
 		quiet    = flag.Bool("quiet", false, "suppress per-connection error logging")
 		recCap   = flag.Int("record-limit", 10000, "record mode: max bodies kept in memory (0 = unbounded)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) — verify the receive path's allocation profile under load")
 		metrics  = flag.String("metrics", "", "serve server metrics on this address (e.g. :8124): JSON at /, Prometheus at /metrics, /debug/trace")
-		traceOn  = flag.Bool("trace", false, "enable the flight recorder (records the response path's template decisions)")
+		traceOn  = flag.Bool("trace", false, "enable the flight recorder (records decode and response-path template decisions)")
+
+		maxConns     = flag.Int("max-conns", 0, "admission: max open connections, excess rejected 503 (0 = unlimited)")
+		maxInflight  = flag.Int("max-inflight", 0, "admission: max requests handled at once, excess shed 503 (0 = unlimited)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request read deadline once its first byte arrives (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM before force-closing")
+		maxReplicas  = flag.Int("max-replicas", 256, "serverpool: max resident per-connection replicas (LRU beyond)")
+		clientAff    = flag.Bool("client-affine", false, "serverpool: key replicas by remote host instead of connection")
 	)
 	flag.Parse()
 
@@ -75,9 +101,18 @@ func main() {
 	}
 	sm := transport.NewServerMetrics()
 
-	var endpoint *server.SOAP
-	var rec *server.Recorder
-	opts := transport.ServerOptions{Logger: logger, Metrics: sm}
+	var (
+		ep  *server.SOAP
+		rt  *serverpool.Runtime
+		rec *server.Recorder
+	)
+	opts := transport.ServerOptions{
+		Logger: logger, Metrics: sm,
+		MaxConns: *maxConns, MaxInFlight: *maxInflight, RequestTimeout: *reqTimeout,
+	}
+
+	var svcName, svcNS string
+	var ops []opSpec
 	switch *mode {
 	case "discard":
 		opts.Respond = false // Send Time measurements never wait
@@ -86,17 +121,46 @@ func main() {
 		opts.Handler = rec.HTTPHandler()
 		opts.Respond = true
 	case "sum":
-		endpoint = newSumEndpoint(*diff)
+		svcName, svcNS, ops = "Calc", "urn:calc", sumOps()
 	case "mcs":
-		endpoint = newMCSEndpoint(*diff)
+		svcName, svcNS = "MetadataCatalog", mcs.Namespace
 	case "flock":
-		endpoint = newFlockEndpoint(*diff)
+		svcName, svcNS, ops = "FlockCollector", classad.Namespace, flockOps(logger)
+	case "bench":
+		svcName, svcNS, ops = "Bench", workload.Namespace, benchOps()
 	default:
 		fmt.Fprintf(os.Stderr, "bsoap-server: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-	if endpoint != nil {
-		opts.Handler = endpoint.HTTPHandler()
+
+	soapMode := svcName != ""
+	if soapMode {
+		catalog := mcs.NewCatalog([]string{"owner", "experiment", "format", "site"})
+		if *locked {
+			ep = server.New(server.Options{DifferentialDeserialization: *diff})
+			if *mode == "mcs" {
+				mcs.Bind(ep, catalog)
+			}
+			for _, o := range ops {
+				ep.Register(o.schema, o.factory())
+			}
+			opts.Handler = ep.HTTPHandler()
+		} else {
+			rt = serverpool.New(serverpool.Options{
+				DifferentialDeserialization: *diff,
+				MaxReplicas:                 *maxReplicas,
+				SelfCheck:                   *selfchk,
+				Metrics:                     sm,
+				Affinity:                    affinity(*clientAff),
+			})
+			if *mode == "mcs" {
+				mcs.BindRuntime(rt, catalog)
+			}
+			for _, o := range ops {
+				rt.Register(o.schema, o.factory)
+			}
+			opts.Handler = rt.HTTPHandler()
+		}
 		opts.Respond = *respond
 	}
 
@@ -105,25 +169,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bsoap-server:", err)
 		os.Exit(1)
 	}
-	if endpoint != nil {
-		switch *mode {
-		case "sum":
-			installWSDL(endpoint, "Calc", "urn:calc", srv.Addr(), []*soapdec.Schema{{
-				Namespace: "urn:calc", Op: "sum",
-				Params: []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
-			}})
-		case "mcs":
-			installWSDL(endpoint, "MetadataCatalog", mcs.Namespace, srv.Addr(),
-				[]*soapdec.Schema{mcs.AddSchema(), mcs.QuerySchema(), mcs.DeleteSchema()})
-		case "flock":
-			installWSDL(endpoint, "FlockCollector", classad.Namespace, srv.Addr(),
-				[]*soapdec.Schema{{
-					Namespace: classad.Namespace, Op: "flockUpdate",
-					Params: []soapdec.ParamSpec{
-						{Name: "pool", Type: wire.TString},
-						{Name: "ads", Type: wire.ArrayOf(classad.AdType())},
-					},
-				}})
+	if soapMode {
+		schemas := make([]*soapdec.Schema, 0, len(ops))
+		for _, o := range ops {
+			schemas = append(schemas, o.schema)
+		}
+		if *mode == "mcs" {
+			schemas = []*soapdec.Schema{mcs.AddSchema(), mcs.QuerySchema(), mcs.DeleteSchema()}
+		}
+		doc, werr := wsdl.Generate(&wsdl.Service{
+			Name: svcName, Namespace: svcNS, Endpoint: "http://" + srv.Addr() + "/", Operations: schemas,
+		})
+		if werr != nil {
+			log.Printf("bsoap-server: wsdl generation failed: %v", werr)
+		} else if ep != nil {
+			ep.SetWSDL(doc)
+		} else {
+			rt.SetWSDL(doc)
 		}
 	}
 	if *metrics != "" {
@@ -138,100 +200,163 @@ func main() {
 		}()
 		fmt.Printf("bsoap-server: metrics on http://%s/ (JSON), /metrics (Prometheus), /debug/trace\n", *metrics)
 	}
-	fmt.Printf("bsoap-server: mode=%s listening on %s\n", *mode, srv.Addr())
+	runtimeName := "serverpool"
+	if !soapMode {
+		runtimeName = *mode
+	} else if *locked {
+		runtimeName = "locked"
+	}
+	fmt.Printf("bsoap-server: mode=%s runtime=%s listening on %s\n", *mode, runtimeName, srv.Addr())
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
-	srv.Close()
+	// Graceful drain: stop accepting, let in-flight requests finish. A
+	// second signal (or the drain deadline) hard-stops.
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "bsoap-server: second signal, hard stop")
+		srv.Close()
+		os.Exit(1)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	drainErr := srv.Shutdown(ctx)
+	cancel()
+	aborted := sm.Snapshot().DrainAborted
+	if drainErr != nil {
+		fmt.Printf("bsoap-server: drain timed out after %s (%d in-flight requests aborted)\n", *drainTimeout, aborted)
+	} else {
+		fmt.Printf("bsoap-server: drain complete (%d in-flight requests aborted)\n", aborted)
+	}
+
 	fmt.Printf("bsoap-server: served %d requests, %d body bytes\n", srv.Requests(), srv.Bytes())
 	if rec != nil {
 		fmt.Printf("bsoap-server: recorded %d bodies (%d dropped by -record-limit)\n", rec.Count(), rec.Dropped())
 	}
-	if endpoint != nil {
-		st := endpoint.Stats()
+	switch {
+	case ep != nil:
+		st := ep.Stats()
 		fmt.Printf("bsoap-server: decodes: %d full parses, %d differential (%d values reparsed)\n",
 			st.FullParses, st.DiffDecodes, st.ValuesReparsed)
-		rs := endpoint.ResponseStats()
+		rs := ep.ResponseStats()
+		fmt.Printf("bsoap-server: responses: %d first-time, %d content matches, %d structural\n",
+			rs.FirstTimeSends, rs.ContentMatches, rs.StructuralMatches)
+	case rt != nil:
+		st := rt.Stats()
+		fmt.Printf("bsoap-server: decodes: %d full parses, %d differential (%d values reparsed), %d self-check fails\n",
+			st.FullParses, st.DiffDecodes, st.ValuesReparsed, st.SelfCheckFails)
+		fmt.Printf("bsoap-server: replicas: %d resident, %d evicted, %d template keys evicted\n",
+			st.Replicas, st.ReplicaEvictions, st.DDSKeyEvictions)
+		rs := rt.ResponseStats()
 		fmt.Printf("bsoap-server: responses: %d first-time, %d content matches, %d structural\n",
 			rs.FirstTimeSends, rs.ContentMatches, rs.StructuralMatches)
 	}
-}
-
-// installWSDL publishes a GET-able service description for the
-// endpoint's operations.
-func installWSDL(ep *server.SOAP, name, ns, addr string, ops []*soapdec.Schema) {
-	doc, err := wsdl.Generate(&wsdl.Service{
-		Name: name, Namespace: ns, Endpoint: "http://" + addr + "/", Operations: ops,
-	})
-	if err != nil {
-		log.Printf("bsoap-server: wsdl generation failed: %v", err)
-		return
+	if drainErr != nil {
+		os.Exit(1)
 	}
-	ep.SetWSDL(doc)
 }
 
-// newSumEndpoint registers sum(values: double[]) → sumResponse(total).
-func newSumEndpoint(diff bool) *server.SOAP {
-	ep := server.New(server.Options{DifferentialDeserialization: diff})
-	resp := wire.NewMessage("urn:calc", "sumResponse")
-	total := resp.AddDouble("total", 0)
+func affinity(clientAffine bool) serverpool.Affinity {
+	if clientAffine {
+		return serverpool.AffinityClient
+	}
+	return serverpool.AffinityConn
+}
+
+// opSpec couples an operation schema with a per-replica handler factory
+// (the serverpool runtime instantiates one handler per replica; the
+// locked endpoint calls the factory once).
+type opSpec struct {
+	schema  *soapdec.Schema
+	factory serverpool.HandlerFactory
+}
+
+// sumOps declares sum(values: double[]) → sumResponse(total).
+func sumOps() []opSpec {
 	schema := &soapdec.Schema{
 		Namespace: "urn:calc",
 		Op:        "sum",
 		Params:    []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
 	}
-	ep.Register(schema, func(req *wire.Message) (*wire.Message, error) {
-		var s float64
-		for i := 0; i < req.NumLeaves(); i++ {
-			s += req.LeafDouble(i)
+	return []opSpec{{schema: schema, factory: func() server.Handler {
+		resp := wire.NewMessage("urn:calc", "sumResponse")
+		total := resp.AddDouble("total", 0)
+		return func(req *wire.Message) (*wire.Message, error) {
+			var s float64
+			for i := 0; i < req.NumLeaves(); i++ {
+				s += req.LeafDouble(i)
+			}
+			total.Set(s)
+			return resp, nil
 		}
-		total.Set(s)
-		return resp, nil
-	})
-	return ep
+	}}}
 }
 
-// newMCSEndpoint serves the metadata catalog over the standard schema.
-func newMCSEndpoint(diff bool) *server.SOAP {
-	ep := server.New(server.Options{DifferentialDeserialization: diff})
-	catalog := mcs.NewCatalog([]string{"owner", "experiment", "format", "site"})
-	mcs.Bind(ep, catalog)
-	return ep
-}
-
-// newFlockEndpoint accepts Condor flock updates and tracks pool load.
-func newFlockEndpoint(diff bool) *server.SOAP {
-	ep := server.New(server.Options{DifferentialDeserialization: diff})
-	resp := wire.NewMessage(classad.Namespace, "flockUpdateResponse")
-	accepted := resp.AddInt("accepted", 0)
-	ep.Register(&soapdec.Schema{
+// flockOps accepts Condor flock updates and tracks pool load.
+func flockOps(logger *log.Logger) []opSpec {
+	schema := &soapdec.Schema{
 		Namespace: classad.Namespace,
 		Op:        "flockUpdate",
 		Params: []soapdec.ParamSpec{
 			{Name: "pool", Type: wire.TString},
 			{Name: "ads", Type: wire.ArrayOf(classad.AdType())},
 		},
-	}, func(req *wire.Message) (*wire.Message, error) {
-		pool, ads, err := classad.DecodeAds(req)
-		if err != nil {
-			return nil, err
-		}
-		busy := 0
-		var load float64
-		for _, ad := range ads {
-			if ad.State == 1 {
-				busy++
+	}
+	return []opSpec{{schema: schema, factory: func() server.Handler {
+		resp := wire.NewMessage(classad.Namespace, "flockUpdateResponse")
+		accepted := resp.AddInt("accepted", 0)
+		return func(req *wire.Message) (*wire.Message, error) {
+			pool, ads, err := classad.DecodeAds(req)
+			if err != nil {
+				return nil, err
 			}
-			load += ad.LoadAvg
+			busy := 0
+			var load float64
+			for _, ad := range ads {
+				if ad.State == 1 {
+					busy++
+				}
+				load += ad.LoadAvg
+			}
+			if logger != nil {
+				logger.Printf("flock: pool %q: %d ads, %d busy, avg load %.2f",
+					pool, len(ads), busy, load/float64(max(1, len(ads))))
+			}
+			accepted.Set(int32(len(ads)))
+			return resp, nil
 		}
-		log.Printf("flock: pool %q: %d ads, %d busy, avg load %.2f",
-			pool, len(ads), busy, load/float64(max(1, len(ads))))
-		accepted.Set(int32(len(ads)))
-		return resp, nil
-	})
-	return ep
+	}}}
+}
+
+// benchOps acknowledges the loadgen workload operations: each response
+// reports the element count received, through a fixed-shape message
+// that gives the response stub content/structural matches.
+func benchOps() []opSpec {
+	ack := func(respOp string) serverpool.HandlerFactory {
+		return func() server.Handler {
+			resp := wire.NewMessage(workload.Namespace, respOp)
+			n := resp.AddInt("n", 0)
+			return func(req *wire.Message) (*wire.Message, error) {
+				n.Set(int32(req.NumLeaves()))
+				return resp, nil
+			}
+		}
+	}
+	return []opSpec{
+		{schema: &soapdec.Schema{
+			Namespace: workload.Namespace, Op: "sendDoubles",
+			Params: []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
+		}, factory: ack("sendDoublesResponse")},
+		{schema: &soapdec.Schema{
+			Namespace: workload.Namespace, Op: "sendInts",
+			Params: []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TInt)}},
+		}, factory: ack("sendIntsResponse")},
+		{schema: &soapdec.Schema{
+			Namespace: workload.Namespace, Op: "sendMIOs",
+			Params: []soapdec.ParamSpec{{Name: "mios", Type: wire.ArrayOf(workload.MIOType())}},
+		}, factory: ack("sendMIOsResponse")},
+	}
 }
 
 func max(a, b int) int {

@@ -46,17 +46,66 @@ type template struct {
 // the fast path.
 const MaxTemplatesPerKey = 4
 
+// DefaultMaxKeys bounds how many distinct operation keys a deserializer
+// retains (each holding up to MaxTemplatesPerKey templates). Keys are
+// evicted least-recently-used, mirroring core.Store's per-op signature
+// LRU, so a peer cycling through many operations cannot grow the
+// deserializer without bound.
+const DefaultMaxKeys = 64
+
 // Deserializer is the stateful server-side decoder. Not safe for
 // concurrent use; guard it per connection or with the server's dispatch
 // lock.
 type Deserializer struct {
 	lookup    soapdec.Lookup
 	templates map[string][]*template // LRU front first
+	keyLRU    []string               // operation keys, most recent first
+	maxKeys   int
+	evictions int64
 }
 
-// New returns a deserializer resolving operations through lookup.
+// New returns a deserializer resolving operations through lookup, with
+// the key count bounded at DefaultMaxKeys.
 func New(lookup soapdec.Lookup) *Deserializer {
-	return &Deserializer{lookup: lookup, templates: make(map[string][]*template)}
+	return NewBounded(lookup, DefaultMaxKeys)
+}
+
+// NewBounded returns a deserializer retaining at most maxKeys operation
+// keys (values < 1 mean DefaultMaxKeys).
+func NewBounded(lookup soapdec.Lookup, maxKeys int) *Deserializer {
+	if maxKeys < 1 {
+		maxKeys = DefaultMaxKeys
+	}
+	return &Deserializer{
+		lookup:    lookup,
+		templates: make(map[string][]*template),
+		maxKeys:   maxKeys,
+	}
+}
+
+// Evictions reports how many operation keys the LRU bound has evicted.
+func (d *Deserializer) Evictions() int64 { return d.evictions }
+
+// noteKey moves key to the front of the key LRU, inserting it when new
+// and evicting the least recently used key (and its templates) beyond
+// maxKeys.
+func (d *Deserializer) noteKey(key string) {
+	for i, k := range d.keyLRU {
+		if k == key {
+			if i != 0 {
+				copy(d.keyLRU[1:i+1], d.keyLRU[0:i])
+				d.keyLRU[0] = key
+			}
+			return
+		}
+	}
+	d.keyLRU = append([]string{key}, d.keyLRU...)
+	if len(d.keyLRU) > d.maxKeys {
+		victim := d.keyLRU[len(d.keyLRU)-1]
+		d.keyLRU = d.keyLRU[:len(d.keyLRU)-1]
+		delete(d.templates, victim)
+		d.evictions++
+	}
 }
 
 // Decode parses body, differentially when a previous message for key
@@ -77,11 +126,13 @@ func (d *Deserializer) Decode(key string, body []byte) (*wire.Message, Info, err
 			reason = why
 			continue
 		}
-		// Move the hit to the LRU front.
+		// Move the hit to the LRU front (template within the key, and
+		// the key within the deserializer).
 		if idx != 0 {
 			copy(list[1:idx+1], list[0:idx])
 			list[0] = tpl
 		}
+		d.noteKey(key)
 		return msg, info, nil
 	}
 	return d.fullParse(key, body, reason)
@@ -192,8 +243,12 @@ func (d *Deserializer) fullParse(key string, body []byte, reason string) (*wire.
 		list = list[:MaxTemplatesPerKey]
 	}
 	d.templates[key] = list
+	d.noteKey(key)
 	return res.Msg, Info{FullParse: true, Reason: reason}, nil
 }
+
+// KeyCount reports how many operation keys are resident.
+func (d *Deserializer) KeyCount() int { return len(d.templates) }
 
 // TemplateCount reports how many templates are resident (all keys).
 func (d *Deserializer) TemplateCount() int {

@@ -11,8 +11,10 @@ package mcs
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bsoap/internal/server"
+	"bsoap/internal/serverpool"
 	"bsoap/internal/soapdec"
 	"bsoap/internal/wire"
 )
@@ -21,8 +23,11 @@ import (
 const Namespace = "urn:mcs"
 
 // Catalog is the in-memory metadata store: logical file name → attribute
-// values under a fixed schema.
+// values under a fixed schema. All operations are safe for concurrent
+// use — the serverpool runtime dispatches handlers from many replicas
+// at once against one shared catalog.
 type Catalog struct {
+	mu     sync.Mutex
 	schema []string // attribute names, fixed at construction
 	byName map[string][]string
 	// byAttr[i][value] = set of logical names with schema[i] == value.
@@ -49,7 +54,11 @@ func NewCatalog(schema []string) *Catalog {
 func (c *Catalog) Schema() []string { return c.schema }
 
 // Len reports the number of entries.
-func (c *Catalog) Len() int { return len(c.byName) }
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byName)
+}
 
 // attrIndex resolves an attribute name.
 func (c *Catalog) attrIndex(attr string) (int, error) {
@@ -64,6 +73,8 @@ func (c *Catalog) attrIndex(attr string) (int, error) {
 // Add inserts or replaces the entry for name. values must match the
 // schema length.
 func (c *Catalog) Add(name string, values []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(values) != len(c.schema) {
 		return fmt.Errorf("mcs: %d values for %d-attribute schema", len(values), len(c.schema))
 	}
@@ -85,6 +96,8 @@ func (c *Catalog) Add(name string, values []string) error {
 
 // Delete removes an entry, reporting whether it existed.
 func (c *Catalog) Delete(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	vals, ok := c.byName[name]
 	if !ok {
 		return false
@@ -105,8 +118,11 @@ func (c *Catalog) unindex(name string, vals []string) {
 	}
 }
 
-// Get returns the attribute values of name.
+// Get returns the attribute values of name. The returned slice is the
+// catalog's storage and must not be modified.
 func (c *Catalog) Get(name string) ([]string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	v, ok := c.byName[name]
 	return v, ok
 }
@@ -114,6 +130,8 @@ func (c *Catalog) Get(name string) ([]string, bool) {
 // Query returns the logical names whose attribute attr equals value,
 // sorted for determinism.
 func (c *Catalog) Query(attr, value string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	i, err := c.attrIndex(attr)
 	if err != nil {
 		return nil, err
@@ -169,49 +187,79 @@ func DeleteSchema() *soapdec.Schema {
 	}
 }
 
-// Bind registers the MCS operations on a SOAP endpoint. Responses reuse
-// fixed-shape message objects so the endpoint's differential response
-// stub gets structural matches.
-func Bind(ep *server.SOAP, c *Catalog) {
-	addResp := wire.NewMessage(Namespace, "mcsAddResponse")
-	addOK := addResp.AddBool("ok", true)
-	ep.Register(AddSchema(), func(req *wire.Message) (*wire.Message, error) {
-		name := req.LeafString(0)
-		vals := make([]string, req.NumLeaves()-1)
-		for i := range vals {
-			vals[i] = req.LeafString(i + 1)
-		}
-		err := c.Add(name, vals)
-		addOK.Set(err == nil)
-		if err != nil {
-			return nil, err
-		}
-		return addResp, nil
-	})
-
-	queryResp := wire.NewMessage(Namespace, "mcsQueryResponse")
-	count := queryResp.AddInt("count", 0)
-	page := queryResp.AddStringArray("names", QueryPageSize)
-	ep.Register(QuerySchema(), func(req *wire.Message) (*wire.Message, error) {
-		names, err := c.Query(req.LeafString(0), req.LeafString(1))
-		if err != nil {
-			return nil, err
-		}
-		count.Set(int32(len(names)))
-		for i := 0; i < QueryPageSize; i++ {
-			if i < len(names) {
-				page.Set(i, names[i])
-			} else {
-				page.Set(i, "")
+// addFactory builds an mcsAdd handler with its own reused response
+// message (fixed shape → structural matches on the response stub).
+func addFactory(c *Catalog) func() server.Handler {
+	return func() server.Handler {
+		addResp := wire.NewMessage(Namespace, "mcsAddResponse")
+		addOK := addResp.AddBool("ok", true)
+		return func(req *wire.Message) (*wire.Message, error) {
+			name := req.LeafString(0)
+			vals := make([]string, req.NumLeaves()-1)
+			for i := range vals {
+				vals[i] = req.LeafString(i + 1)
 			}
+			err := c.Add(name, vals)
+			addOK.Set(err == nil)
+			if err != nil {
+				return nil, err
+			}
+			return addResp, nil
 		}
-		return queryResp, nil
-	})
+	}
+}
 
-	delResp := wire.NewMessage(Namespace, "mcsDeleteResponse")
-	existed := delResp.AddBool("existed", false)
-	ep.Register(DeleteSchema(), func(req *wire.Message) (*wire.Message, error) {
-		existed.Set(c.Delete(req.LeafString(0)))
-		return delResp, nil
-	})
+// queryFactory builds an mcsQuery handler with its own padded response
+// page.
+func queryFactory(c *Catalog) func() server.Handler {
+	return func() server.Handler {
+		queryResp := wire.NewMessage(Namespace, "mcsQueryResponse")
+		count := queryResp.AddInt("count", 0)
+		page := queryResp.AddStringArray("names", QueryPageSize)
+		return func(req *wire.Message) (*wire.Message, error) {
+			names, err := c.Query(req.LeafString(0), req.LeafString(1))
+			if err != nil {
+				return nil, err
+			}
+			count.Set(int32(len(names)))
+			for i := 0; i < QueryPageSize; i++ {
+				if i < len(names) {
+					page.Set(i, names[i])
+				} else {
+					page.Set(i, "")
+				}
+			}
+			return queryResp, nil
+		}
+	}
+}
+
+// deleteFactory builds an mcsDelete handler.
+func deleteFactory(c *Catalog) func() server.Handler {
+	return func() server.Handler {
+		delResp := wire.NewMessage(Namespace, "mcsDeleteResponse")
+		existed := delResp.AddBool("existed", false)
+		return func(req *wire.Message) (*wire.Message, error) {
+			existed.Set(c.Delete(req.LeafString(0)))
+			return delResp, nil
+		}
+	}
+}
+
+// Bind registers the MCS operations on a single-lock SOAP endpoint.
+// Responses reuse fixed-shape message objects so the endpoint's
+// differential response stub gets structural matches.
+func Bind(ep *server.SOAP, c *Catalog) {
+	ep.Register(AddSchema(), addFactory(c)())
+	ep.Register(QuerySchema(), queryFactory(c)())
+	ep.Register(DeleteSchema(), deleteFactory(c)())
+}
+
+// BindRuntime registers the MCS operations on the concurrent serverpool
+// runtime: every replica gets private response messages, all sharing
+// the one catalog (which locks internally).
+func BindRuntime(rt *serverpool.Runtime, c *Catalog) {
+	rt.Register(AddSchema(), addFactory(c))
+	rt.Register(QuerySchema(), queryFactory(c))
+	rt.Register(DeleteSchema(), deleteFactory(c))
 }

@@ -85,6 +85,42 @@ func Validate(r io.Reader) (Stats, error) {
 	return st, nil
 }
 
+// ReadValues parses r as Prometheus text format and returns each
+// metric's sample value by name (labels are ignored; for a name with
+// several labeled samples the last one wins). It is the scrape-side
+// complement of Validate: loadgen uses it to judge a server's
+// differential fast-path rate from its /metrics page.
+func ReadValues(r io.Reader) (map[string]float64, error) {
+	vals := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return vals, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		parts := strings.Fields(rest)
+		if len(parts) == 0 {
+			return vals, fmt.Errorf("line %d: sample without value", lineNo)
+		}
+		v, err := parseValue(parts[0])
+		if err != nil {
+			return vals, fmt.Errorf("line %d: bad value %q: %v", lineNo, parts[0], err)
+		}
+		vals[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return vals, err
+	}
+	return vals, nil
+}
+
 // splitSample splits a sample line into metric name (label braces
 // stripped but syntax-checked) and the remainder after the name/labels.
 func splitSample(line string) (name, rest string, err error) {

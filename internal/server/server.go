@@ -139,7 +139,7 @@ func (s *SOAP) Handle(body []byte) ([]byte, error) {
 	if s.differ != nil {
 		var info diffdeser.Info
 		// Key by operation: the fast path matches same-shaped repeats.
-		opLocal, perr := peekOperation(body)
+		opLocal, perr := PeekOperation(body)
 		if perr != nil {
 			return nil, perr
 		}
@@ -189,9 +189,10 @@ func (s *SOAP) ResponseStats() core.Stats {
 	return s.stub.Stats()
 }
 
-// peekOperation extracts the operation's local name without a full
-// parse: it scans for the first element inside <Body>.
-func peekOperation(body []byte) (string, error) {
+// PeekOperation extracts the operation's local name without a full
+// parse: it scans for the first element inside <Body>. The serverpool
+// runtime shares it to key differential-deserializer templates.
+func PeekOperation(body []byte) (string, error) {
 	var off int
 	if idx := bytes.Index(body, []byte(":Body>")); idx >= 0 {
 		off = idx + len(":Body>")

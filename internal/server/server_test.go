@@ -154,14 +154,14 @@ func TestPeekOperation(t *testing.T) {
 		`<E:Envelope><E:Body>` + "\n  " + `<op2/></E:Body></E:Envelope>`:    "op2",
 	}
 	for doc, want := range cases {
-		got, err := peekOperation([]byte(doc))
+		got, err := PeekOperation([]byte(doc))
 		if err != nil || got != want {
-			t.Errorf("peekOperation(%q) = %q, %v", doc, got, err)
+			t.Errorf("PeekOperation(%q) = %q, %v", doc, got, err)
 		}
 	}
 	for _, doc := range []string{"", "<no-body/>", `<E:Body>`} {
-		if _, err := peekOperation([]byte(doc)); err == nil {
-			t.Errorf("peekOperation(%q) succeeded", doc)
+		if _, err := PeekOperation([]byte(doc)); err == nil {
+			t.Errorf("PeekOperation(%q) succeeded", doc)
 		}
 	}
 }

@@ -1,0 +1,521 @@
+// Package serverpool is the concurrent SOAP server runtime. Where
+// server.SOAP serializes every request behind one mutex, Runtime keeps
+// a sharded pool of per-connection (or per-client) replicas, each with
+// its own differential deserializer and differential response stub —
+// the server-side mirror of the client's pool.ShardedStore. Requests
+// from the same connection land on the same replica, so its stored
+// templates track that client's message shapes: concurrent clients with
+// different shapes no longer thrash a shared template set, and decodes
+// proceed in parallel with no cross-connection lock.
+package serverpool
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"bsoap/internal/core"
+	"bsoap/internal/diffdeser"
+	"bsoap/internal/multiref"
+	"bsoap/internal/server"
+	"bsoap/internal/soapdec"
+	"bsoap/internal/trace"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+)
+
+// Handler is the per-operation callback, identical to server.Handler.
+type Handler = server.Handler
+
+// HandlerFactory builds one handler instance. Each replica gets its own
+// instance, so handlers may keep per-instance state — in particular a
+// reused response wire.Message, which is exactly what makes the
+// response-side differential stub effective and is not safe to share
+// across replicas.
+type HandlerFactory func() Handler
+
+// Affinity selects how requests are grouped onto replicas.
+type Affinity int
+
+const (
+	// AffinityConn gives every transport connection its own replica.
+	// Keep-alive clients (the paper's model) see perfect template
+	// locality; the replica dies with the connection's LRU slot.
+	AffinityConn Affinity = iota
+	// AffinityClient groups by remote host instead, so a client that
+	// reconnects (or opens several connections) keeps its templates.
+	// Replicas are then contended locks, not exclusive owners.
+	AffinityClient
+)
+
+// Options configure a Runtime.
+type Options struct {
+	// DifferentialDeserialization enables the per-replica diffdeser fast
+	// path; off, every request is a full schema-driven parse.
+	DifferentialDeserialization bool
+	// Core configures each replica's response-side differential stub.
+	Core core.Config
+	// Shards is the number of replica-registry shards (rounded up to a
+	// power of two; default 16). More shards means less registry-lock
+	// contention; replicas themselves are never shared across requests
+	// of different connections under AffinityConn.
+	Shards int
+	// MaxReplicas bounds resident replicas across all shards (default
+	// 256). The bound is enforced per shard as max(1, MaxReplicas/Shards)
+	// with LRU eviction, mirroring pool.ShardedStore.
+	MaxReplicas int
+	// MaxKeysPerReplica bounds operation keys inside each replica's
+	// deserializer (0 = diffdeser.DefaultMaxKeys).
+	MaxKeysPerReplica int
+	// Affinity selects the replica grouping key (default AffinityConn).
+	Affinity Affinity
+	// SelfCheck re-decodes every differential fast-path result with a
+	// from-scratch parse and compares leaf values — the conformance
+	// paranoid mode. A mismatch fails the request and is counted.
+	SelfCheck bool
+	// Metrics receives DDS and eviction counters; nil gets a private
+	// registry. Pass the same registry as the transport.Server to export
+	// everything on one /metrics page.
+	Metrics *transport.ServerMetrics
+}
+
+// Runtime dispatches SOAP requests across replica deserializer/stub
+// pairs. Register all operations before serving; Register is not safe
+// to call concurrently with request handling.
+type Runtime struct {
+	opts    Options
+	metrics *transport.ServerMetrics
+	ops     map[string]*operation
+	shards  []shard
+	mask    uint32
+
+	wsdlMu sync.Mutex
+	wsdl   []byte
+
+	requests         atomic.Int64
+	fullParses       atomic.Int64
+	diffDecodes      atomic.Int64
+	valuesReparsed   atomic.Int64
+	multiRefInlined  atomic.Int64
+	selfCheckFails   atomic.Int64
+	replicaEvictions atomic.Int64
+	ddsKeyEvictions  atomic.Int64
+}
+
+type operation struct {
+	schema  *soapdec.Schema
+	factory HandlerFactory
+}
+
+// replicaKey identifies one replica: the connection ID under
+// AffinityConn, the remote host under AffinityClient.
+type replicaKey struct {
+	conn uint64
+	host string
+}
+
+type shard struct {
+	mu       sync.Mutex
+	replicas map[replicaKey]*replica
+	lru      []replicaKey // front = most recently used
+	max      int
+}
+
+// replica is one client's private decode/encode state: a bounded
+// differential deserializer whose templates track that client's request
+// shapes, a differential response stub, and per-replica handler
+// instances (handlers reuse response messages, so instances cannot be
+// shared). The mutex serializes the rare case of two requests mapping
+// to one replica (AffinityClient, or an evicted key recreated while its
+// old request still runs).
+type replica struct {
+	mu           sync.Mutex
+	differ       *diffdeser.Deserializer
+	keyEvictions int64 // last value drained into metrics
+	handlers     map[string]Handler
+	respBuf      bytes.Buffer
+	stub         *core.Stub
+}
+
+// Stats is a point-in-time snapshot of runtime counters.
+type Stats struct {
+	Requests         int64
+	FullParses       int64
+	DiffDecodes      int64
+	ValuesReparsed   int64
+	MultiRefInlined  int64
+	SelfCheckFails   int64
+	Replicas         int // currently resident
+	ReplicaEvictions int64
+	DDSKeyEvictions  int64
+}
+
+// New returns an empty runtime.
+func New(opts Options) *Runtime {
+	nshards := opts.Shards
+	if nshards <= 0 {
+		nshards = 16
+	}
+	// Round up to a power of two so the shard index is a mask.
+	n := 1
+	for n < nshards {
+		n <<= 1
+	}
+	maxReplicas := opts.MaxReplicas
+	if maxReplicas <= 0 {
+		maxReplicas = 256
+	}
+	perShard := maxReplicas / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	m := opts.Metrics
+	if m == nil {
+		m = transport.NewServerMetrics()
+	}
+	rt := &Runtime{
+		opts:    opts,
+		metrics: m,
+		ops:     make(map[string]*operation),
+		shards:  make([]shard, n),
+		mask:    uint32(n - 1),
+	}
+	for i := range rt.shards {
+		rt.shards[i].replicas = make(map[replicaKey]*replica)
+		rt.shards[i].max = perShard
+	}
+	return rt
+}
+
+// Register adds an operation. The factory runs once per replica that
+// sees the operation. Not safe concurrently with request handling.
+func (rt *Runtime) Register(schema *soapdec.Schema, factory HandlerFactory) {
+	rt.ops[schema.Op] = &operation{schema: schema, factory: factory}
+}
+
+// RegisterShared adds an operation whose single handler is shared by
+// every replica. Only safe for handlers that build a fresh response
+// message per call (forfeiting response-side differential matches) or
+// are otherwise concurrency-safe.
+func (rt *Runtime) RegisterShared(schema *soapdec.Schema, h Handler) {
+	rt.Register(schema, func() Handler { return h })
+}
+
+func (rt *Runtime) lookupSchema(opLocal string) (*soapdec.Schema, bool) {
+	op, ok := rt.ops[opLocal]
+	if !ok {
+		return nil, false
+	}
+	return op.schema, true
+}
+
+// SetWSDL installs the service description served on GET requests.
+func (rt *Runtime) SetWSDL(doc []byte) {
+	rt.wsdlMu.Lock()
+	rt.wsdl = append([]byte(nil), doc...)
+	rt.wsdlMu.Unlock()
+}
+
+// Stats returns runtime counters.
+func (rt *Runtime) Stats() Stats {
+	st := Stats{
+		Requests:         rt.requests.Load(),
+		FullParses:       rt.fullParses.Load(),
+		DiffDecodes:      rt.diffDecodes.Load(),
+		ValuesReparsed:   rt.valuesReparsed.Load(),
+		MultiRefInlined:  rt.multiRefInlined.Load(),
+		SelfCheckFails:   rt.selfCheckFails.Load(),
+		ReplicaEvictions: rt.replicaEvictions.Load(),
+		DDSKeyEvictions:  rt.ddsKeyEvictions.Load(),
+	}
+	for i := range rt.shards {
+		sh := &rt.shards[i]
+		sh.mu.Lock()
+		st.Replicas += len(sh.replicas)
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// ResponseStats sums the response stubs' differential counters across
+// resident replicas (evicted replicas take their counts with them).
+func (rt *Runtime) ResponseStats() core.Stats {
+	var sum core.Stats
+	for i := range rt.shards {
+		sh := &rt.shards[i]
+		sh.mu.Lock()
+		reps := make([]*replica, 0, len(sh.replicas))
+		for _, r := range sh.replicas {
+			reps = append(reps, r)
+		}
+		sh.mu.Unlock()
+		for _, r := range reps {
+			r.mu.Lock()
+			cs := r.stub.Stats()
+			r.mu.Unlock()
+			sum.Calls += cs.Calls
+			sum.FirstTimeSends += cs.FirstTimeSends
+			sum.ContentMatches += cs.ContentMatches
+			sum.StructuralMatches += cs.StructuralMatches
+			sum.PartialMatches += cs.PartialMatches
+			sum.FullSerializations += cs.FullSerializations
+			sum.DegradedFTS += cs.DegradedFTS
+			sum.BytesSent += cs.BytesSent
+			sum.BytesSerialized += cs.BytesSerialized
+			sum.ValuesRewritten += cs.ValuesRewritten
+			sum.TagShifts += cs.TagShifts
+			sum.Shifts += cs.Shifts
+			sum.Steals += cs.Steals
+			sum.Grows += cs.Grows
+			sum.Splits += cs.Splits
+		}
+	}
+	return sum
+}
+
+// HTTPHandler adapts the runtime to the transport server: POSTs are
+// dispatched as SOAP calls on the caller's replica, GETs answered with
+// the WSDL when one is installed.
+func (rt *Runtime) HTTPHandler() transport.Handler {
+	return func(req *transport.Request) ([]byte, error) {
+		if req.Method == "GET" {
+			rt.wsdlMu.Lock()
+			doc := rt.wsdl
+			rt.wsdlMu.Unlock()
+			if doc == nil {
+				return nil, fmt.Errorf("serverpool: no WSDL installed")
+			}
+			return doc, nil
+		}
+		r := rt.acquire(rt.keyFor(req))
+		defer r.mu.Unlock()
+		return rt.handle(r, req.Body)
+	}
+}
+
+// Handle decodes and dispatches one envelope for the given connection
+// identity, for callers not going through transport.Server.
+func (rt *Runtime) Handle(connID uint64, remoteAddr string, body []byte) ([]byte, error) {
+	r := rt.acquire(rt.keyFor(&transport.Request{ConnID: connID, RemoteAddr: remoteAddr}))
+	defer r.mu.Unlock()
+	return rt.handle(r, body)
+}
+
+func (rt *Runtime) keyFor(req *transport.Request) replicaKey {
+	if rt.opts.Affinity == AffinityClient {
+		host := req.RemoteAddr
+		if c := strings.LastIndexByte(host, ':'); c >= 0 {
+			host = host[:c]
+		}
+		return replicaKey{host: host}
+	}
+	return replicaKey{conn: req.ConnID}
+}
+
+func (rt *Runtime) shardFor(key replicaKey) *shard {
+	var h uint32
+	if key.host != "" {
+		h = 2166136261 // FNV-1a
+		for i := 0; i < len(key.host); i++ {
+			h ^= uint32(key.host[i])
+			h *= 16777619
+		}
+	} else {
+		h = uint32(key.conn*2654435761) ^ uint32(key.conn>>32)
+	}
+	return &rt.shards[h&rt.mask]
+}
+
+// acquire returns the key's replica with its mutex held. Finding or
+// creating the replica holds only the shard lock; the replica lock is
+// taken outside it, so a slow request on one replica never blocks
+// lookups of its shard siblings.
+func (rt *Runtime) acquire(key replicaKey) *replica {
+	sh := rt.shardFor(key)
+	sh.mu.Lock()
+	r, ok := sh.replicas[key]
+	if ok {
+		sh.touch(key)
+	} else {
+		r = rt.newReplica()
+		sh.replicas[key] = r
+		sh.lru = append(sh.lru, replicaKey{})
+		copy(sh.lru[1:], sh.lru)
+		sh.lru[0] = key
+		if len(sh.replicas) > sh.max {
+			victim := sh.lru[len(sh.lru)-1]
+			sh.lru = sh.lru[:len(sh.lru)-1]
+			delete(sh.replicas, victim)
+			// The evicted replica is not torn down: a request already
+			// holding it finishes normally, and its arenas stay valid for
+			// any in-flight response bytes (same rule as ShardedStore).
+			rt.replicaEvictions.Add(1)
+			rt.metrics.RecordReplicaEviction()
+		}
+	}
+	sh.mu.Unlock()
+	r.mu.Lock()
+	return r
+}
+
+// touch moves key to the LRU front. Caller holds sh.mu.
+func (sh *shard) touch(key replicaKey) {
+	for i, k := range sh.lru {
+		if k == key {
+			copy(sh.lru[1:i+1], sh.lru[:i])
+			sh.lru[0] = key
+			return
+		}
+	}
+}
+
+func (rt *Runtime) newReplica() *replica {
+	r := &replica{handlers: make(map[string]Handler)}
+	if rt.opts.DifferentialDeserialization {
+		r.differ = diffdeser.NewBounded(rt.lookupSchema, rt.opts.MaxKeysPerReplica)
+	}
+	r.stub = core.NewStub(rt.opts.Core, transport.WriterSink{W: &r.respBuf})
+	return r
+}
+
+// handle runs one request on r. Caller holds r.mu.
+func (rt *Runtime) handle(r *replica, body []byte) ([]byte, error) {
+	rt.requests.Add(1)
+
+	var span uint64
+	traced := trace.Enabled()
+	if traced {
+		span = trace.BeginSpan()
+	}
+
+	if multiref.HasRefs(body) {
+		inlined, err := multiref.Inline(body)
+		if err != nil {
+			return nil, fmt.Errorf("serverpool: multi-ref: %w", err)
+		}
+		body = inlined
+		rt.multiRefInlined.Add(1)
+	}
+
+	var msg *wire.Message
+	if r.differ != nil {
+		opLocal, perr := server.PeekOperation(body)
+		if perr != nil {
+			return nil, perr
+		}
+		var info diffdeser.Info
+		var err error
+		msg, info, err = r.differ.Decode(opLocal, body)
+		if err != nil {
+			return nil, fmt.Errorf("serverpool: decode: %w", err)
+		}
+		rt.metrics.RecordDDSDecode(!info.FullParse, info.ValuesReparsed)
+		if d := r.differ.Evictions() - r.keyEvictions; d > 0 {
+			r.keyEvictions += d
+			rt.ddsKeyEvictions.Add(d)
+			rt.metrics.AddDDSKeyEvictions(d)
+		}
+		var fast int64
+		if info.FullParse {
+			rt.fullParses.Add(1)
+		} else {
+			fast = 1
+			rt.diffDecodes.Add(1)
+			rt.valuesReparsed.Add(int64(info.ValuesReparsed))
+		}
+		if traced {
+			trace.Rec(span, trace.KindServerDecode, fast, int64(info.ValuesReparsed), int64(len(body)))
+		}
+		if rt.opts.SelfCheck && !info.FullParse {
+			if err := rt.selfCheck(body, msg); err != nil {
+				rt.selfCheckFails.Add(1)
+				return nil, err
+			}
+		}
+	} else {
+		res, derr := soapdec.Decode(body, rt.lookupSchema, false)
+		if derr != nil {
+			return nil, fmt.Errorf("serverpool: decode: %w", derr)
+		}
+		msg = res.Msg
+		rt.fullParses.Add(1)
+		rt.metrics.RecordDDSDecode(false, 0)
+		if traced {
+			trace.Rec(span, trace.KindServerDecode, 0, 0, int64(len(body)))
+		}
+	}
+
+	opLocal := msg.Operation()
+	h := r.handlers[opLocal]
+	if h == nil {
+		op := rt.ops[opLocal]
+		if op == nil {
+			return nil, fmt.Errorf("serverpool: no handler for %s", opLocal)
+		}
+		h = op.factory()
+		r.handlers[opLocal] = h
+	}
+	resp, err := h(msg)
+	if err != nil {
+		return nil, fmt.Errorf("serverpool: %s: %w", opLocal, err)
+	}
+	if resp == nil {
+		return nil, nil
+	}
+
+	r.respBuf.Reset()
+	ci, err := r.stub.Call(resp)
+	if err != nil {
+		return nil, fmt.Errorf("serverpool: response serialization: %w", err)
+	}
+	if traced {
+		trace.Rec(span, trace.KindServerRespond, int64(ci.Match), int64(r.respBuf.Len()), 0)
+	}
+	out := make([]byte, r.respBuf.Len())
+	copy(out, r.respBuf.Bytes())
+	return out, nil
+}
+
+// selfCheck re-decodes body from scratch and compares every leaf with
+// the fast-path result. The reference parse shares no state with the
+// differential one, so agreement means the region diff reconstructed
+// the exact message a cold parse would have produced.
+func (rt *Runtime) selfCheck(body []byte, got *wire.Message) error {
+	res, err := soapdec.Decode(body, rt.lookupSchema, false)
+	if err != nil {
+		return fmt.Errorf("serverpool: self-check reference parse: %w", err)
+	}
+	want := res.Msg
+	if got.Operation() != want.Operation() {
+		return fmt.Errorf("serverpool: self-check: operation %q != %q", got.Operation(), want.Operation())
+	}
+	if got.NumLeaves() != want.NumLeaves() {
+		return fmt.Errorf("serverpool: self-check: %d leaves != %d", got.NumLeaves(), want.NumLeaves())
+	}
+	for i := 0; i < want.NumLeaves(); i++ {
+		if got.LeafTag(i) != want.LeafTag(i) {
+			return fmt.Errorf("serverpool: self-check: leaf %d tag %q != %q", i, got.LeafTag(i), want.LeafTag(i))
+		}
+		gk, wk := got.LeafType(i).Kind, want.LeafType(i).Kind
+		if gk != wk {
+			return fmt.Errorf("serverpool: self-check: leaf %d kind %v != %v", i, gk, wk)
+		}
+		var same bool
+		switch wk {
+		case wire.Int:
+			same = got.LeafInt(i) == want.LeafInt(i)
+		case wire.Double:
+			same = got.LeafDouble(i) == want.LeafDouble(i)
+		case wire.String:
+			same = got.LeafString(i) == want.LeafString(i)
+		case wire.Bool:
+			same = got.LeafBool(i) == want.LeafBool(i)
+		}
+		if !same {
+			return fmt.Errorf("serverpool: self-check: leaf %d (%s) value mismatch", i, want.LeafTag(i))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package serverpool
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"bsoap/internal/core"
+	"bsoap/internal/soapdec"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+)
+
+type captureSink struct{ data []byte }
+
+func (c *captureSink) Send(bufs net.Buffers) error {
+	c.data = c.data[:0]
+	for _, b := range bufs {
+		c.data = append(c.data, b...)
+	}
+	return nil
+}
+
+// sumSchema declares sum(values: double[]) -> sumResponse(total: double).
+func sumSchema() *soapdec.Schema {
+	return &soapdec.Schema{
+		Namespace: "urn:calc",
+		Op:        "sum",
+		Params:    []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
+	}
+}
+
+// sumFactory builds a per-replica handler that reuses one response
+// message, the pattern that makes response-side differential matches.
+func sumFactory() Handler {
+	resp := wire.NewMessage("urn:calc", "sumResponse")
+	total := resp.AddDouble("total", 0)
+	return func(req *wire.Message) (*wire.Message, error) {
+		var sum float64
+		for i := 0; i < req.NumLeaves(); i++ {
+			sum += req.LeafDouble(i)
+		}
+		total.Set(sum)
+		return resp, nil
+	}
+}
+
+func newSumRuntime(opts Options) *Runtime {
+	rt := New(opts)
+	rt.Register(sumSchema(), sumFactory)
+	return rt
+}
+
+// client renders sum requests through its own bSOAP stub, like one
+// remote caller with a keep-alive connection.
+type client struct {
+	msg  *wire.Message
+	arr  wire.DoubleArrayRef
+	sink *captureSink
+	stub *core.Stub
+}
+
+func newClient(n int) *client {
+	c := &client{sink: &captureSink{}}
+	c.stub = core.NewStub(core.Config{Width: core.WidthPolicy{Double: core.MaxWidth}}, c.sink)
+	c.msg = wire.NewMessage("urn:calc", "sum")
+	c.arr = c.msg.AddDoubleArray("values", n)
+	for i := 0; i < n; i++ {
+		c.arr.Set(i, float64(i))
+	}
+	return c
+}
+
+func (c *client) body(t testing.TB) []byte {
+	t.Helper()
+	if _, err := c.stub.Call(c.msg); err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), c.sink.data...)
+}
+
+func TestPerConnectionTemplateLocality(t *testing.T) {
+	rt := newSumRuntime(Options{DifferentialDeserialization: true, SelfCheck: true})
+	// Two connections with different array shapes: on a shared decoder
+	// they would compete for templates; per-connection replicas keep
+	// both on the fast path after each one's first request.
+	a, b := newClient(8), newClient(13)
+	for round := 0; round < 3; round++ {
+		a.arr.Set(0, float64(round))
+		b.arr.Set(1, float64(round*7))
+		ra, err := rt.Handle(1, "10.0.0.1:500", a.body(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 && !strings.Contains(string(ra), "sumResponse") {
+			t.Fatalf("response: %s", ra)
+		}
+		if _, err := rt.Handle(2, "10.0.0.2:500", b.body(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rt.Stats()
+	if st.Requests != 6 {
+		t.Fatalf("requests = %d", st.Requests)
+	}
+	if st.FullParses != 2 || st.DiffDecodes != 4 {
+		t.Fatalf("full=%d diff=%d, want 2/4", st.FullParses, st.DiffDecodes)
+	}
+	if st.SelfCheckFails != 0 {
+		t.Fatalf("self-check fails: %d", st.SelfCheckFails)
+	}
+	if st.Replicas != 2 {
+		t.Fatalf("replicas = %d, want 2", st.Replicas)
+	}
+}
+
+func TestHandlerValuesDecodeCorrectly(t *testing.T) {
+	rt := newSumRuntime(Options{DifferentialDeserialization: true, SelfCheck: true})
+	c := newClient(4)
+	c.arr.Fill([]float64{1, 2, 3, 4.5})
+	resp, err := rt.Handle(1, "", c.body(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp), ">10.5<") {
+		t.Fatalf("response: %s", resp)
+	}
+	// Change one value: the fast path must deliver the new sum.
+	c.arr.Set(0, 100)
+	resp, err = rt.Handle(1, "", c.body(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp), ">109.5<") {
+		t.Fatalf("fast-path response: %s", resp)
+	}
+	if st := rt.Stats(); st.DiffDecodes != 1 || st.SelfCheckFails != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReplicaLRUEviction(t *testing.T) {
+	m := transport.NewServerMetrics()
+	rt := newSumRuntime(Options{
+		DifferentialDeserialization: true,
+		Shards:                      1,
+		MaxReplicas:                 2,
+		Metrics:                     m,
+	})
+	clients := []*client{newClient(4), newClient(5), newClient(6)}
+	for i, c := range clients {
+		if _, err := rt.Handle(uint64(i+1), "", c.body(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rt.Stats()
+	if st.Replicas != 2 {
+		t.Fatalf("replicas = %d, want 2", st.Replicas)
+	}
+	if st.ReplicaEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.ReplicaEvictions)
+	}
+	if n := m.Snapshot().ReplicaEvictions; n != 1 {
+		t.Fatalf("metrics evictions = %d, want 1", n)
+	}
+	// Conn 1 was the LRU victim; coming back it full-parses again, while
+	// conn 3 (resident) stays on the fast path.
+	before := rt.Stats().FullParses
+	if _, err := rt.Handle(3, "", clients[2].body(t)); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().FullParses != before {
+		t.Fatal("resident replica lost its template")
+	}
+	if _, err := rt.Handle(1, "", clients[0].body(t)); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().FullParses != before+1 {
+		t.Fatal("evicted replica should have full-parsed")
+	}
+}
+
+func TestClientAffinityGroupsConnections(t *testing.T) {
+	rt := newSumRuntime(Options{DifferentialDeserialization: true, Affinity: AffinityClient})
+	c := newClient(9)
+	// Same host, different ports and conn IDs: one replica, so the
+	// second connection inherits the first one's template.
+	if _, err := rt.Handle(1, "10.1.1.1:1111", c.body(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Handle(2, "10.1.1.1:2222", c.body(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Replicas != 1 {
+		t.Fatalf("replicas = %d, want 1", st.Replicas)
+	}
+	if st.DiffDecodes != 1 {
+		t.Fatalf("diff decodes = %d, want 1 (template shared across conns)", st.DiffDecodes)
+	}
+}
+
+func TestHTTPHandlerServesWSDLAndPosts(t *testing.T) {
+	rt := newSumRuntime(Options{})
+	h := rt.HTTPHandler()
+	if _, err := h(&transport.Request{Method: "GET"}); err == nil {
+		t.Fatal("GET without WSDL should error")
+	}
+	rt.SetWSDL([]byte("<definitions/>"))
+	doc, err := h(&transport.Request{Method: "GET"})
+	if err != nil || string(doc) != "<definitions/>" {
+		t.Fatalf("GET: %q, %v", doc, err)
+	}
+	c := newClient(3)
+	resp, err := h(&transport.Request{Method: "POST", ConnID: 7, Body: c.body(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp), "sumResponse") {
+		t.Fatalf("POST response: %s", resp)
+	}
+}
+
+func TestDDSKeyEvictionsReachMetrics(t *testing.T) {
+	m := transport.NewServerMetrics()
+	rt := New(Options{DifferentialDeserialization: true, MaxKeysPerReplica: 1, Metrics: m})
+	rt.Register(sumSchema(), sumFactory)
+	mean := &soapdec.Schema{
+		Namespace: "urn:calc",
+		Op:        "mean",
+		Params:    []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
+	}
+	rt.Register(mean, sumFactory)
+
+	sumClient := newClient(4)
+	meanClient := &client{sink: &captureSink{}}
+	meanClient.stub = core.NewStub(core.Config{}, meanClient.sink)
+	meanClient.msg = wire.NewMessage("urn:calc", "mean")
+	meanClient.arr = meanClient.msg.AddDoubleArray("values", 4)
+
+	// One replica, two ops, key bound 1: alternating ops evicts the
+	// other's key every time.
+	if _, err := rt.Handle(1, "", sumClient.body(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Handle(1, "", meanClient.body(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Handle(1, "", sumClient.body(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.DDSKeyEvictions != 2 {
+		t.Fatalf("key evictions = %d, want 2", st.DDSKeyEvictions)
+	}
+	if n := m.Snapshot().DDSKeyEvictions; n != 2 {
+		t.Fatalf("metrics key evictions = %d, want 2", n)
+	}
+}
+
+func TestConcurrentClientsRace(t *testing.T) {
+	m := transport.NewServerMetrics()
+	rt := newSumRuntime(Options{DifferentialDeserialization: true, SelfCheck: true, Metrics: m})
+	const clients = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 1; id <= clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Each client alternates two shapes of its own: both fit the
+			// replica's per-key template set, so after two full parses the
+			// whole interleaving rides the fast path.
+			shapes := [2]*client{newClient(4 + id), newClient(40 + id)}
+			for r := 0; r < rounds; r++ {
+				c := shapes[r%2]
+				c.arr.Set(r%c.msg.NumLeaves(), float64(id*1000+r))
+				resp, err := rt.Handle(uint64(id), fmt.Sprintf("10.0.0.%d:99", id), c.body(t))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !strings.Contains(string(resp), "sumResponse") {
+					errs <- fmt.Errorf("client %d: bad response %q", id, resp)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Requests != clients*rounds {
+		t.Fatalf("requests = %d", st.Requests)
+	}
+	if st.SelfCheckFails != 0 {
+		t.Fatalf("self-check fails: %d", st.SelfCheckFails)
+	}
+	// Each client full-parses once per shape, then rides the fast path.
+	if st.FullParses != clients*2 {
+		t.Fatalf("full parses = %d, want %d", st.FullParses, clients*2)
+	}
+	snap := m.Snapshot()
+	if snap.DDSFastPath != int64(clients*(rounds-2)) {
+		t.Fatalf("metrics fast path = %d, want %d", snap.DDSFastPath, clients*(rounds-2))
+	}
+	if rate := float64(st.DiffDecodes) / float64(st.Requests); rate < 0.9 {
+		t.Fatalf("fast-path rate %.2f < 0.90", rate)
+	}
+}
+
+func TestResponseStatsAggregate(t *testing.T) {
+	rt := newSumRuntime(Options{})
+	c := newClient(4)
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Handle(1, "", c.body(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Handle(2, "", c.body(t)); err != nil {
+		t.Fatal(err)
+	}
+	rs := rt.ResponseStats()
+	if rs.Calls != 4 {
+		t.Fatalf("response calls = %d", rs.Calls)
+	}
+	if rs.FirstTimeSends != 2 { // one per replica
+		t.Fatalf("first-time sends = %d, want 2", rs.FirstTimeSends)
+	}
+	// Identical totals: repeats on conn 1's stub are content matches.
+	if rs.ContentMatches != 2 {
+		t.Fatalf("content matches = %d, want 2", rs.ContentMatches)
+	}
+}

@@ -99,8 +99,16 @@ const (
 	// KindOverlayPortion is one chunk-overlay portion streamed: A=first
 	// item index, B=item count, C=portion bytes.
 	KindOverlayPortion
+	// KindServerDecode is one server-side request decode: A=1 on the
+	// differential fast path / 0 on a full parse, B=leaf value regions
+	// re-lexed, C=body bytes.
+	KindServerDecode
+	// KindServerRespond is one server-side differential response
+	// serialization: A=core.MatchKind of the response send, B=response
+	// bytes.
+	KindServerRespond
 
-	kindCount = int(KindOverlayPortion) + 1
+	kindCount = int(KindServerRespond) + 1
 )
 
 var kindNames = [kindCount]string{
@@ -124,6 +132,8 @@ var kindNames = [kindCount]string{
 	KindCallEnd:         "call-end",
 	KindCallErr:         "call-err",
 	KindOverlayPortion:  "overlay-portion",
+	KindServerDecode:    "server-decode",
+	KindServerRespond:   "server-respond",
 }
 
 // String returns the kind's wire name (stable; the inspector and the

@@ -29,6 +29,17 @@ type Request struct {
 	Headers map[string]string // keys lower-cased
 	Body    []byte
 
+	// ConnID identifies the connection the request arrived on: unique
+	// per accepted connection within one Server, stable across the
+	// connection's keep-alive requests, never zero when set by a Server.
+	// Handlers use it for connection-affine state (serverpool keys its
+	// differential-deserializer replicas by it).
+	ConnID uint64
+	// RemoteAddr is the peer address of the connection (host:port),
+	// for client-affine keying and logging. Set by the Server alongside
+	// ConnID; zero for requests parsed outside a Server.
+	RemoteAddr string
+
 	scratch parseScratch
 }
 
@@ -445,6 +456,8 @@ func statusText(status int) string {
 		return "Not Found"
 	case 500:
 		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
 	}
 	return "Status"
 }

@@ -22,6 +22,20 @@ type ServerMetrics struct {
 	deadlineHits atomic.Int64
 	activeConns  atomic.Int64
 	connsTotal   atomic.Int64
+
+	// Admission control and drain (the concurrent server runtime).
+	inFlight         atomic.Int64
+	rejectedConns    atomic.Int64
+	rejectedRequests atomic.Int64
+	drainAborted     atomic.Int64
+
+	// Differential-deserialization outcomes, recorded by the serverpool
+	// runtime (the transport itself never parses SOAP).
+	ddsFastPath       atomic.Int64
+	ddsFullParses     atomic.Int64
+	ddsValuesReparsed atomic.Int64
+	ddsKeyEvictions   atomic.Int64
+	replicaEvictions  atomic.Int64
 }
 
 // NewServerMetrics returns an empty registry.
@@ -36,6 +50,17 @@ type ServerStats struct {
 	DeadlineHits int64 `json:"deadline_hits"`
 	ActiveConns  int64 `json:"active_conns"`
 	ConnsTotal   int64 `json:"conns_total"`
+
+	InFlight         int64 `json:"in_flight"`
+	RejectedConns    int64 `json:"rejected_conns"`
+	RejectedRequests int64 `json:"rejected_requests"`
+	DrainAborted     int64 `json:"drain_aborted"`
+
+	DDSFastPath       int64 `json:"dds_fast_path"`
+	DDSFullParses     int64 `json:"dds_full_parses"`
+	DDSValuesReparsed int64 `json:"dds_values_reparsed"`
+	DDSKeyEvictions   int64 `json:"dds_key_evictions"`
+	ReplicaEvictions  int64 `json:"replica_evictions"`
 }
 
 // Snapshot reads every counter. Counters are read independently, so a
@@ -48,8 +73,43 @@ func (m *ServerMetrics) Snapshot() ServerStats {
 		DeadlineHits: m.deadlineHits.Load(),
 		ActiveConns:  m.activeConns.Load(),
 		ConnsTotal:   m.connsTotal.Load(),
+
+		InFlight:         m.inFlight.Load(),
+		RejectedConns:    m.rejectedConns.Load(),
+		RejectedRequests: m.rejectedRequests.Load(),
+		DrainAborted:     m.drainAborted.Load(),
+
+		DDSFastPath:       m.ddsFastPath.Load(),
+		DDSFullParses:     m.ddsFullParses.Load(),
+		DDSValuesReparsed: m.ddsValuesReparsed.Load(),
+		DDSKeyEvictions:   m.ddsKeyEvictions.Load(),
+		ReplicaEvictions:  m.replicaEvictions.Load(),
 	}
 }
+
+// RecordDDSDecode counts one decoded request: fast differential decodes
+// versus full parses, plus how many leaf value regions the fast path
+// re-lexed. The serverpool runtime calls this per request.
+func (m *ServerMetrics) RecordDDSDecode(fastPath bool, valuesReparsed int) {
+	if fastPath {
+		m.ddsFastPath.Add(1)
+		m.ddsValuesReparsed.Add(int64(valuesReparsed))
+	} else {
+		m.ddsFullParses.Add(1)
+	}
+}
+
+// AddDDSKeyEvictions accumulates operation-key evictions from a
+// replica's bounded deserializer.
+func (m *ServerMetrics) AddDDSKeyEvictions(n int64) {
+	if n > 0 {
+		m.ddsKeyEvictions.Add(n)
+	}
+}
+
+// RecordReplicaEviction counts one connection replica evicted by the
+// serverpool LRU.
+func (m *ServerMetrics) RecordReplicaEviction() { m.replicaEvictions.Add(1) }
 
 // connOpened / connClosed maintain the active-connection gauge.
 func (m *ServerMetrics) connOpened() {
@@ -88,6 +148,15 @@ func (m *ServerMetrics) WritePrometheus(w io.Writer) error {
 	p.Counter("bsoap_server_deadline_hits_total", "Request reads aborted by an I/O deadline.", st.DeadlineHits)
 	p.Counter("bsoap_server_conns_total", "Connections accepted.", st.ConnsTotal)
 	p.Gauge("bsoap_server_active_conns", "Connections currently open.", st.ActiveConns)
+	p.Gauge("bsoap_server_in_flight_requests", "Requests currently being handled.", st.InFlight)
+	p.Counter("bsoap_server_rejected_conns_total", "Connections rejected 503 by the MaxConns admission cap.", st.RejectedConns)
+	p.Counter("bsoap_server_rejected_requests_total", "Requests rejected 503 by the MaxInFlight admission cap.", st.RejectedRequests)
+	p.Counter("bsoap_server_drain_aborted_total", "In-flight requests force-closed when a Shutdown deadline expired.", st.DrainAborted)
+	p.Counter("bsoap_server_dds_fast_path_total", "Requests decoded differentially (no full parse).", st.DDSFastPath)
+	p.Counter("bsoap_server_dds_full_parse_total", "Requests decoded by a full schema-driven parse.", st.DDSFullParses)
+	p.Counter("bsoap_server_dds_values_reparsed_total", "Leaf value regions re-lexed on the differential fast path.", st.DDSValuesReparsed)
+	p.Counter("bsoap_server_dds_key_evictions_total", "Operation keys evicted from bounded deserializers.", st.DDSKeyEvictions)
+	p.Counter("bsoap_server_replica_evictions_total", "Connection replicas evicted by the serverpool LRU.", st.ReplicaEvictions)
 	return p.Err()
 }
 

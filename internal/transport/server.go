@@ -2,12 +2,15 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Handler processes one parsed request and returns the response body, or
@@ -19,16 +22,32 @@ type Handler func(req *Request) ([]byte, error)
 // are read and discarded without parsing the SOAP payload, and a minimal
 // 202 is returned only when the client asks for responses.
 type Server struct {
-	ln      net.Listener
-	handler Handler
-	respond bool
-	logger  *log.Logger
-	metrics *ServerMetrics
-	wg      sync.WaitGroup
-	closed  atomic.Bool
+	ln       net.Listener
+	handler  Handler
+	respond  bool
+	logger   *log.Logger
+	metrics  *ServerMetrics
+	maxConns int
+	inflight chan struct{} // nil = unlimited; buffered to MaxInFlight
+	reqTO    time.Duration
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	draining atomic.Bool
+	lnOnce   sync.Once
+	lnErr    error
+	nextConn atomic.Uint64
+	numConns atomic.Int64
 
 	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	conns map[net.Conn]*connState
+}
+
+// connState tracks what a connection goroutine is doing, for drain: idle
+// means blocked waiting for the first byte of a next request (safe to
+// poke with a read deadline), not-idle means a request is being read,
+// handled, or answered (drain must let it finish).
+type connState struct {
+	idle atomic.Bool
 }
 
 // ServerOptions configure a Server.
@@ -46,10 +65,24 @@ type ServerOptions struct {
 	// registry, so Requests/Bytes always work; pass a shared one to
 	// export it (bsoap-server -metrics does).
 	Metrics *ServerMetrics
+	// MaxConns caps concurrently open connections. A connection accepted
+	// beyond the cap is answered with an immediate 503 and closed — fast
+	// rejection instead of an unbounded accept queue. 0 = unlimited.
+	MaxConns int
+	// MaxInFlight caps requests being handled at once across all
+	// connections. A fully received request that cannot take a slot is
+	// answered 503 without dispatching — the handler pool never queues
+	// more work than it can bound. 0 = unlimited.
+	MaxInFlight int
+	// RequestTimeout bounds reading one request once its first byte has
+	// arrived (idle keep-alive waits are not bounded). A read missing
+	// the deadline closes the connection and counts a deadline hit.
+	// 0 = no deadline.
+	RequestTimeout time.Duration
 }
 
 // Serve starts a server on ln; it returns immediately and serves until
-// Close.
+// Close or Shutdown.
 func Serve(ln net.Listener, opts ServerOptions) *Server {
 	m := opts.Metrics
 	if m == nil {
@@ -57,8 +90,13 @@ func Serve(ln net.Listener, opts ServerOptions) *Server {
 	}
 	s := &Server{
 		ln: ln, handler: opts.Handler, respond: opts.Respond, logger: opts.Logger,
-		metrics: m,
-		conns:   make(map[net.Conn]struct{}),
+		metrics:  m,
+		maxConns: opts.MaxConns,
+		reqTO:    opts.RequestTimeout,
+		conns:    make(map[net.Conn]*connState),
+	}
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -88,11 +126,24 @@ func (s *Server) Bytes() int64 { return s.metrics.bytesIn.Load() }
 // the private default).
 func (s *Server) Metrics() *ServerMetrics { return s.metrics }
 
-// Close stops accepting, force-closes open connections, and waits for
-// connection goroutines to exit.
+// closeListener closes the listener exactly once (Shutdown followed by
+// Close must not turn the second close into an error).
+func (s *Server) closeListener() error {
+	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
+	return s.lnErr
+}
+
+// Close is the hard stop: it stops accepting, force-closes every live
+// connection — aborting any request currently being read or handled
+// mid-flight, which its client sees as a connection error — and waits
+// for connection goroutines to exit. Prefer Shutdown to let in-flight
+// requests finish; Close is the escape hatch when draining is not an
+// option (tests, emergency stop, or the force phase after a Shutdown
+// deadline).
 func (s *Server) Close() error {
 	s.closed.Store(true)
-	err := s.ln.Close()
+	s.draining.Store(true)
+	err := s.closeListener()
 	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
@@ -102,15 +153,61 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown gracefully drains the server: it stops accepting, lets every
+// request already in flight (being read, handled, or answered) complete,
+// closes idle connections, and returns once all connection goroutines
+// have exited. If ctx expires first, remaining connections are
+// force-closed — each one aborting a request mid-flight is counted in
+// the drain_aborted metric — and ctx.Err() is returned without waiting
+// further: a handler wedged on something other than connection I/O
+// (like net/http, Shutdown cannot interrupt it) keeps its goroutine
+// until it eventually returns. A nil return means a clean drain: zero
+// in-flight requests were dropped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.closeListener()
+	// Unblock connections parked waiting for a next request: a read
+	// deadline in the past fails their wait immediately. A connection
+	// whose first request byte wins the race keeps the deadline only
+	// until the serve loop re-arms it for that (final) request.
+	s.mu.Lock()
+	for c, st := range s.conns {
+		if st.idle.Load() {
+			_ = c.SetReadDeadline(time.Unix(1, 0))
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c, st := range s.conns {
+			if !st.idle.Load() {
+				s.metrics.drainAborted.Add(1)
+			}
+			c.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
 // track registers conn for shutdown, reporting false if the server is
 // already closing.
-func (s *Server) track(conn net.Conn) bool {
+func (s *Server) track(conn net.Conn, st *connState) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed.Load() {
+	if s.draining.Load() {
 		return false
 	}
-	s.conns[conn] = struct{}{}
+	s.conns[conn] = st
 	return true
 }
 
@@ -125,17 +222,29 @@ func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			if s.closed.Load() {
+			if s.closed.Load() || s.draining.Load() {
 				return
 			}
 			s.logf("accept: %v", err)
 			return
+		}
+		if s.maxConns > 0 && s.numConns.Load() >= int64(s.maxConns) {
+			// Fast rejection: tell the client the server is full rather
+			// than letting connections queue unboundedly. The write is
+			// deadline-bounded so a dead peer cannot stall the accept
+			// loop.
+			s.metrics.rejectedConns.Add(1)
+			_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+			_ = WriteResponse(conn, 503, "", nil)
+			conn.Close()
+			continue
 		}
 		if tc, ok := conn.(*net.TCPConn); ok {
 			_ = tc.SetNoDelay(true)
 			_ = tc.SetReadBuffer(32 * 1024)
 			_ = tc.SetWriteBuffer(32 * 1024)
 		}
+		s.numConns.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -143,8 +252,10 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	defer s.numConns.Add(-1)
 	defer conn.Close()
-	if !s.track(conn) {
+	st := &connState{}
+	if !s.track(conn, st) {
 		return
 	}
 	s.metrics.connOpened()
@@ -153,16 +264,53 @@ func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 32*1024)
 	// One Request per connection, reused across keep-alive messages:
 	// handlers get storage that is recycled on the next read, and must
-	// copy anything they keep (both in-tree handlers do).
-	req := &Request{}
+	// copy anything they keep (all in-tree handlers do).
+	req := &Request{
+		ConnID:     s.nextConn.Add(1),
+		RemoteAddr: conn.RemoteAddr().String(),
+	}
 	for {
-		err := ReadRequestInto(br, req)
+		// Park idle until a next request begins (its first byte arrives).
+		// Shutdown unblocks parked connections with a poisoned read
+		// deadline; the busy/idle flag tells it which connections are
+		// safe to poke versus mid-request.
+		st.idle.Store(true)
+		if s.draining.Load() {
+			return
+		}
+		_, err := br.Peek(1)
+		st.idle.Store(false)
 		if err != nil {
-			if !errors.Is(err, ErrConnClosed) && !s.closed.Load() {
+			if errors.Is(err, io.EOF) {
+				return // clean close between requests
+			}
+			if s.draining.Load() {
+				return // drain poke, not a peer failure
+			}
+			s.metrics.recordReadError(err)
+			s.logf("await request: %v", err)
+			return
+		}
+		// A request has begun: arm its deadline. This also clears a
+		// drain poke that lost the race to the request's first byte —
+		// that request is in flight now and must be allowed to finish.
+		var deadline time.Time
+		if s.reqTO > 0 {
+			deadline = time.Now().Add(s.reqTO)
+		}
+		_ = conn.SetReadDeadline(deadline)
+
+		if err := ReadRequestInto(br, req); err != nil {
+			if !errors.Is(err, ErrConnClosed) && !s.draining.Load() {
 				s.metrics.recordReadError(err)
 				s.logf("read request: %v", err)
 			}
 			return
+		}
+		if s.reqTO > 0 {
+			// The request is fully read; its deadline must not outlive it
+			// into the next keep-alive wait.
+			_ = conn.SetReadDeadline(time.Time{})
 		}
 		s.metrics.recordRequest(len(req.Body))
 
@@ -174,12 +322,39 @@ func (s *Server) serveConn(conn net.Conn) {
 					return
 				}
 			}
+			if s.draining.Load() {
+				return
+			}
 			continue
 		}
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+			default:
+				// Over the in-flight cap: shed this request now instead
+				// of queueing it behind work we cannot bound.
+				s.metrics.rejectedRequests.Add(1)
+				if werr := WriteResponse(conn, 503, "", nil); werr != nil {
+					return
+				}
+				if s.draining.Load() {
+					return
+				}
+				continue
+			}
+		}
+		s.metrics.inFlight.Add(1)
 		body, err := s.handler(req)
+		s.metrics.inFlight.Add(-1)
+		if s.inflight != nil {
+			<-s.inflight
+		}
 		if err != nil {
 			s.logf("handler: %v", err)
 			if werr := WriteResponse(conn, 500, "text/plain", []byte(err.Error())); werr != nil {
+				return
+			}
+			if s.draining.Load() {
 				return
 			}
 			continue
@@ -189,6 +364,10 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.logf("write response: %v", err)
 				return
 			}
+		}
+		if s.draining.Load() {
+			// The final request completed; no keep-alive during drain.
+			return
 		}
 	}
 }

@@ -1,0 +1,338 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rawPost writes one POST with the given body over conn.
+func rawPost(t *testing.T, conn net.Conn, body string) {
+	t.Helper()
+	if _, err := fmt.Fprintf(conn, "POST / HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s", len(body), body); err != nil {
+		t.Fatalf("write request: %v", err)
+	}
+}
+
+// readStatus reads one response and returns its status code.
+func readStatus(t *testing.T, br *bufio.Reader) int {
+	t.Helper()
+	resp, err := ReadResponse(br)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp.Status
+}
+
+func echoHandler(req *Request) ([]byte, error) {
+	return append([]byte(nil), req.Body...), nil
+}
+
+// TestShutdownClosesIdleConns: a connection parked between keep-alive
+// requests must not hold a drain open.
+func TestShutdownClosesIdleConns(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerOptions{Handler: echoHandler, Respond: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	rawPost(t, conn, "hi")
+	if st := readStatus(t, br); st != 200 {
+		t.Fatalf("status = %d", st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("idle drain took %v", elapsed)
+	}
+	if n := srv.Metrics().Snapshot().DrainAborted; n != 0 {
+		t.Fatalf("drain_aborted = %d, want 0", n)
+	}
+	// The idle connection is closed from the server side.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("idle connection still open after drain")
+	}
+}
+
+// TestShutdownWaitsForInFlight: a request being handled when Shutdown
+// begins completes, and its response is delivered.
+func TestShutdownWaitsForInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Handler: func(req *Request) ([]byte, error) {
+			close(entered)
+			time.Sleep(300 * time.Millisecond)
+			return []byte("done"), nil
+		},
+		Respond: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	rawPost(t, conn, "x")
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	st := srv.Metrics().Snapshot()
+	if st.DrainAborted != 0 {
+		t.Fatalf("drain_aborted = %d, want 0", st.DrainAborted)
+	}
+	// The in-flight request's response was written before the close.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if code := readStatus(t, br); code != 200 {
+		t.Fatalf("in-flight response status = %d", code)
+	}
+}
+
+// TestShutdownDeadlineForceCloses: when the drain deadline expires, the
+// wedged request is aborted and counted.
+func TestShutdownDeadlineForceCloses(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Handler: func(req *Request) ([]byte, error) {
+			close(entered)
+			<-release
+			return nil, nil
+		},
+		Respond: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rawPost(t, conn, "x")
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	if n := srv.Metrics().Snapshot().DrainAborted; n != 1 {
+		t.Fatalf("drain_aborted = %d, want 1", n)
+	}
+}
+
+// TestMaxConnsFastRejection: a connection over the cap is answered 503
+// and closed instead of queueing.
+func TestMaxConnsFastRejection(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Handler:  echoHandler,
+		Respond:  true,
+		MaxConns: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	first, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	fbr := bufio.NewReader(first)
+	rawPost(t, first, "a")
+	if st := readStatus(t, fbr); st != 200 {
+		t.Fatalf("first conn status = %d", st)
+	}
+
+	second, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	second.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if st := readStatus(t, bufio.NewReader(second)); st != 503 {
+		t.Fatalf("over-cap conn status = %d, want 503", st)
+	}
+	if n := srv.Metrics().Snapshot().RejectedConns; n != 1 {
+		t.Fatalf("rejected_conns = %d, want 1", n)
+	}
+	// The first connection keeps working.
+	rawPost(t, first, "b")
+	if st := readStatus(t, fbr); st != 200 {
+		t.Fatalf("first conn second request status = %d", st)
+	}
+}
+
+// TestMaxInFlightSheds503: a request that cannot take an in-flight slot
+// is answered 503 without dispatching, and the connection survives.
+func TestMaxInFlightSheds503(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var handled atomic.Int64
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Handler: func(req *Request) ([]byte, error) {
+			handled.Add(1)
+			entered <- struct{}{}
+			<-release
+			return []byte("ok"), nil
+		},
+		Respond:     true,
+		MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	slow, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	rawPost(t, slow, "slow")
+	<-entered // the only slot is now held
+
+	fast, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	fbr := bufio.NewReader(fast)
+	rawPost(t, fast, "fast")
+	fast.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if st := readStatus(t, fbr); st != 503 {
+		t.Fatalf("over-cap request status = %d, want 503", st)
+	}
+	if n := srv.Metrics().Snapshot().RejectedRequests; n != 1 {
+		t.Fatalf("rejected_requests = %d, want 1", n)
+	}
+	if n := handled.Load(); n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+
+	close(release)
+	slow.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if st := readStatus(t, bufio.NewReader(slow)); st != 200 {
+		t.Fatalf("slow request status = %d", st)
+	}
+	// The shed connection can retry once the slot frees.
+	rawPost(t, fast, "retry")
+	if st := readStatus(t, fbr); st != 200 {
+		t.Fatalf("retry status = %d, want 200", st)
+	}
+}
+
+// TestRequestTimeoutAppliesPerRequest: the deadline arms when a
+// request's first byte arrives — a stalled mid-request peer is cut off
+// and counted, while an idle keep-alive connection is not.
+func TestRequestTimeoutAppliesPerRequest(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Handler:        echoHandler,
+		Respond:        true,
+		RequestTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Idle longer than the timeout, then send: must still be served.
+	idle, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	time.Sleep(300 * time.Millisecond)
+	ibr := bufio.NewReader(idle)
+	rawPost(t, idle, "late but fine")
+	idle.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if st := readStatus(t, ibr); st != 200 {
+		t.Fatalf("idle-then-send status = %d", st)
+	}
+
+	// Stall mid-request: first byte sent, body never completed.
+	stall, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+	if _, err := fmt.Fprintf(stall, "POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for srv.Metrics().Snapshot().DeadlineHits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled request never hit the deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConnIdentity: each connection gets a distinct nonzero ConnID and
+// its peer address, stable across keep-alive requests.
+func TestConnIdentity(t *testing.T) {
+	type ident struct {
+		id   uint64
+		addr string
+	}
+	ids := make(chan ident, 4)
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Handler: func(req *Request) ([]byte, error) {
+			ids <- ident{req.ConnID, req.RemoteAddr}
+			return nil, nil
+		},
+		Respond: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var got []ident
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(conn)
+		for j := 0; j < 2; j++ {
+			rawPost(t, conn, "x")
+			readStatus(t, br)
+			got = append(got, <-ids)
+		}
+		conn.Close()
+	}
+	if got[0].id == 0 || got[0].id != got[1].id {
+		t.Fatalf("conn 1 ids: %d, %d (want equal, nonzero)", got[0].id, got[1].id)
+	}
+	if got[2].id != got[3].id || got[2].id == got[0].id {
+		t.Fatalf("conn 2 ids: %d, %d (want equal, distinct from conn 1)", got[2].id, got[3].id)
+	}
+	if got[0].addr == "" || got[0].addr != got[1].addr {
+		t.Fatalf("conn 1 addrs: %q, %q", got[0].addr, got[1].addr)
+	}
+}
