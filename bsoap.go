@@ -111,6 +111,9 @@ type (
 	PoolStats = pool.Stats
 	// PoolMetrics is the live registry (JSON endpoint, http.Handler).
 	PoolMetrics = pool.Metrics
+	// Future is the completion handle of a pipelined call (see
+	// Pool.CallAsync and PoolOptions.PipelineDepth).
+	Future = pool.Future
 )
 
 // Match kinds, re-exported.

@@ -109,6 +109,86 @@ drain_smoke() {
 }
 drain_smoke
 
+# Pipeline smoke: the async call path must actually pay. One worker,
+# small messages (round-trip-bound, where pipelining is the paper's
+# win), depth 8 against a read-ahead server: ≥1.5× the serial calls/s,
+# zero failed calls, ≥90% server fast path. A second run repeats the
+# load through a 5% fault injector with the server draining mid-run:
+# errors are fine, lost futures are not (loadgen exits nonzero if any
+# future neither resolves nor errors).
+pipeline_smoke() {
+    tmp=$(mktemp -d)
+    go build -o "$tmp/bsoap-server" ./cmd/bsoap-server
+    go build -o "$tmp/bsoap-loadgen" ./cmd/bsoap-loadgen
+    "$tmp/bsoap-server" -mode bench -addr 127.0.0.1:29996 -read-ahead 8 \
+        -metrics 127.0.0.1:28126 -quiet > "$tmp/srv.log" 2>&1 &
+    srv=$!
+    sleep 0.5
+    "$tmp/bsoap-loadgen" -addr 127.0.0.1:29996 -workers 1 -ops 8 -n 100 \
+        -mix 100/0/0 -duration 3s -rpc -max-err 0 > "$tmp/serial.log"
+    "$tmp/bsoap-loadgen" -addr 127.0.0.1:29996 -workers 1 -ops 8 -n 100 \
+        -mix 100/0/0 -duration 3s -rpc -pipeline 8 -max-err 0 \
+        -server-metrics http://127.0.0.1:28126/metrics -min-server-fast 90 \
+        > "$tmp/piped.log"
+    serial_rate=$(awk '/calls\/s/ {gsub("\\(",""); print int($3)}' "$tmp/serial.log")
+    piped_rate=$(awk '/calls\/s/ {gsub("\\(",""); print int($3)}' "$tmp/piped.log")
+    echo "check.sh: pipeline smoke: serial $serial_rate calls/s, depth-8 $piped_rate calls/s"
+    [ "$piped_rate" -ge $((serial_rate * 3 / 2)) ] || {
+        echo "pipeline smoke: depth-8 rate $piped_rate < 1.5x serial $serial_rate" >&2
+        cat "$tmp/serial.log" "$tmp/piped.log" >&2
+        exit 1
+    }
+    kill -TERM "$srv"
+    wait "$srv" || { echo "pipeline smoke: server exited nonzero" >&2; exit 1; }
+
+    "$tmp/bsoap-server" -mode bench -addr 127.0.0.1:29996 -read-ahead 8 -quiet \
+        > "$tmp/srv2.log" 2>&1 &
+    srv=$!
+    sleep 0.5
+    "$tmp/bsoap-loadgen" -addr 127.0.0.1:29996 -workers 2 -ops 8 -n 100 \
+        -duration 4s -rpc -pipeline 8 -chaos 0.05 -max-err 100 \
+        > "$tmp/chaos.log" 2>&1 &
+    lg=$!
+    sleep 1.5
+    kill -TERM "$srv"
+    wait "$srv" || true # drain under chaos: client conns may abort mid-request
+    wait "$lg" || {
+        echo "pipeline chaos smoke: loadgen failed (lost futures?):" >&2
+        cat "$tmp/chaos.log" >&2
+        exit 1
+    }
+    rm -rf "$tmp"
+    echo "check.sh: pipeline smoke ok"
+}
+pipeline_smoke
+
+# Coverage floors on the three runtime packages the async path spans.
+# These are ratchets, not targets: set just under the measured rate so
+# a change that quietly sheds tests fails here, while timing-dependent
+# paths (retry, redial) keep a couple points of slack. Raise them when
+# coverage rises.
+coverage_gate() {
+    go test -cover ./internal/pool ./internal/transport ./internal/serverpool \
+        > /tmp/cover.$$ || { cat /tmp/cover.$$; rm -f /tmp/cover.$$; exit 1; }
+    awk '
+        /internal\/pool/       { floor = 74 }
+        /internal\/transport/  { floor = 84 }
+        /internal\/serverpool/ { floor = 83 }
+        /coverage:/ {
+            for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1) + 0
+            printf "check.sh: coverage %s: %.1f%% (floor %d%%)\n", $2, pct, floor
+            if (pct < floor) { bad = 1 }
+        }
+        END { exit bad }
+    ' /tmp/cover.$$ || {
+        echo "coverage gate: a package fell below its floor" >&2
+        rm -f /tmp/cover.$$
+        exit 1
+    }
+    rm -f /tmp/cover.$$
+}
+coverage_gate
+
 # Fuzz smoke: run every fuzz target briefly so a parser regression that
 # only random inputs catch fails the gate, not a user. FUZZTIME=0 skips
 # (the corpus-replay runs in `go test` above still cover committed
@@ -119,6 +199,7 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzDecode$'      -fuzztime="$FUZZTIME" ./internal/soapdec
     go test -run='^$' -fuzz='^FuzzInline$'      -fuzztime="$FUZZTIME" ./internal/multiref
     go test -run='^$' -fuzz='^FuzzReadRequest$' -fuzztime="$FUZZTIME" ./internal/transport
+    go test -run='^$' -fuzz='^FuzzPipelineResponses$' -fuzztime="$FUZZTIME" ./internal/transport
     go test -run='^$' -fuzz='^FuzzUnescape$'    -fuzztime="$FUZZTIME" ./internal/xsdlex
     go test -run='^$' -fuzz='^FuzzParseDouble$' -fuzztime="$FUZZTIME" ./internal/xsdlex
 fi

@@ -190,6 +190,13 @@ func renderEvent(ev trace.EventJSON, ops map[int64]string) string {
 		return fmt.Sprintf("FAILED after %s, %d B attempted", shortMatch(ev.A), ev.B)
 	case trace.KindOverlayPortion:
 		return fmt.Sprintf("overlay portion streamed: items [%d,%d) — %d B", ev.A, ev.A+ev.B, ev.C)
+	case trace.KindAsyncSubmit:
+		return fmt.Sprintf("async submit %s (%d in flight)", op(ev.A), ev.B)
+	case trace.KindAsyncComplete:
+		if ev.A == 1 {
+			return fmt.Sprintf("async complete in %v", time.Duration(ev.B).Round(time.Microsecond))
+		}
+		return fmt.Sprintf("async FAILED after %v", time.Duration(ev.B).Round(time.Microsecond))
 	}
 	return fmt.Sprintf("%s a=%d b=%d c=%d", ev.Kind, ev.A, ev.B, ev.C)
 }

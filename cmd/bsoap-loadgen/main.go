@@ -58,6 +58,7 @@ func main() {
 		traceSamp = flag.Uint64("trace-sample", 1, "record every Nth rewrite/tag-shift event (1 = all)")
 		pprofSrv  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) — verify the send path's allocation profile under load")
 		rpc       = flag.Bool("rpc", false, "read one HTTP response per call (pair with a responding server, e.g. -mode record)")
+		pipeline  = flag.Int("pipeline", 0, "pipeline depth: keep up to N async calls in flight per worker (requires a responding server; workers drive max(-ops, N) messages each so the window can fill)")
 		maxErr    = flag.Float64("max-err", 0, "max tolerated error rate in percent before exiting nonzero")
 		chaos     = flag.Float64("chaos", 0, "inject faults: connection-reset probability per socket op (plus partial writes, mid-stream closes and dial failures at a quarter of it)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault injector seed")
@@ -75,11 +76,16 @@ func main() {
 		*conns = min(*workers, 16)
 	}
 
+	if *pipeline > 0 && *inprocess {
+		fmt.Fprintln(os.Stderr, "bsoap-loadgen: -pipeline needs a real connection to a responding server; drop -inprocess")
+		os.Exit(2)
+	}
 	popts := bsoap.PoolOptions{
-		Size:     *conns,
-		Shards:   *shards,
-		Replicas: *replicas,
-		Config:   bsoap.Config{EnableStealing: true, Width: bsoap.WidthPolicy{Double: 18, Int: 9}},
+		Size:          *conns,
+		Shards:        *shards,
+		Replicas:      *replicas,
+		PipelineDepth: *pipeline,
+		Config:        bsoap.Config{EnableStealing: true, Width: bsoap.WidthPolicy{Double: 18, Int: 9}},
 	}
 	popts.Sender.ExpectResponse = *rpc
 	var inj *faultwire.Injector
@@ -165,17 +171,19 @@ func main() {
 	}
 
 	var (
-		stop    atomic.Bool
-		done    atomic.Int64 // counts calls when -calls bounds the run
-		errorsN atomic.Int64
-		wg      sync.WaitGroup
+		stop      atomic.Bool
+		done      atomic.Int64 // counts calls when -calls bounds the run
+		errorsN   atomic.Int64
+		submitted atomic.Int64 // -pipeline: futures handed out ...
+		resolved  atomic.Int64 // ... and futures that came back
+		wg        sync.WaitGroup
 	)
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(pool, w, *ops, *n, pcts, &stop, &done, &errorsN, *calls)
+			runWorker(pool, w, *ops, *n, *pipeline, pcts, &stop, &done, &errorsN, &submitted, &resolved, *calls)
 		}(w)
 	}
 	if *calls == 0 {
@@ -186,6 +194,15 @@ func main() {
 	elapsed := time.Since(start)
 
 	report(os.Stdout, pool, inj, *workers, *ops, *addr, *inprocess, elapsed)
+	if *pipeline > 0 {
+		// Every future handed out must have come back: a submitted call
+		// that neither resolved nor errored is a bug in the async path,
+		// never an acceptable cost of chaos or drain.
+		if s, r := submitted.Load(), resolved.Load(); s != r {
+			fmt.Fprintf(os.Stderr, "bsoap-loadgen: %d futures lost (%d submitted, %d resolved)\n", s-r, s, r)
+			os.Exit(1)
+		}
+	}
 	if *traceOn {
 		d := trace.Default.Snapshot()
 		fmt.Printf("  trace: %d events recorded, %d retained in the ring (%d overwritten)\n",
@@ -213,12 +230,20 @@ func main() {
 
 // runWorker drives one goroutine's share of the load. Each worker owns
 // its messages (wire messages are single-goroutine); all template state
-// is shared through the pool.
-func runWorker(pool *bsoap.Pool, id, ops, n int, pcts [3]int, stop *atomic.Bool, done, errorsN *atomic.Int64, maxCalls int64) {
+// is shared through the pool. With pipeline > 0 the worker submits
+// through CallAsync, keeping a window of futures in flight — one per
+// message at most, since a message must not be mutated or resubmitted
+// until its previous future resolves.
+func runWorker(pool *bsoap.Pool, id, ops, n, pipeline int, pcts [3]int, stop *atomic.Bool, done, errorsN, submitted, resolved *atomic.Int64, maxCalls int64) {
 	type target struct {
 		msg   *bsoap.Message
 		touch func()
 		grow  func()
+	}
+	if pipeline > ops {
+		// One outstanding future per message: the window can only fill if
+		// the worker has at least `pipeline` distinct messages to rotate.
+		ops = pipeline
 	}
 	targets := make([]target, 0, ops)
 	for j := 0; j < ops; j++ {
@@ -246,11 +271,15 @@ func runWorker(pool *bsoap.Pool, id, ops, n int, pcts [3]int, stop *atomic.Bool,
 	}
 
 	rng := rand.New(rand.NewSource(int64(id) + 1))
-	for i := 0; !stop.Load(); i++ {
-		if maxCalls > 0 && done.Add(1) > maxCalls {
-			return
+	countErr := func(err error) {
+		// Keep driving load: failed calls are counted and judged
+		// against -max-err at the end, not allowed to silently shrink
+		// the fleet one worker at a time.
+		if errorsN.Add(1) == 1 {
+			fmt.Fprintln(os.Stderr, "bsoap-loadgen: first failed call:", err)
 		}
-		t := targets[i%len(targets)]
+	}
+	mutate := func(t target) {
 		switch p := rng.Intn(100); {
 		case p < pcts[0]:
 			// untouched: content match when replica affinity holds
@@ -259,13 +288,50 @@ func runWorker(pool *bsoap.Pool, id, ops, n int, pcts [3]int, stop *atomic.Bool,
 		default:
 			t.grow()
 		}
-		if _, err := pool.Call(t.msg); err != nil {
-			// Keep driving load: failed calls are counted and judged
-			// against -max-err at the end, not allowed to silently shrink
-			// the fleet one worker at a time.
-			if errorsN.Add(1) == 1 {
-				fmt.Fprintln(os.Stderr, "bsoap-loadgen: first failed call:", err)
+	}
+
+	if pipeline > 0 {
+		futs := make([]*bsoap.Future, len(targets))
+		settle := func(idx int) {
+			if futs[idx] == nil {
+				return
 			}
+			if _, err := futs[idx].Wait(); err != nil {
+				countErr(err)
+			}
+			resolved.Add(1)
+			futs[idx] = nil
+		}
+		for i := 0; !stop.Load(); i++ {
+			if maxCalls > 0 && done.Add(1) > maxCalls {
+				break
+			}
+			idx := i % len(targets)
+			t := targets[idx]
+			settle(idx) // the message's previous future, if any, resolves first
+			mutate(t)
+			f, err := pool.CallAsync(t.msg)
+			if err != nil {
+				countErr(err)
+				continue
+			}
+			submitted.Add(1)
+			futs[idx] = f
+		}
+		for idx := range futs {
+			settle(idx)
+		}
+		return
+	}
+
+	for i := 0; !stop.Load(); i++ {
+		if maxCalls > 0 && done.Add(1) > maxCalls {
+			return
+		}
+		t := targets[i%len(targets)]
+		mutate(t)
+		if _, err := pool.Call(t.msg); err != nil {
+			countErr(err)
 		}
 	}
 }
@@ -339,6 +405,10 @@ func report(w *os.File, pool *bsoap.Pool, inj *faultwire.Injector, workers, ops 
 		st.ValuesRewritten, st.TagShifts, st.Shifts, st.Steals, st.TemplateRebinds)
 	fmt.Fprintf(w, "  pool: %d checkouts (%d waited), %d dials, %d redials, %d dial failures, %d retries\n",
 		st.Checkouts, st.CheckoutWaits, st.Dials, st.Redials, st.DialFailures, st.Retries)
+	if st.AsyncCalls > 0 {
+		fmt.Fprintf(w, "  pipeline: depth %d · %d async calls · %d submit stalls\n",
+			st.PipelineDepth, st.AsyncCalls, st.PipelineStalls)
+	}
 	if inj != nil {
 		byKind := inj.FaultsByKind()
 		parts := make([]string, 0, len(byKind))

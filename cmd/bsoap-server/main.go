@@ -23,6 +23,9 @@
 //
 // Admission control: -max-conns and -max-inflight reject excess load
 // with fast 503s, -request-timeout bounds each request read.
+// -read-ahead N overlaps parsing with handling for pipelined clients:
+// up to N requests are read ahead per connection while the handler
+// runs, with responses still written strictly in request order.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, then the
 // process reports "drain complete" and exits 0. -drain-timeout bounds
@@ -74,6 +77,7 @@ func main() {
 
 		maxConns     = flag.Int("max-conns", 0, "admission: max open connections, excess rejected 503 (0 = unlimited)")
 		maxInflight  = flag.Int("max-inflight", 0, "admission: max requests handled at once, excess shed 503 (0 = unlimited)")
+		readAhead    = flag.Int("read-ahead", 0, "parse up to N pipelined requests ahead per connection while the handler runs (responses stay in order; 0 = read one at a time)")
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-request read deadline once its first byte arrives (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM before force-closing")
 		maxReplicas  = flag.Int("max-replicas", 256, "serverpool: max resident per-connection replicas (LRU beyond)")
@@ -109,6 +113,7 @@ func main() {
 	opts := transport.ServerOptions{
 		Logger: logger, Metrics: sm,
 		MaxConns: *maxConns, MaxInFlight: *maxInflight, RequestTimeout: *reqTimeout,
+		ReadAhead: *readAhead,
 	}
 
 	var svcName, svcNS string

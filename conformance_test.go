@@ -11,8 +11,7 @@ import (
 	"bsoap/internal/baseline"
 	"bsoap/internal/chunk"
 	"bsoap/internal/faultwire"
-	"bsoap/internal/server"
-	"bsoap/internal/transport"
+	"bsoap/internal/harness"
 	"bsoap/internal/workload"
 )
 
@@ -42,34 +41,6 @@ func (s *expectSet) has(b []byte) bool {
 	return ok
 }
 
-// conformancePool builds a recording server and a pooled client whose
-// every connection runs through the given fault injector.
-func conformancePool(t *testing.T, inj *faultwire.Injector, opts bsoap.PoolOptions) (*server.Recorder, *bsoap.Pool) {
-	t.Helper()
-	rec := server.NewRecorder(0)
-	srv, err := transport.Listen("127.0.0.1:0", transport.ServerOptions{
-		Handler: rec.HTTPHandler(),
-		Respond: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { srv.Close() })
-
-	opts.Addr = srv.Addr()
-	opts.Sender.ExpectResponse = true
-	opts.Sender.WriteTimeout = 5 * time.Second
-	opts.Sender.ReadTimeout = 5 * time.Second
-	opts.Sender.Dialer = inj.Dial(nil)
-	p, err := bsoap.NewPool(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { p.Close() })
-	p.Metrics().SetFaultSource(inj.Faults)
-	return rec, p
-}
-
 // TestConformanceMatchClasses is the deterministic half of the suite:
 // one worker, one connection, one template replica, and a scripted
 // connection reset on the fifth write. It proves byte conformance
@@ -78,7 +49,7 @@ func conformancePool(t *testing.T, inj *faultwire.Injector, opts bsoap.PoolOptio
 func TestConformanceMatchClasses(t *testing.T) {
 	inj := faultwire.NewScripted(faultwire.Options{},
 		faultwire.Step{Op: faultwire.OpWrite, Skip: 4, Kind: faultwire.Reset})
-	rec, p := conformancePool(t, inj, bsoap.PoolOptions{
+	rec, p := harness.Recorder(t, inj, bsoap.PoolOptions{
 		Size:             1,
 		Replicas:         1,
 		MaxRetries:       2,
@@ -167,7 +138,7 @@ func TestConformanceUnderChaos(t *testing.T) {
 		},
 		Delay: 200 * time.Microsecond,
 	})
-	rec, p := conformancePool(t, inj, bsoap.PoolOptions{
+	rec, p := harness.Recorder(t, inj, bsoap.PoolOptions{
 		Size:             4,
 		MaxRetries:       3,
 		DialAttempts:     6,

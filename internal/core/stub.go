@@ -197,6 +197,23 @@ func (s *Stub) Store() *Store { return s.store }
 // nil (tests, inspector tool).
 func (s *Stub) Template(op, sig string) *Template { return s.store.lookup(op, sig) }
 
+// MarkSuspect poisons the stored template for (op, sig), if present, so
+// the structure's next Call degrades to a full first-time serialization.
+// Call does this itself when a send fails; MarkSuspect is for owners who
+// learn about a delivery failure later — the pipelined pool marks a
+// template suspect when a call's response never arrives, after the send
+// itself succeeded and the template's bytes left unconfirmed. It
+// reports whether a template was found. MarkSuspect needs the same
+// external synchronization as Call (the pool holds the replica lock).
+func (s *Stub) MarkSuspect(op, sig string) bool {
+	tpl := s.store.lookup(op, sig)
+	if tpl == nil {
+		return false
+	}
+	tpl.suspect = true
+	return true
+}
+
 // Call serializes and sends m, reusing the saved template when possible.
 // On success the message's dirty bits are cleared; on a send error they
 // are preserved so a retry re-serializes the same changes, and the

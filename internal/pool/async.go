@@ -1,0 +1,233 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bsoap/internal/core"
+	"bsoap/internal/trace"
+	"bsoap/internal/transport"
+	"bsoap/internal/wire"
+)
+
+// ErrNotPipelined is returned by CallAsync on pools configured without a
+// pipeline (Options.PipelineDepth == 0).
+var ErrNotPipelined = fmt.Errorf("pool: CallAsync requires Options.PipelineDepth > 0")
+
+// Future is the completion handle of a pipelined call: the request is on
+// the wire (serialized through the shared template and submitted), the
+// template replica is already released, and the response has not
+// necessarily arrived yet. Every Future resolves — a broken connection
+// fails its in-flight futures rather than leaving a waiter blocked.
+//
+// A Future is safe for concurrent use; Wait may be called any number of
+// times and returns the same outcome.
+type Future struct {
+	p     *Pool
+	pd    *transport.Pending
+	r     *replica
+	op    string
+	sig   string
+	ci    core.CallInfo
+	span  uint64
+	start time.Time
+
+	once sync.Once
+	err  error
+}
+
+// Done returns a channel closed once the call's response (or the
+// pipeline's failure) has arrived; Wait then returns without blocking.
+func (f *Future) Done() <-chan struct{} { return f.pd.Done() }
+
+// Wait blocks until the call's response has been read in order off the
+// connection and returns the call's serialization info and outcome. On a
+// response failure (transport error, non-2xx status, pipeline torn down)
+// the template that produced the request is marked suspect — the bytes
+// left this client but their delivery is unconfirmed, so the structure's
+// next call degrades to a full first-time send instead of diffing
+// against them. Response failures are not retried: requests behind this
+// one are already on the wire, so a replay would arrive out of order.
+func (f *Future) Wait() (core.CallInfo, error) {
+	f.once.Do(f.resolve)
+	return f.ci, f.err
+}
+
+func (f *Future) resolve() {
+	err := f.pd.Wait()
+	elapsed := f.p.senders.now().Sub(f.start)
+	if err != nil {
+		f.p.store.markSuspect(f.r, f.op, f.sig, f.span)
+		err = fmt.Errorf("pool: pipelined call: %w", err)
+	}
+	if f.span != 0 {
+		ok := int64(1)
+		if err != nil {
+			ok = 0
+		}
+		trace.Rec(f.span, trace.KindAsyncComplete, ok, int64(elapsed), 0)
+	}
+	f.p.metrics.RecordCall(f.ci, err, elapsed)
+	f.err = err
+}
+
+// submitSink adapts Pipeline.SendAsync to the engine's Sink: the request
+// write happens here, under the replica lock (template bytes are only
+// stable while it is held), while the response is left to the Future.
+type submitSink struct {
+	pl *transport.Pipeline
+	pd *transport.Pending
+}
+
+func (ss *submitSink) Send(bufs net.Buffers) error {
+	pd, err := ss.pl.SendAsync(bufs)
+	ss.pd = pd
+	return err
+}
+
+// newPipeline wraps a freshly ensured sender for pipelined use, wiring
+// the pool's gauges into the pipeline's completion hooks.
+func (p *Pool) newPipeline(ts *transport.Sender) *transport.Pipeline {
+	pl := transport.NewPipeline(ts, p.opts.PipelineDepth)
+	pl.OnStall = func() { p.metrics.pipelineStalls.Add(1) }
+	pl.OnComplete = func() { p.metrics.futuresPending.Add(-1) }
+	return pl
+}
+
+// ensurePipeline hands back a healthy pipeline for the slot, tearing a
+// broken one down (its reader goroutine shares the sender's buffered
+// reader, which Redial resets — the old pipeline must fully wind down,
+// failing any still-queued pendings, before the connection is repaired
+// underneath it) and building a fresh one over the repaired connection.
+func (p *Pool) ensurePipeline(ps *pooledSender, deadline time.Time) (*transport.Pipeline, error) {
+	if ps.pipeline != nil && (ps.broken || ps.pipeline.Broken()) {
+		_ = ps.pipeline.Close()
+		ps.pipeline = nil
+		ps.broken = true // the connection was closed with it: ensure redials
+	}
+	sink, err := p.senders.ensure(ps, deadline)
+	if err != nil {
+		return nil, err
+	}
+	ts, ok := sink.(*transport.Sender)
+	if !ok {
+		return nil, fmt.Errorf("pool: pipelining requires a dialed transport (Options.Addr, not Options.Dial)")
+	}
+	if ps.pipeline != nil && ps.pipeline.Sender() != ts {
+		// ensure swapped the slot's sink out from under an old pipeline.
+		_ = ps.pipeline.Close()
+		ps.pipeline = nil
+	}
+	if ps.pipeline == nil {
+		ps.pipeline = p.newPipeline(ts)
+	}
+	return ps.pipeline, nil
+}
+
+// CallAsync serializes and submits m through a pooled pipelined
+// connection and returns a Future resolving when the in-order response
+// arrives. The template replica is held only across classify + diff +
+// write — it is released before the response returns, so a hot
+// operation's replica is never pinned for a round trip (the point of
+// pipelining differential sends: serialization overlaps transmission).
+//
+// Submit-side failures (dial, write) are repaired and retried exactly
+// like Pool.Call, within MaxRetries and the RetryBudget; once the
+// request is on the wire the call's failure mode moves to the Future
+// (see Future.Wait). The per-message confinement contract extends to
+// futures: a message must not be mutated or resubmitted until its
+// previous call's Future has resolved.
+//
+// Pipelined calls always read one response per request, regardless of
+// Sender.ExpectResponse — HTTP pipelining needs the response stream to
+// stay in lockstep — so the server must respond (bsoap-server does in
+// every SOAP mode).
+func (p *Pool) CallAsync(m *wire.Message) (*Future, error) {
+	if p.opts.PipelineDepth <= 0 {
+		return nil, ErrNotPipelined
+	}
+	start := p.senders.now()
+	deadline := start.Add(p.opts.RetryBudget)
+	var span uint64
+	if trace.Enabled() {
+		span = trace.BeginSpan()
+	}
+	ps, waited, err := p.senders.checkout()
+	if err != nil {
+		return nil, err
+	}
+	if span != 0 {
+		w := int64(0)
+		if waited {
+			w = 1
+		}
+		trace.Rec(span, trace.KindPoolCheckout, w, 0, 0)
+	}
+
+	var (
+		fut *Future
+		ci  core.CallInfo
+	)
+	for attempt := 0; ; attempt++ {
+		var pl *transport.Pipeline
+		if span != 0 {
+			if ts, ok := ps.sink.(*transport.Sender); ok {
+				ts.TraceSpan = span
+			}
+		}
+		pl, err = p.ensurePipeline(ps, deadline)
+		if err != nil {
+			break
+		}
+		if span != 0 {
+			pl.Sender().TraceSpan = span
+		}
+		ss := submitSink{pl: pl}
+		r := p.store.acquire(m, span)
+		r.sink.s = &ss
+		if span != 0 {
+			r.stub.SetTraceSpan(span)
+		}
+		p.metrics.futuresPending.Add(1)
+		ci, err = r.stub.Call(m)
+		op, sig := m.Operation(), m.Signature()
+		p.store.release(r)
+		if err == nil {
+			fut = &Future{p: p, pd: ss.pd, r: r, op: op, sig: sig, ci: ci, span: span, start: start}
+			p.metrics.asyncCalls.Add(1)
+			if span != 0 {
+				trace.Rec(span, trace.KindAsyncSubmit, trace.OpID(op), int64(pl.InFlight()), 0)
+			}
+			break
+		}
+		p.metrics.futuresPending.Add(-1)
+		ps.broken = true
+		if attempt >= p.opts.MaxRetries {
+			break
+		}
+		if !p.senders.now().Before(deadline) {
+			err = fmt.Errorf("pool: send failed and no budget to retry: %w (last error: %v)",
+				ErrRetryBudgetExhausted, err)
+			break
+		}
+		p.metrics.retries.Add(1)
+		if span != 0 {
+			trace.Rec(span, trace.KindPoolRetry, int64(attempt+1), 0, 0)
+		}
+	}
+	p.senders.checkin(ps)
+	if err != nil {
+		if errors.Is(err, ErrRetryBudgetExhausted) {
+			p.metrics.retryBudgetExhausted.Add(1)
+		}
+		if span != 0 && ci.Span == 0 {
+			trace.Rec(span, trace.KindCallErr, -1, 0, 0)
+		}
+		p.metrics.RecordCall(ci, err, p.senders.now().Sub(start))
+		return nil, err
+	}
+	return fut, nil
+}

@@ -1,0 +1,264 @@
+package pool
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bsoap/internal/core"
+	"bsoap/internal/transport"
+	"bsoap/internal/workload"
+)
+
+// newPipelinedPool dials a pipelined pool at a responding ack server.
+func newPipelinedPool(t *testing.T, depth int, opts Options) (*Pool, *transport.Server) {
+	t.Helper()
+	srv, err := transport.Listen("127.0.0.1:0", transport.ServerOptions{Respond: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	opts.Addr = srv.Addr()
+	opts.PipelineDepth = depth
+	opts.Sender.ReadTimeout = 5 * time.Second
+	opts.Sender.WriteTimeout = 5 * time.Second
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, srv
+}
+
+func TestCallAsyncRequiresPipelineDepth(t *testing.T) {
+	p, _ := newDiscardPool(t, Options{})
+	d := workload.NewDoubles(8, workload.FillIntermediate)
+	if _, err := p.CallAsync(d.Msg); !errors.Is(err, ErrNotPipelined) {
+		t.Fatalf("err = %v, want ErrNotPipelined", err)
+	}
+}
+
+func TestNewRejectsPipelineOverCustomDial(t *testing.T) {
+	sink := transport.NewDiscardSink()
+	_, err := New(Options{Dial: discardDial(sink), PipelineDepth: 4})
+	if err == nil {
+		t.Fatal("New accepted PipelineDepth with a custom Dial")
+	}
+}
+
+func TestCallAsyncWarmPath(t *testing.T) {
+	p, srv := newPipelinedPool(t, 4, Options{Size: 1, Replicas: 1})
+	d := workload.NewDoubles(64, workload.FillIntermediate)
+
+	f, err := p.CallAsync(d.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := f.Wait()
+	if err != nil || ci.Match != core.FirstTime {
+		t.Fatalf("call 1: %v %v, want first-time", ci.Match, err)
+	}
+
+	// Warm calls: mutate → wait each future before touching the message
+	// again (per-message confinement extends to futures).
+	for i := 0; i < 8; i++ {
+		d.TouchFraction(0.25)
+		f, err := p.CallAsync(d.Msg)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if ci, err = f.Wait(); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if ci.Match != core.StructuralMatch && ci.Match != core.PartialMatch {
+			t.Fatalf("warm call %d classified %v", i, ci.Match)
+		}
+	}
+
+	s := p.Stats()
+	if s.AsyncCalls != 9 {
+		t.Fatalf("async_calls = %d, want 9", s.AsyncCalls)
+	}
+	if s.PipelineDepth != 4 {
+		t.Fatalf("pipeline_depth = %d, want 4", s.PipelineDepth)
+	}
+	if s.FuturesPending != 0 {
+		t.Fatalf("futures_pending = %d after quiescence", s.FuturesPending)
+	}
+	if s.Calls != 9 || s.Errors != 0 {
+		t.Fatalf("calls=%d errors=%d", s.Calls, s.Errors)
+	}
+	if srv.Requests() != 9 {
+		t.Fatalf("server saw %d requests", srv.Requests())
+	}
+}
+
+func TestCallRoutesThroughPipeline(t *testing.T) {
+	p, _ := newPipelinedPool(t, 2, Options{Size: 1})
+	d := workload.NewDoubles(32, workload.FillIntermediate)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Call(d.Msg); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		d.TouchFraction(0.5)
+	}
+	if s := p.Stats(); s.AsyncCalls != 3 || s.Calls != 3 {
+		t.Fatalf("async_calls=%d calls=%d, want 3/3 (Call must route through the pipeline)", s.AsyncCalls, s.Calls)
+	}
+}
+
+func TestCallAsyncManyInFlight(t *testing.T) {
+	p, _ := newPipelinedPool(t, 8, Options{Size: 1, Replicas: 4})
+	// Distinct messages may have concurrent futures; keep a window of 8.
+	msgs := make([]*workload.Doubles, 8)
+	for i := range msgs {
+		msgs[i] = workload.NewDoubles(16+4*i, workload.FillIntermediate)
+	}
+	futures := make([]*Future, len(msgs))
+	for round := 0; round < 20; round++ {
+		for i, m := range msgs {
+			if futures[i] != nil {
+				if _, err := futures[i].Wait(); err != nil {
+					t.Fatalf("round %d msg %d: %v", round, i, err)
+				}
+				m.TouchFraction(0.3)
+			}
+			f, err := p.CallAsync(m.Msg)
+			if err != nil {
+				t.Fatalf("round %d msg %d submit: %v", round, i, err)
+			}
+			futures[i] = f
+		}
+	}
+	for _, f := range futures {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := p.Stats(); s.FuturesPending != 0 || s.Errors != 0 {
+		t.Fatalf("pending=%d errors=%d after drain", s.FuturesPending, s.Errors)
+	}
+}
+
+// flakyAckServer answers requests with 202s; its first connection
+// answers exactly one request, reads one more, then hangs up without
+// answering it. Later connections answer everything.
+func flakyAckServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var conns atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			first := conns.Add(1) == 1
+			go func(c net.Conn, first bool) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for n := 0; ; n++ {
+					if _, err := transport.ReadRequest(br); err != nil {
+						return
+					}
+					if first && n == 1 {
+						return // swallow the second request: its response never comes
+					}
+					if err := transport.WriteResponse(c, 202, "", nil); err != nil {
+						return
+					}
+				}
+			}(c, first)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestResponseFailureMarksTemplateSuspect(t *testing.T) {
+	addr := flakyAckServer(t)
+	p, err := New(Options{
+		Addr: addr, Size: 1, Replicas: 1, PipelineDepth: 4,
+		Sender: transport.SenderOptions{ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	d := workload.NewDoubles(64, workload.FillIntermediate)
+	f1, err := p.CallAsync(d.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Wait(); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+
+	d.TouchFraction(0.25)
+	f2, err := p.CallAsync(d.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Wait(); err == nil {
+		t.Fatal("call 2 resolved nil; the server swallowed its response")
+	}
+
+	// The template is suspect: the next call must rebuild from live
+	// values (degraded first-time send) over a repaired connection.
+	d.TouchFraction(0.25)
+	ci, err := p.Call(d.Msg)
+	if err != nil {
+		t.Fatalf("call 3: %v", err)
+	}
+	if ci.Match != core.FirstTime || !ci.Degraded {
+		t.Fatalf("call 3 classified %v degraded=%v, want degraded first-time", ci.Match, ci.Degraded)
+	}
+	if got := p.Stats().DegradedFTS; got != 1 {
+		t.Fatalf("degraded_fts = %d, want 1", got)
+	}
+}
+
+func TestPoolCloseFailsPendingFutures(t *testing.T) {
+	// A discard server that never responds leaves futures in flight
+	// forever; Close must resolve them with an error, not strand them.
+	srv, err := transport.Listen("127.0.0.1:0", transport.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p, err := New(Options{Addr: srv.Addr(), Size: 1, PipelineDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := workload.NewDoubles(16, workload.FillIntermediate)
+	f, err := p.CallAsync(d.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Wait()
+		done <- err
+	}()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pending future resolved nil across pool Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending future never resolved after pool Close")
+	}
+	if got := p.Stats().FuturesPending; got != 0 {
+		t.Fatalf("futures_pending = %d after Close", got)
+	}
+}

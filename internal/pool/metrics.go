@@ -69,6 +69,16 @@ type Metrics struct {
 	degradedFTS          atomic.Int64
 	retryBudgetExhausted atomic.Int64
 
+	// Async call path (zero on serial pools). pipelineDepth is a config
+	// gauge set once at pool construction; futuresPending is a live gauge
+	// (+1 per submitted request, -1 as each future resolves);
+	// pipelineStalls counts SendAsync calls that blocked because the
+	// pipeline was already at depth.
+	asyncCalls     atomic.Int64
+	pipelineDepth  atomic.Int64
+	futuresPending atomic.Int64
+	pipelineStalls atomic.Int64
+
 	// faultSource, when set, reports how many faults an external
 	// injector (faultwire) has put on this pool's wire; snapshots read
 	// it so chaos runs can watch fault counts on the live endpoint.
@@ -207,6 +217,16 @@ type Stats struct {
 	// first-time send because a prior failure poisoned the template.
 	DegradedFTS int64 `json:"degraded_fts"`
 
+	// AsyncCalls counts requests submitted through the pipelined path
+	// (CallAsync, including Call on a pipelined pool). PipelineDepth is
+	// the configured per-connection in-flight bound (0 = serial pool).
+	// FuturesPending gauges requests submitted but not yet resolved;
+	// PipelineStalls counts submits that blocked at full depth.
+	AsyncCalls     int64 `json:"async_calls"`
+	PipelineDepth  int64 `json:"pipeline_depth"`
+	FuturesPending int64 `json:"futures_pending"`
+	PipelineStalls int64 `json:"pipeline_stalls"`
+
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP90 time.Duration `json:"latency_p90_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
@@ -272,6 +292,11 @@ func (m *Metrics) Snapshot() Stats {
 
 		RetryBudgetExhausted: m.retryBudgetExhausted.Load(),
 		DegradedFTS:          m.degradedFTS.Load(),
+
+		AsyncCalls:     m.asyncCalls.Load(),
+		PipelineDepth:  m.pipelineDepth.Load(),
+		FuturesPending: m.futuresPending.Load(),
+		PipelineStalls: m.pipelineStalls.Load(),
 
 		LatencyP50: m.lat.quantile(0.50),
 		LatencyP90: m.lat.quantile(0.90),
@@ -347,6 +372,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p.Counter("bsoap_client_faults_injected_total", "Faults the external injector put on the wire.", s.FaultsInjected)
 	p.Counter("bsoap_client_retry_budget_exhausted_total", "Calls that ran out of retry budget.", s.RetryBudgetExhausted)
 	p.Counter("bsoap_client_degraded_fts_total", "Degraded first-time sends after a poisoned template.", s.DegradedFTS)
+
+	p.Counter("bsoap_client_async_calls_total", "Requests submitted through the pipelined path.", s.AsyncCalls)
+	p.Counter("bsoap_client_pipeline_stalls_total", "Async submits that blocked at full pipeline depth.", s.PipelineStalls)
+	p.Gauge("bsoap_client_pipeline_depth", "Configured per-connection in-flight bound (0 = serial).", s.PipelineDepth)
+	p.Gauge("bsoap_client_futures_pending", "Requests submitted but not yet resolved.", s.FuturesPending)
 
 	uppers := make([]float64, len(s.LatencyBuckets))
 	for i := range uppers {

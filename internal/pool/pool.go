@@ -70,6 +70,17 @@ type Options struct {
 	// path bounded in both count and time: when the budget runs out the
 	// Call fails with ErrRetryBudgetExhausted instead of redialing on.
 	RetryBudget time.Duration
+
+	// PipelineDepth enables the pipelined async call path: each pool
+	// connection keeps up to this many requests in flight (HTTP/1.x
+	// pipelining — responses arrive strictly in request order), CallAsync
+	// returns Futures, and Call routes through CallAsync + Wait. Zero
+	// (the default) keeps the serial request/response path.
+	//
+	// Requires a dialed transport (Options.Addr) and a responding server:
+	// every pipelined request reads exactly one response, regardless of
+	// Sender.ExpectResponse. Incompatible with Options.Dial.
+	PipelineDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -129,8 +140,11 @@ func New(opts Options) (*Pool, error) {
 		}
 		addr, sopts := o.Addr, o.Sender
 		dial = func() (core.Sink, error) { return transport.Dial(addr, sopts) }
+	} else if o.PipelineDepth > 0 {
+		return nil, fmt.Errorf("pool: Options.PipelineDepth requires a dialed transport (Options.Addr, not Options.Dial)")
 	}
 	m := NewMetrics()
+	m.pipelineDepth.Store(int64(o.PipelineDepth))
 	return &Pool{
 		opts:    o,
 		senders: newSenderPool(o.Size, dial, o, m),
@@ -156,6 +170,16 @@ var ErrRetryBudgetExhausted = fmt.Errorf("pool: retry budget exhausted")
 // Call is safe for concurrent use with distinct messages; a given
 // message must not have two Calls in flight at once (see Pool).
 func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
+	if p.opts.PipelineDepth > 0 {
+		// Pipelined pools route sync calls through the async path so
+		// every request flows through one ordered pipeline per
+		// connection. CallAsync + resolve do all the accounting.
+		f, err := p.CallAsync(m)
+		if err != nil {
+			return core.CallInfo{}, err
+		}
+		return f.Wait()
+	}
 	start := p.senders.now()
 	deadline := start.Add(p.opts.RetryBudget)
 	var span uint64

@@ -26,6 +26,11 @@ var ErrDialFailed = fmt.Errorf("pool: dial failed")
 type pooledSender struct {
 	sink   core.Sink
 	broken bool
+	// pipeline wraps sink for the async call path (nil on serial pools
+	// and until the slot's first CallAsync). It must be closed before
+	// the sink is redialed or closed: its reader goroutine shares the
+	// sender's buffered reader, and closing fails any pending futures.
+	pipeline *transport.Pipeline
 }
 
 // senderPool is a bounded set of connections with checkout/checkin
@@ -113,7 +118,7 @@ func (sp *senderPool) checkin(ps *pooledSender) {
 	sp.mu.Lock()
 	if sp.closed {
 		sp.mu.Unlock()
-		closeSink(ps.sink)
+		teardown(ps)
 		return
 	}
 	sp.slots <- ps
@@ -201,12 +206,22 @@ func (sp *senderPool) close() {
 	for {
 		select {
 		case ps := <-sp.slots:
-			closeSink(ps.sink)
+			teardown(ps)
 		default:
 			close(sp.slots)
 			return
 		}
 	}
+}
+
+// teardown closes a slot's pipeline (failing its pending futures and
+// waiting for the reader goroutine) before the underlying connection.
+func teardown(ps *pooledSender) {
+	if ps.pipeline != nil {
+		_ = ps.pipeline.Close()
+		ps.pipeline = nil
+	}
+	closeSink(ps.sink)
 }
 
 func closeSink(s core.Sink) {

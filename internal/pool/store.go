@@ -261,6 +261,22 @@ func (s *ShardedStore) release(r *replica) {
 	r.mu.Unlock()
 }
 
+// markSuspect poisons r's template for (op, sig), if it still holds one.
+// The async call path uses it when a pipelined response fails after the
+// submit succeeded: the replica was released long ago, so the suspicion
+// arrives late — safe, because a first-time send serializes from live
+// values regardless of dirty bits, and any call that raced in between
+// diffed against bytes that genuinely made it onto the wire before the
+// connection died. span tags the flight-recorder event (0 = untraced).
+func (s *ShardedStore) markSuspect(r *replica, op, sig string, span uint64) {
+	r.mu.Lock()
+	found := r.stub.MarkSuspect(op, sig)
+	r.mu.Unlock()
+	if found && span != 0 {
+		trace.Rec(span, trace.KindTemplateSuspect, trace.OpID(op), 0, 0)
+	}
+}
+
 // TemplateCount sums the stored templates across every shard and
 // replica (each replica's single-key store holds at most
 // MaxTemplatesPerOp; in practice one).

@@ -107,8 +107,16 @@ const (
 	// serialization: A=core.MatchKind of the response send, B=response
 	// bytes.
 	KindServerRespond
+	// KindAsyncSubmit is a pipelined call handed to the transport without
+	// waiting for its response: A=op id, B=requests in flight on the
+	// connection after the submit.
+	KindAsyncSubmit
+	// KindAsyncComplete resolves a pipelined call's future: A=1 on
+	// success / 0 on error, B=submit-to-completion latency in
+	// nanoseconds.
+	KindAsyncComplete
 
-	kindCount = int(KindServerRespond) + 1
+	kindCount = int(KindAsyncComplete) + 1
 )
 
 var kindNames = [kindCount]string{
@@ -134,6 +142,8 @@ var kindNames = [kindCount]string{
 	KindOverlayPortion:  "overlay-portion",
 	KindServerDecode:    "server-decode",
 	KindServerRespond:   "server-respond",
+	KindAsyncSubmit:     "async-submit",
+	KindAsyncComplete:   "async-complete",
 }
 
 // String returns the kind's wire name (stable; the inspector and the

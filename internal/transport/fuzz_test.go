@@ -2,8 +2,13 @@ package transport
 
 import (
 	"bufio"
+	"bytes"
+	"io"
+	"net"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // FuzzReadRequest asserts HTTP request parsing never panics on
@@ -26,5 +31,94 @@ func FuzzReadRequest(f *testing.F) {
 		if err == nil && req == nil {
 			t.Fatal("nil request without error")
 		}
+	})
+}
+
+// scriptedConn is a fake net.Conn whose read side replays a canned byte
+// stream (then EOF) and whose write side discards — the response-stream
+// analogue of strings.Reader for fuzzing the pipelined reader.
+type scriptedConn struct {
+	mu     sync.Mutex
+	r      *bytes.Reader
+	closed bool
+}
+
+func (c *scriptedConn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	return c.r.Read(b)
+}
+
+func (c *scriptedConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	return len(b), nil
+}
+
+func (c *scriptedConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *scriptedConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *scriptedConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *scriptedConn) SetDeadline(time.Time) error      { return nil }
+func (c *scriptedConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *scriptedConn) SetWriteDeadline(time.Time) error { return nil }
+
+var _ io.ReadWriteCloser = (*scriptedConn)(nil)
+
+// FuzzPipelineResponses feeds an arbitrary byte stream to the pipelined
+// response reader: however the stream parses (valid responses, garbage
+// framing, truncation mid-header or mid-body), the pipeline must not
+// panic, and every submitted Pending must resolve — with its in-order
+// response or with the pipeline's sticky error once the stream breaks.
+func FuzzPipelineResponses(f *testing.F) {
+	ok := "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi"
+	seeds := []string{
+		"",
+		ok,
+		ok + ok + ok,
+		ok + "HTTP/1.1 500 Oops\r\nContent-Length: 0\r\n\r\n" + ok,
+		"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhi\r\n0\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\ntruncated",
+		"HTTP/1.1 200\r\n\r\n",
+		"garbage that is not HTTP at all",
+		ok[:17],
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn := &scriptedConn{r: bytes.NewReader(data)}
+		s := NewSender(conn, SenderOptions{Version: HTTP11})
+		pl := NewPipeline(s, 4)
+		var pending []*Pending
+		for i := 0; i < 3; i++ {
+			p, err := pl.SendAsync(net.Buffers{[]byte("<m/>")})
+			if err != nil {
+				break // pipeline already broken by a parsed-garbage read
+			}
+			pending = append(pending, p)
+		}
+		for i, p := range pending {
+			select {
+			case <-p.Done():
+			case <-time.After(10 * time.Second):
+				t.Fatalf("pending %d never resolved", i)
+			}
+			if p.Wait() == nil && p.Status()/100 != 2 {
+				t.Fatalf("pending %d: nil error for status %d", i, p.Status())
+			}
+		}
+		pl.Close()
 	})
 }

@@ -277,8 +277,19 @@ func (s *Sender) writeRequestHead() error {
 // compression is on, in which case the whole body is gzipped first
 // (compression cannot reuse template bytes: every send re-compresses).
 func (s *Sender) Send(bufs net.Buffers) error {
+	if err := s.writeRequest(bufs); err != nil {
+		return err
+	}
+	return s.maybeReadResponse()
+}
+
+// writeRequest frames bufs as one POST and flushes it without touching
+// the response side of the connection — the write half Send and
+// Pipeline.SendAsync share. The caller owns reading (or not reading)
+// the response.
+func (s *Sender) writeRequest(bufs net.Buffers) error {
 	if s.opts.Compress {
-		return s.sendCompressed(bufs)
+		return s.writeRequestCompressed(bufs)
 	}
 	s.armWrite()
 	total := 0
@@ -299,11 +310,12 @@ func (s *Sender) Send(bufs net.Buffers) error {
 	if err := s.bw.Flush(); err != nil {
 		return fmt.Errorf("transport: flush: %w", s.noteIOErr(err, false))
 	}
-	return s.maybeReadResponse()
+	return nil
 }
 
-// sendCompressed gzips the body and frames it with Content-Encoding.
-func (s *Sender) sendCompressed(bufs net.Buffers) error {
+// writeRequestCompressed gzips the body and frames it with
+// Content-Encoding, again leaving the response to the caller.
+func (s *Sender) writeRequestCompressed(bufs net.Buffers) error {
 	s.armWrite()
 	s.gzBuf.Reset()
 	if s.gz == nil {
@@ -332,7 +344,7 @@ func (s *Sender) sendCompressed(bufs net.Buffers) error {
 	if err := s.bw.Flush(); err != nil {
 		return fmt.Errorf("transport: flush: %w", s.noteIOErr(err, false))
 	}
-	return s.maybeReadResponse()
+	return nil
 }
 
 // BeginStream starts a chunked-transfer POST (HTTP/1.1 only).
@@ -395,11 +407,7 @@ func (s *Sender) EndStream() error {
 // Roundtrip sends bufs and returns the response body regardless of the
 // ExpectResponse option — the RPC path used by the examples.
 func (s *Sender) Roundtrip(bufs net.Buffers) (*Response, error) {
-	expect := s.opts.ExpectResponse
-	s.opts.ExpectResponse = false
-	err := s.Send(bufs)
-	s.opts.ExpectResponse = expect
-	if err != nil {
+	if err := s.writeRequest(bufs); err != nil {
 		return nil, err
 	}
 	s.armRead()

@@ -22,21 +22,22 @@ type Handler func(req *Request) ([]byte, error)
 // are read and discarded without parsing the SOAP payload, and a minimal
 // 202 is returned only when the client asks for responses.
 type Server struct {
-	ln       net.Listener
-	handler  Handler
-	respond  bool
-	logger   *log.Logger
-	metrics  *ServerMetrics
-	maxConns int
-	inflight chan struct{} // nil = unlimited; buffered to MaxInFlight
-	reqTO    time.Duration
-	wg       sync.WaitGroup
-	closed   atomic.Bool
-	draining atomic.Bool
-	lnOnce   sync.Once
-	lnErr    error
-	nextConn atomic.Uint64
-	numConns atomic.Int64
+	ln        net.Listener
+	handler   Handler
+	respond   bool
+	logger    *log.Logger
+	metrics   *ServerMetrics
+	maxConns  int
+	inflight  chan struct{} // nil = unlimited; buffered to MaxInFlight
+	reqTO     time.Duration
+	readAhead int
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	draining  atomic.Bool
+	lnOnce    sync.Once
+	lnErr     error
+	nextConn  atomic.Uint64
+	numConns  atomic.Int64
 
 	mu    sync.Mutex
 	conns map[net.Conn]*connState
@@ -46,8 +47,24 @@ type Server struct {
 // means blocked waiting for the first byte of a next request (safe to
 // poke with a read deadline), not-idle means a request is being read,
 // handled, or answered (drain must let it finish).
+//
+// The serial loop stores idle directly. Read-ahead connections split the
+// work over two goroutines, so idle is derived instead: parked records
+// whether the reader is waiting for a next first byte, pending counts
+// requests parsed but not yet answered, and the connection is idle only
+// when the reader is parked with nothing queued.
 type connState struct {
-	idle atomic.Bool
+	idle    atomic.Bool
+	parked  atomic.Bool
+	pending atomic.Int64
+}
+
+// noteIdle recomputes the derived idle flag. Both the reader (after
+// parking) and the responder (after answering) call it after their own
+// state change, so whichever runs last reads both final values and the
+// flag converges to the truth.
+func (st *connState) noteIdle() {
+	st.idle.Store(st.parked.Load() && st.pending.Load() == 0)
 }
 
 // ServerOptions configure a Server.
@@ -79,6 +96,14 @@ type ServerOptions struct {
 	// the deadline closes the connection and counts a deadline hit.
 	// 0 = no deadline.
 	RequestTimeout time.Duration
+	// ReadAhead enables server-side pipelining on handler connections: a
+	// per-connection reader goroutine parses up to this many requests
+	// ahead while earlier ones are being handled, and responses are still
+	// written strictly in request order — pipelined and serial clients
+	// are indistinguishable on the wire. 0 keeps the read→handle→respond
+	// loop on one goroutine. Ignored when Handler is nil (the dummy
+	// server has no handler latency to overlap).
+	ReadAhead int
 }
 
 // Serve starts a server on ln; it returns immediately and serves until
@@ -90,10 +115,11 @@ func Serve(ln net.Listener, opts ServerOptions) *Server {
 	}
 	s := &Server{
 		ln: ln, handler: opts.Handler, respond: opts.Respond, logger: opts.Logger,
-		metrics:  m,
-		maxConns: opts.MaxConns,
-		reqTO:    opts.RequestTimeout,
-		conns:    make(map[net.Conn]*connState),
+		metrics:   m,
+		maxConns:  opts.MaxConns,
+		reqTO:     opts.RequestTimeout,
+		readAhead: opts.ReadAhead,
+		conns:     make(map[net.Conn]*connState),
 	}
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
@@ -254,6 +280,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.numConns.Add(-1)
 	defer conn.Close()
+	if s.handler != nil && s.readAhead > 0 {
+		s.serveConnPipelined(conn)
+		return
+	}
 	st := &connState{}
 	if !s.track(conn, st) {
 		return
@@ -327,47 +357,142 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			continue
 		}
-		if s.inflight != nil {
-			select {
-			case s.inflight <- struct{}{}:
-			default:
-				// Over the in-flight cap: shed this request now instead
-				// of queueing it behind work we cannot bound.
-				s.metrics.rejectedRequests.Add(1)
-				if werr := WriteResponse(conn, 503, "", nil); werr != nil {
-					return
-				}
-				if s.draining.Load() {
-					return
-				}
-				continue
-			}
-		}
-		s.metrics.inFlight.Add(1)
-		body, err := s.handler(req)
-		s.metrics.inFlight.Add(-1)
-		if s.inflight != nil {
-			<-s.inflight
-		}
-		if err != nil {
-			s.logf("handler: %v", err)
-			if werr := WriteResponse(conn, 500, "text/plain", []byte(err.Error())); werr != nil {
-				return
-			}
-			if s.draining.Load() {
-				return
-			}
-			continue
-		}
-		if s.respond || body != nil {
-			if err := WriteResponse(conn, 200, "text/xml; charset=utf-8", body); err != nil {
-				s.logf("write response: %v", err)
-				return
-			}
+		if !s.dispatch(conn, req) {
+			return
 		}
 		if s.draining.Load() {
 			// The final request completed; no keep-alive during drain.
 			return
+		}
+	}
+}
+
+// dispatch admits, handles and answers one fully received request. It
+// returns false when the connection is no longer usable (a response
+// write failed); admission sheds and handler errors are answered on the
+// wire and keep the connection alive.
+func (s *Server) dispatch(conn net.Conn, req *Request) bool {
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			// Over the in-flight cap: shed this request now instead of
+			// queueing it behind work we cannot bound.
+			s.metrics.rejectedRequests.Add(1)
+			return WriteResponse(conn, 503, "", nil) == nil
+		}
+	}
+	s.metrics.inFlight.Add(1)
+	body, err := s.handler(req)
+	s.metrics.inFlight.Add(-1)
+	if s.inflight != nil {
+		<-s.inflight
+	}
+	if err != nil {
+		s.logf("handler: %v", err)
+		return WriteResponse(conn, 500, "text/plain", []byte(err.Error())) == nil
+	}
+	if s.respond || body != nil {
+		if werr := WriteResponse(conn, 200, "text/xml; charset=utf-8", body); werr != nil {
+			s.logf("write response: %v", werr)
+			return false
+		}
+	}
+	return true
+}
+
+// serveConnPipelined is serveConn for ReadAhead > 0: a reader goroutine
+// parses requests ahead into a bounded queue while this goroutine
+// handles and answers them strictly in order. A ring of ReadAhead+1
+// Request objects cycles between the two, so the handler's request is
+// untouched while later ones parse — the next-read-invalidates contract
+// holds because a Request re-enters the free list only after its
+// handler has returned.
+func (s *Server) serveConnPipelined(conn net.Conn) {
+	st := &connState{}
+	if !s.track(conn, st) {
+		return
+	}
+	s.metrics.connOpened()
+	defer s.metrics.connClosed()
+	defer s.untrack(conn)
+
+	connID := s.nextConn.Add(1)
+	remote := conn.RemoteAddr().String()
+	free := make(chan *Request, s.readAhead+1)
+	for i := 0; i < s.readAhead+1; i++ {
+		free <- &Request{ConnID: connID, RemoteAddr: remote}
+	}
+	parsed := make(chan *Request, s.readAhead)
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(parsed)
+		br := bufio.NewReaderSize(conn, 32*1024)
+		for {
+			req := <-free
+			st.parked.Store(true)
+			st.noteIdle()
+			if s.draining.Load() {
+				return
+			}
+			_, err := br.Peek(1)
+			st.parked.Store(false)
+			st.idle.Store(false)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !s.draining.Load() {
+					s.metrics.recordReadError(err)
+					s.logf("await request: %v", err)
+				}
+				return
+			}
+			// Arm the request deadline. As in the serial loop, this also
+			// clears a drain poke that lost the race to the first byte —
+			// that request is in flight and must be allowed to finish.
+			var deadline time.Time
+			if s.reqTO > 0 {
+				deadline = time.Now().Add(s.reqTO)
+			}
+			_ = conn.SetReadDeadline(deadline)
+			if err := ReadRequestInto(br, req); err != nil {
+				if !errors.Is(err, ErrConnClosed) && !s.draining.Load() {
+					s.metrics.recordReadError(err)
+					s.logf("read request: %v", err)
+				}
+				return
+			}
+			if s.reqTO > 0 {
+				_ = conn.SetReadDeadline(time.Time{})
+			}
+			s.metrics.recordRequest(len(req.Body))
+			st.pending.Add(1)
+			st.noteIdle()
+			parsed <- req
+		}
+	}()
+
+	ok := true
+	for req := range parsed {
+		if ok {
+			if ok = s.dispatch(conn, req); !ok {
+				// Responses cannot be written: kill the connection so the
+				// reader unblocks and winds the queue down. Remaining
+				// parsed requests drain unanswered — their client already
+				// lost the connection.
+				conn.Close()
+			}
+		}
+		st.pending.Add(-1)
+		st.noteIdle()
+		free <- req
+		if s.draining.Load() && st.parked.Load() {
+			// Drain began while the reader was already parked (so
+			// Shutdown's idle poke may have missed it — the connection
+			// was busy then): wake it with a poisoned deadline so both
+			// goroutines wind down. A request mid-read is safe: its first
+			// byte re-armed the real deadline above.
+			_ = conn.SetReadDeadline(time.Unix(1, 0))
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"bsoap"
 	"bsoap/internal/baseline"
 	"bsoap/internal/chunk"
+	"bsoap/internal/harness"
 	"bsoap/internal/wire"
 	"bsoap/internal/workload"
 )
@@ -161,18 +162,17 @@ func miosTarget(name string, n int) *target {
 	}}
 }
 
-// TestPoolBaselineEquivalence is the pool-level property test: a pooled
-// differential-serialization client and the from-scratch gSOAP-like
-// baseline serializer must agree byte-for-byte (modulo padding) on
-// every call of a randomized mutation schedule — across stuffing
-// policies, padding stealing, small chunks, template rebinding between
-// duplicate messages, and all four match classes.
-func TestPoolBaselineEquivalence(t *testing.T) {
-	configs := []struct {
-		name        string
-		cfg         bsoap.Config
-		wantPartial bool
-	}{
+// equivConfig is one stuffing/stealing/chunking configuration the
+// equivalence properties are checked under; the four cover the policy
+// space the paper's experiments sweep.
+type equivConfig struct {
+	name        string
+	cfg         bsoap.Config
+	wantPartial bool
+}
+
+func equivalenceConfigs() []equivConfig {
+	return []equivConfig{
 		{"default", bsoap.Config{}, true},
 		{"stuffed-18-9-stealing", bsoap.Config{
 			Width:          bsoap.WidthPolicy{Double: 18, Int: 9},
@@ -186,8 +186,16 @@ func TestPoolBaselineEquivalence(t *testing.T) {
 			EnableStealing: true,
 		}, true},
 	}
+}
 
-	for _, tc := range configs {
+// TestPoolBaselineEquivalence is the pool-level property test: a pooled
+// differential-serialization client and the from-scratch gSOAP-like
+// baseline serializer must agree byte-for-byte (modulo padding) on
+// every call of a randomized mutation schedule — across stuffing
+// policies, padding stealing, small chunks, template rebinding between
+// duplicate messages, and all four match classes.
+func TestPoolBaselineEquivalence(t *testing.T) {
+	for _, tc := range equivalenceConfigs() {
 		t.Run(tc.name, func(t *testing.T) {
 			sink := &recordSink{}
 			p, err := bsoap.NewPool(bsoap.PoolOptions{
@@ -241,6 +249,109 @@ func TestPoolBaselineEquivalence(t *testing.T) {
 			}
 			if !tc.wantPartial && seen[bsoap.PartialMatch] {
 				t.Errorf("max-width stuffing produced a partial match (a value outgrew its field)")
+			}
+		})
+	}
+}
+
+// TestPoolPipelinedEquivalence is the async-path property test: the
+// same randomized mutation schedule, run once through a serial pool
+// (recording sink) and once through a pipelined pool (depth 4, over a
+// real connection to a recording server with matching read-ahead),
+// must put byte-identical bodies (modulo padding) on the wire, in the
+// same order. Pipelining reorders nothing and shares nothing it should
+// not: submission order is wire order, and a message whose previous
+// future has resolved may be mutated and resubmitted freely.
+func TestPoolPipelinedEquivalence(t *testing.T) {
+	const depth = 4
+	const rounds = 400
+
+	for _, tc := range equivalenceConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			sink := &recordSink{}
+			serial, err := bsoap.NewPool(bsoap.PoolOptions{
+				Size:     1,
+				Replicas: 1,
+				Config:   tc.cfg,
+				Dial:     func() (bsoap.Sink, error) { return sink, nil },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer serial.Close()
+
+			rec, piped := harness.Recorder(t, nil, bsoap.PoolOptions{
+				Size:          1,
+				Replicas:      1,
+				Config:        tc.cfg,
+				PipelineDepth: depth,
+			})
+
+			// Both sides run identical schedules: one rng picks the target
+			// each round, and each side mutates its own copy with its own
+			// rng — seeded alike, and consuming draws in the same order, so
+			// the value histories are identical.
+			mkTargets := func() []*target {
+				return []*target{
+					doublesTarget("doubles-a", 64),
+					doublesTarget("doubles-b", 64),
+					intsTarget("ints", 64),
+					miosTarget("mios", 16),
+				}
+			}
+			sTargets, pTargets := mkTargets(), mkTargets()
+			sched := rand.New(rand.NewSource(11))
+			sRng := rand.New(rand.NewSource(23))
+			pRng := rand.New(rand.NewSource(23))
+			pending := make([]*bsoap.Future, len(pTargets))
+
+			for round := 0; round < rounds; round++ {
+				i := sched.Intn(len(sTargets))
+				st, pt := sTargets[i], pTargets[i]
+				// Per-message confinement extends to futures: the pipelined
+				// target may still have bytes in flight, so resolve its
+				// previous future before mutating.
+				if pending[i] != nil {
+					if _, err := pending[i].Wait(); err != nil {
+						t.Fatalf("round %d (%s): wait: %v", round, pt.name, err)
+					}
+					pending[i] = nil
+				}
+				st.mutate(sRng)
+				pt.mutate(pRng)
+				if _, err := serial.Call(st.msg); err != nil {
+					t.Fatalf("round %d (%s): serial: %v", round, st.name, err)
+				}
+				f, err := piped.CallAsync(pt.msg)
+				if err != nil {
+					t.Fatalf("round %d (%s): submit: %v", round, pt.name, err)
+				}
+				pending[i] = f
+			}
+			for i, f := range pending {
+				if f == nil {
+					continue
+				}
+				if _, err := f.Wait(); err != nil {
+					t.Fatalf("drain (%s): %v", pTargets[i].name, err)
+				}
+			}
+
+			got := rec.Bodies()
+			if len(sink.msgs) != rounds || len(got) != rounds {
+				t.Fatalf("serial recorded %d bodies, server accepted %d, want %d each",
+					len(sink.msgs), len(got), rounds)
+			}
+			for i := range got {
+				want := canon(sink.msgs[i])
+				if !bytes.Equal(canon(got[i]), want) {
+					t.Fatalf("call %d: pipelined body diverges from serial\n got: %s\nwant: %s",
+						i, canon(got[i]), want)
+				}
+			}
+			if s := piped.Stats(); s.AsyncCalls != rounds || s.FuturesPending != 0 || s.Errors != 0 {
+				t.Fatalf("async_calls=%d futures_pending=%d errors=%d, want %d/0/0",
+					s.AsyncCalls, s.FuturesPending, s.Errors, rounds)
 			}
 		})
 	}

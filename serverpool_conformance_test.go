@@ -9,56 +9,12 @@ import (
 
 	"bsoap"
 	"bsoap/internal/faultwire"
+	"bsoap/internal/harness"
 	"bsoap/internal/server"
 	"bsoap/internal/serverpool"
-	"bsoap/internal/soapdec"
 	"bsoap/internal/transport"
-	"bsoap/internal/wire"
 	"bsoap/internal/workload"
 )
-
-// newBenchRuntime builds a serverpool runtime acknowledging the
-// workload's sendDoubles operation, plus the transport server carrying
-// it.
-func newBenchRuntime(t *testing.T, opts serverpool.Options, sopts transport.ServerOptions) (*serverpool.Runtime, *transport.Server) {
-	t.Helper()
-	rt := serverpool.New(opts)
-	rt.Register(&soapdec.Schema{
-		Namespace: workload.Namespace, Op: "sendDoubles",
-		Params: []soapdec.ParamSpec{{Name: "values", Type: wire.ArrayOf(wire.TDouble)}},
-	}, func() serverpool.Handler {
-		resp := wire.NewMessage(workload.Namespace, "sendDoublesResponse")
-		n := resp.AddInt("n", 0)
-		return func(req *wire.Message) (*wire.Message, error) {
-			n.Set(int32(req.NumLeaves()))
-			return resp, nil
-		}
-	})
-	sopts.Handler = rt.HTTPHandler()
-	sopts.Respond = true
-	srv, err := transport.Listen("127.0.0.1:0", sopts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { srv.Close() })
-	return rt, srv
-}
-
-// clientPool dials one pooled client at the server with RPC responses
-// on, so a non-2xx or dropped response surfaces as a call error.
-func clientPool(t *testing.T, addr string) *bsoap.Pool {
-	t.Helper()
-	opts := bsoap.PoolOptions{Size: 1, Addr: addr}
-	opts.Sender.ExpectResponse = true
-	opts.Sender.WriteTimeout = 5 * time.Second
-	opts.Sender.ReadTimeout = 5 * time.Second
-	p, err := bsoap.NewPool(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { p.Close() })
-	return p
-}
 
 // TestServerPoolMultiClientConformance runs eight concurrent clients,
 // each with its own connection and message shape, against the sharded
@@ -69,7 +25,7 @@ func clientPool(t *testing.T, addr string) *bsoap.Pool {
 // serve path.
 func TestServerPoolMultiClientConformance(t *testing.T) {
 	sm := transport.NewServerMetrics()
-	rt, srv := newBenchRuntime(t,
+	rt, srv := harness.BenchRuntime(t,
 		serverpool.Options{DifferentialDeserialization: true, SelfCheck: true, Metrics: sm},
 		transport.ServerOptions{Metrics: sm})
 
@@ -81,7 +37,7 @@ func TestServerPoolMultiClientConformance(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			pool := clientPool(t, srv.Addr())
+			pool := harness.ClientPool(t, srv.Addr())
 			d := workload.NewDoubles(16+4*id, workload.FillIntermediate) // distinct shape per client
 			for r := 0; r < rounds; r++ {
 				if r%3 == 1 {
@@ -128,7 +84,7 @@ func TestServerPoolMultiClientConformance(t *testing.T) {
 // by leaf, and a single divergence fails the run.
 func TestServerPoolConformanceUnderChaos(t *testing.T) {
 	sm := transport.NewServerMetrics()
-	rt, srv := newBenchRuntime(t,
+	rt, srv := harness.BenchRuntime(t,
 		serverpool.Options{DifferentialDeserialization: true, SelfCheck: true, Metrics: sm},
 		transport.ServerOptions{Metrics: sm})
 
@@ -159,16 +115,8 @@ func TestServerPoolConformanceUnderChaos(t *testing.T) {
 				RedialBackoffMax: 10 * time.Millisecond,
 				RetryBudget:      30 * time.Second,
 			}
-			opts.Sender.ExpectResponse = true
-			opts.Sender.WriteTimeout = 5 * time.Second
-			opts.Sender.ReadTimeout = 5 * time.Second
 			opts.Sender.Dialer = inj.Dial(nil)
-			pool, err := bsoap.NewPool(opts)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			defer pool.Close()
+			pool := harness.Pool(t, opts)
 			d := workload.NewDoubles(16+4*id, workload.FillIntermediate)
 			for r := 0; r < rounds; r++ {
 				if r%3 == 1 {
@@ -210,7 +158,7 @@ func TestServerPoolConformanceUnderChaos(t *testing.T) {
 // floor between read and handle.
 func TestServerDrainUnderLoad(t *testing.T) {
 	sm := transport.NewServerMetrics()
-	rt, srv := newBenchRuntime(t,
+	rt, srv := harness.BenchRuntime(t,
 		serverpool.Options{DifferentialDeserialization: true, Metrics: sm},
 		transport.ServerOptions{Metrics: sm})
 
@@ -222,7 +170,7 @@ func TestServerDrainUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			pool := clientPool(t, srv.Addr())
+			pool := harness.ClientPool(t, srv.Addr())
 			d := workload.NewDoubles(64, workload.FillIntermediate)
 			for {
 				select {
@@ -265,6 +213,6 @@ func TestServerDrainUnderLoad(t *testing.T) {
 	}
 }
 
-// newBenchRuntime's server.Handler alias must stay interchangeable with
-// the locked endpoint's handler type (factories feed both).
+// harness.BenchRuntime's server.Handler alias must stay interchangeable
+// with the locked endpoint's handler type (factories feed both).
 var _ server.Handler = serverpool.Handler(nil)

@@ -15,6 +15,7 @@ import (
 
 	"bsoap/internal/chunk"
 	"bsoap/internal/core"
+	"bsoap/internal/harness"
 	"bsoap/internal/pool"
 	"bsoap/internal/trace"
 	"bsoap/internal/transport"
@@ -157,14 +158,7 @@ func TestSteadyStateAllocsPaSMSteal(t *testing.T) {
 // engine being allocation-free is not enough if the runtime around it
 // churns per call.
 func TestSteadyStateAllocsPool(t *testing.T) {
-	p, err := pool.New(pool.Options{
-		Size: 2,
-		Dial: func() (core.Sink, error) { return transport.NewDiscardSink(), nil },
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Close()
+	p, _ := harness.DiscardPool(t, pool.Options{Size: 2})
 
 	m := wire.NewMessage("urn:bench", "echo")
 	arr := m.AddDoubleArray("values", 100)
