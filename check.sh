@@ -16,6 +16,36 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Poison leg: the membufpoison tag overwrites released arenas with a
+# sentinel byte, so an eviction path that diffs or decodes against
+# released template bytes corrupts its output visibly in the budget
+# tests instead of passing on a lucky stale read.
+go test -tags membufpoison ./internal/membuf ./internal/replica \
+    ./internal/pool ./internal/serverpool .
+
+# One-LRU guard: the unified replica registry owns the repo's only
+# recency list. Nothing outside internal/replica may import
+# container/list or define an LRU type — a second bespoke copy creeping
+# back in is exactly the drift the unified runtime removed.
+lru_guard() {
+    offenders=$(grep -rl '"container/list"' --include='*.go' . \
+        | grep -v '^\./internal/replica/' || true)
+    if [ -n "$offenders" ]; then
+        echo "one-LRU guard: container/list imported outside internal/replica:" >&2
+        echo "$offenders" >&2
+        exit 1
+    fi
+    offenders=$(grep -rliE 'type +[a-z0-9_]*lru[a-z0-9_]* +(struct|interface)' --include='*.go' . \
+        | grep -v '^\./internal/replica/' || true)
+    if [ -n "$offenders" ]; then
+        echo "one-LRU guard: LRU type defined outside internal/replica:" >&2
+        echo "$offenders" >&2
+        exit 1
+    fi
+    echo "check.sh: one-LRU guard ok"
+}
+lru_guard
+
 # Allocation gates: AllocsPerRun is unreliable under the race detector
 # (instrumentation allocates), so the steady-state zero-alloc contract
 # gets its own plain run — twice: once with the flight recorder off and
@@ -162,18 +192,63 @@ pipeline_smoke() {
 }
 pipeline_smoke
 
-# Coverage floors on the three runtime packages the async path spans.
-# These are ratchets, not targets: set just under the measured rate so
-# a change that quietly sheds tests fails here, while timing-dependent
+# Memory-budget smoke: both sides run under a deliberately tiny
+# template budget (64 KB — a couple of entries, far under the working
+# set), so budget eviction churns continuously. The contract: zero
+# failed calls (-max-err 0; eviction degrades calls to first-time
+# sends / full parses, never errors) and budget evictions visible on
+# both /metrics pages, read back through promtext.ReadValues
+# (bsoap-inspect metrics -get).
+budget_smoke() {
+    tmp=$(mktemp -d)
+    go build -o "$tmp/bsoap-server" ./cmd/bsoap-server
+    go build -o "$tmp/bsoap-loadgen" ./cmd/bsoap-loadgen
+    go build -o "$tmp/bsoap-inspect" ./cmd/bsoap-inspect
+    "$tmp/bsoap-server" -mode bench -addr 127.0.0.1:29995 \
+        -metrics 127.0.0.1:28127 -max-template-bytes 65536 -quiet \
+        > "$tmp/srv.log" 2>&1 &
+    srv=$!
+    sleep 0.5
+    "$tmp/bsoap-loadgen" -addr 127.0.0.1:29995 -workers 4 -ops 8 -n 100 \
+        -duration 4s -rpc -metrics 127.0.0.1:28128 \
+        -max-template-bytes 65536 -max-err 0 > "$tmp/lg.log" 2>&1 &
+    lg=$!
+    sleep 2.5
+    cev=$("$tmp/bsoap-inspect" metrics -url http://127.0.0.1:28128/metrics \
+        -get 'bsoap_client_template_evictions_total{reason="budget"}')
+    sev=$("$tmp/bsoap-inspect" metrics -url http://127.0.0.1:28127/metrics \
+        -get 'bsoap_server_template_evictions_total{reason="budget"}')
+    wait "$lg" || {
+        echo "budget smoke: loadgen failed under the budget:" >&2
+        cat "$tmp/lg.log" >&2
+        exit 1
+    }
+    kill -TERM "$srv"
+    wait "$srv" || { echo "budget smoke: server exited nonzero" >&2; exit 1; }
+    echo "check.sh: budget smoke: $cev client / $sev server budget evictions"
+    awk -v c="$cev" -v s="$sev" 'BEGIN { exit (c+0 > 0 && s+0 > 0) ? 0 : 1 }' || {
+        echo "budget smoke: expected nonzero budget evictions on both sides" >&2
+        exit 1
+    }
+    rm -rf "$tmp"
+    echo "check.sh: budget smoke ok"
+}
+budget_smoke
+
+# Coverage floors on the runtime packages the call path spans. These
+# are ratchets, not targets: set just under the measured rate so a
+# change that quietly sheds tests fails here, while timing-dependent
 # paths (retry, redial) keep a couple points of slack. Raise them when
 # coverage rises.
 coverage_gate() {
     go test -cover ./internal/pool ./internal/transport ./internal/serverpool \
+        ./internal/replica \
         > /tmp/cover.$$ || { cat /tmp/cover.$$; rm -f /tmp/cover.$$; exit 1; }
     awk '
         /internal\/pool/       { floor = 74 }
         /internal\/transport/  { floor = 84 }
         /internal\/serverpool/ { floor = 83 }
+        /internal\/replica/    { floor = 80 }
         /coverage:/ {
             for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1) + 0
             printf "check.sh: coverage %s: %.1f%% (floor %d%%)\n", $2, pct, floor

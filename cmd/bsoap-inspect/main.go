@@ -6,11 +6,13 @@
 //	bsoap-inspect -type doubles -n 8 -width max
 //	bsoap-inspect -type mios -n 6 -script "touch:0.5,grow:1.0,touch:0.25"
 //
-// Two subcommands instead inspect a running process over its -metrics
+// Three subcommands instead inspect a running process over its -metrics
 // endpoint (see remote.go):
 //
-//	bsoap-inspect trace   -url http://127.0.0.1:8123/debug/trace
-//	bsoap-inspect metrics -url http://127.0.0.1:8123/metrics
+//	bsoap-inspect trace     -url http://127.0.0.1:8123/debug/trace
+//	bsoap-inspect metrics   -url http://127.0.0.1:8123/metrics
+//	bsoap-inspect templates http://127.0.0.1:8123/debug/templates \
+//	                        http://127.0.0.1:8124/debug/templates
 package main
 
 import (
@@ -34,6 +36,9 @@ func main() {
 			return
 		case "metrics":
 			runMetrics(os.Args[2:])
+			return
+		case "templates":
+			runTemplates(os.Args[2:])
 			return
 		}
 	}

@@ -1,15 +1,19 @@
 // Subcommands that inspect a *running* process over its -metrics
 // endpoint:
 //
-//	bsoap-inspect trace   -url http://127.0.0.1:8123/debug/trace
-//	bsoap-inspect metrics -url http://127.0.0.1:8123/metrics
+//	bsoap-inspect trace     -url http://127.0.0.1:8123/debug/trace
+//	bsoap-inspect metrics   -url http://127.0.0.1:8123/metrics
+//	bsoap-inspect templates http://127.0.0.1:8123/debug/templates ...
 //
 // `trace` fetches the flight-recorder ring and renders it as per-call
 // timelines — one line per recorded event, grouped by span, with the
 // binary A/B/C arguments decoded back into the engine's vocabulary
 // ("field 7 grew 12→14", "stole 2 B pad from field 8"). `metrics`
 // fetches a Prometheus scrape and validates it against the text
-// exposition format, exiting nonzero on malformed output.
+// exposition format, exiting nonzero on malformed output. `templates`
+// fetches one or more /debug/templates dumps — client pool and server
+// runtime serve the same uniform document — and renders each registry's
+// entries and budget accounting.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 
 	"bsoap/internal/core"
 	"bsoap/internal/promtext"
+	"bsoap/internal/replica"
 	"bsoap/internal/trace"
 )
 
@@ -197,8 +202,73 @@ func renderEvent(ev trace.EventJSON, ops map[int64]string) string {
 			return fmt.Sprintf("async complete in %v", time.Duration(ev.B).Round(time.Microsecond))
 		}
 		return fmt.Sprintf("async FAILED after %v", time.Duration(ev.B).Round(time.Microsecond))
+	case trace.KindReplicaEvict:
+		reason := "lru"
+		if ev.B == 1 {
+			reason = "budget"
+		}
+		return fmt.Sprintf("replica entry %s evicted (%s, %d B released)", op(ev.A), reason, ev.C)
 	}
 	return fmt.Sprintf("%s a=%d b=%d c=%d", ev.Kind, ev.A, ev.B, ev.C)
+}
+
+// runTemplates implements `bsoap-inspect templates`: it fetches one or
+// more /debug/templates endpoints — the client pool's and the server
+// runtime's serve the same uniform document — and renders each registry
+// as a table of (op, signature, affinity, replicas, bytes, in-flight,
+// last use), with the registry's budget accounting in the header.
+func runTemplates(args []string) {
+	fs := flag.NewFlagSet("templates", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8123/debug/templates", "template-dump endpoint (positional URLs override)")
+	_ = fs.Parse(args)
+	urls := fs.Args()
+	if len(urls) == 0 {
+		urls = []string{*url}
+	}
+	for i, u := range urls {
+		if i > 0 {
+			fmt.Println()
+		}
+		body, err := fetch(u)
+		if err != nil {
+			fatal(err)
+		}
+		var d replica.Dump
+		if err := json.Unmarshal(body, &d); err != nil {
+			fatal(fmt.Errorf("decoding %s: %w", u, err))
+		}
+		printTemplates(os.Stdout, u, &d)
+	}
+}
+
+// printTemplates renders one registry dump.
+func printTemplates(w io.Writer, url string, d *replica.Dump) {
+	budget := "unbudgeted"
+	if d.BudgetBytes > 0 {
+		budget = fmt.Sprintf("budget %.1f KB", float64(d.BudgetBytes)/1e3)
+	}
+	fmt.Fprintf(w, "%s side (%s): %d entries, %.1f KB resident (high water %.1f KB, %s), evictions %d lru / %d budget\n",
+		d.Side, url, d.Entries, float64(d.Bytes)/1e3, float64(d.HighWaterBytes)/1e3, budget,
+		d.EvictionsLRU, d.EvictionsBudget)
+	if len(d.Templates) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-16s %-18s %-22s %8s %10s %9s %10s\n",
+		"OP", "SIGNATURE", "AFFINITY", "REPLICAS", "BYTES", "IN-FLIGHT", "IDLE")
+	for _, t := range d.Templates {
+		op, sig := t.Op, t.Signature
+		if op == "" {
+			op = "-"
+		}
+		if sig == "" {
+			sig = "-"
+		}
+		if len(sig) > 18 {
+			sig = sig[:15] + "..."
+		}
+		fmt.Fprintf(w, "  %-16s %-18s %-22s %8d %10d %9d %9dms\n",
+			op, sig, t.Affinity, t.Replicas, t.Bytes, t.InFlight, t.IdleMS)
+	}
 }
 
 // runMetrics implements `bsoap-inspect metrics`.
@@ -207,12 +277,25 @@ func runMetrics(args []string) {
 	var (
 		url  = fs.String("url", "http://127.0.0.1:8123/metrics", "Prometheus scrape endpoint")
 		dump = fs.Bool("dump", false, "also print the raw exposition text")
+		get  = fs.String("get", "", "print one sample's value and exit (bare name or name{label=\"value\"})")
 	)
 	_ = fs.Parse(args)
 
 	body, err := fetch(*url)
 	if err != nil {
 		fatal(err)
+	}
+	if *get != "" {
+		vals, err := promtext.ReadValues(bytes.NewReader(body))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *url, err))
+		}
+		v, ok := vals[*get]
+		if !ok {
+			fatal(fmt.Errorf("%s: no sample %q", *url, *get))
+		}
+		fmt.Printf("%g\n", v)
+		return
 	}
 	if *dump {
 		os.Stdout.Write(body)

@@ -52,6 +52,7 @@ func main() {
 		conns     = flag.Int("conns", 0, "pooled connections (default = workers, max 16)")
 		replicas  = flag.Int("replicas", 4, "template replicas per operation structure")
 		shards    = flag.Int("shards", 16, "template store shards")
+		maxTmplB  = flag.Int64("max-template-bytes", 0, "template memory budget in bytes (0 = unbudgeted); LRU entries are evicted to stay under it")
 		mix       = flag.String("mix", "60/30/10", "percent of iterations that are untouched/touched/grown")
 		metrics   = flag.String("metrics", "", "serve live metrics on this address (e.g. :8123): JSON at /, Prometheus at /metrics, /debug/trace, /debug/templates")
 		traceOn   = flag.Bool("trace", false, "enable the flight recorder (dump via -metrics /debug/trace or report a summary on exit)")
@@ -81,11 +82,12 @@ func main() {
 		os.Exit(2)
 	}
 	popts := bsoap.PoolOptions{
-		Size:          *conns,
-		Shards:        *shards,
-		Replicas:      *replicas,
-		PipelineDepth: *pipeline,
-		Config:        bsoap.Config{EnableStealing: true, Width: bsoap.WidthPolicy{Double: 18, Int: 9}},
+		Size:             *conns,
+		Shards:           *shards,
+		Replicas:         *replicas,
+		MaxTemplateBytes: *maxTmplB,
+		PipelineDepth:    *pipeline,
+		Config:           bsoap.Config{EnableStealing: true, Width: bsoap.WidthPolicy{Double: 18, Int: 9}},
 	}
 	popts.Sender.ExpectResponse = *rpc
 	var inj *faultwire.Injector
@@ -429,6 +431,11 @@ func report(w *os.File, pool *bsoap.Pool, inj *faultwire.Injector, workers, ops 
 		st.LatencyP50, st.LatencyP90, st.LatencyP99, st.LatencyMax)
 	fmt.Fprintf(w, "  templates: %d resident across %d structures; %.1f%% of calls served warm\n",
 		pool.TemplateCount(), pool.Entries(), pct(st.WarmCalls()))
+	if st.TemplateBudgetEvictions > 0 || st.TemplateBytesHighWater > 0 {
+		fmt.Fprintf(w, "  template memory: %.1f KB resident (high water %.1f KB) · %d budget evictions, %d total\n",
+			float64(st.TemplateBytes)/1e3, float64(st.TemplateBytesHighWater)/1e3,
+			st.TemplateBudgetEvictions, st.TemplateEvictions)
+	}
 }
 
 // parseMix parses "a/b/c" percentages summing to 100.

@@ -81,6 +81,7 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-request read deadline once its first byte arrives (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM before force-closing")
 		maxReplicas  = flag.Int("max-replicas", 256, "serverpool: max resident per-connection replicas (LRU beyond)")
+		maxTmplB     = flag.Int64("max-template-bytes", 0, "serverpool: replica template memory budget in bytes (0 = unbudgeted); LRU replicas are evicted to stay under it")
 		clientAff    = flag.Bool("client-affine", false, "serverpool: key replicas by remote host instead of connection")
 	)
 	flag.Parse()
@@ -154,6 +155,7 @@ func main() {
 			rt = serverpool.New(serverpool.Options{
 				DifferentialDeserialization: *diff,
 				MaxReplicas:                 *maxReplicas,
+				MaxTemplateBytes:            *maxTmplB,
 				SelfCheck:                   *selfchk,
 				Metrics:                     sm,
 				Affinity:                    affinity(*clientAff),
@@ -198,12 +200,15 @@ func main() {
 		mux.Handle("/", sm.StatsHandler())
 		mux.Handle("/metrics", sm.PrometheusHandler())
 		mux.Handle("/debug/trace", trace.Handler())
+		if rt != nil {
+			mux.Handle("/debug/templates", rt.TemplatesHandler())
+		}
 		go func() {
 			if err := http.ListenAndServe(*metrics, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "bsoap-server: metrics endpoint:", err)
 			}
 		}()
-		fmt.Printf("bsoap-server: metrics on http://%s/ (JSON), /metrics (Prometheus), /debug/trace\n", *metrics)
+		fmt.Printf("bsoap-server: metrics on http://%s/ (JSON), /metrics (Prometheus), /debug/trace, /debug/templates\n", *metrics)
 	}
 	runtimeName := "serverpool"
 	if !soapMode {
@@ -253,6 +258,10 @@ func main() {
 			st.FullParses, st.DiffDecodes, st.ValuesReparsed, st.SelfCheckFails)
 		fmt.Printf("bsoap-server: replicas: %d resident, %d evicted, %d template keys evicted\n",
 			st.Replicas, st.ReplicaEvictions, st.DDSKeyEvictions)
+		if ss := sm.Snapshot(); ss.ReplicaBudgetEvictions > 0 || ss.TemplateBytesHighWater > 0 {
+			fmt.Printf("bsoap-server: template memory: %.1f KB resident (high water %.1f KB), %d budget evictions\n",
+				float64(ss.TemplateBytes)/1e3, float64(ss.TemplateBytesHighWater)/1e3, ss.ReplicaBudgetEvictions)
+		}
 		rs := rt.ResponseStats()
 		fmt.Printf("bsoap-server: responses: %d first-time, %d content matches, %d structural\n",
 			rs.FirstTimeSends, rs.ContentMatches, rs.StructuralMatches)

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"bsoap/internal/replica"
 	"bsoap/internal/trace"
 	"bsoap/internal/wire"
 	"bsoap/internal/xsdlex"
@@ -13,7 +14,9 @@ import (
 // Store holds templates keyed by operation. Each Stub owns one by
 // default; passing the same Store to several stubs shares templates
 // across destinations, amortizing serialization across services that
-// receive the same data (paper §6 future work).
+// receive the same data (paper §6 future work). Recency within an
+// operation is tracked by the tree's one LRU (internal/replica); a
+// warm-path lookup allocates nothing.
 //
 // Concurrency guarantee: Store's own methods (lookup, insert,
 // TemplateCount) are safe for concurrent use by multiple goroutines.
@@ -24,7 +27,7 @@ import (
 // for many goroutines.
 type Store struct {
 	mu   sync.Mutex
-	byOp map[string][]*Template
+	byOp map[string]*replica.LRU[string, *Template]
 	cap  int
 }
 
@@ -34,7 +37,7 @@ func NewStore(perOp int) *Store {
 	if perOp <= 0 {
 		perOp = 4
 	}
-	return &Store{byOp: make(map[string][]*Template), cap: perOp}
+	return &Store{byOp: make(map[string]*replica.LRU[string, *Template]), cap: perOp}
 }
 
 // lookup finds a template with the given structural signature, moving it
@@ -42,13 +45,8 @@ func NewStore(perOp int) *Store {
 func (st *Store) lookup(op, sig string) *Template {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	list := st.byOp[op]
-	for i, t := range list {
-		if t.sig == sig {
-			if i != 0 {
-				copy(list[1:i+1], list[0:i])
-				list[0] = t
-			}
+	if l := st.byOp[op]; l != nil {
+		if t, ok := l.Get(sig); ok {
 			return t
 		}
 	}
@@ -61,34 +59,33 @@ func (st *Store) lookup(op, sig string) *Template {
 func (st *Store) remove(op, sig string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	list := st.byOp[op]
-	for i, t := range list {
-		if t.sig == sig {
+	if l := st.byOp[op]; l != nil {
+		if t, ok := l.Remove(sig); ok {
 			t.release()
-			st.byOp[op] = append(list[:i], list[i+1:]...)
-			return
 		}
 	}
 }
 
 // insert records a new template at the LRU front, evicting the least
-// recently used beyond capacity. The rotation happens in place — on a
-// warm store this method allocates nothing — and an evicted template's
-// chunk arenas go back to the pool (safe here: insert runs under the
-// same external synchronization as the Calls that use the templates, so
-// nothing evicted can be mid-send).
+// recently used beyond capacity. Insertion happens only on first-time
+// sends (which allocate a whole template anyway); warm calls never come
+// here. An evicted template's chunk arenas go back to the pool (safe:
+// insert runs under the same external synchronization as the Calls that
+// use the templates, so nothing evicted can be mid-send).
 func (st *Store) insert(op string, t *Template) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	list := st.byOp[op]
-	if len(list) < st.cap {
-		list = append(list, nil)
-	} else if victim := list[len(list)-1]; victim != nil {
-		victim.release()
+	l := st.byOp[op]
+	if l == nil {
+		l = replica.NewLRU[string, *Template]()
+		st.byOp[op] = l
 	}
-	copy(list[1:], list)
-	list[0] = t
-	st.byOp[op] = list
+	if l.Len() >= st.cap {
+		if _, victim, ok := l.RemoveTail(); ok {
+			victim.release()
+		}
+	}
+	l.PushFront(t.sig, t)
 }
 
 // TemplateCount reports the number of stored templates (all operations).
@@ -97,9 +94,58 @@ func (st *Store) TemplateCount() int {
 	defer st.mu.Unlock()
 	n := 0
 	for _, l := range st.byOp {
-		n += len(l)
+		n += l.Len()
 	}
 	return n
+}
+
+// Footprint sums the MemoryFootprint of every stored template: the
+// store's contribution to a pooled replica's budget accounting.
+func (st *Store) Footprint() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, l := range st.byOp {
+		l.FromFront(func(_ string, t *Template) bool {
+			n += t.MemoryFootprint()
+			return true
+		})
+	}
+	return n
+}
+
+// EachTemplate visits every stored template, most recently used first
+// within each operation (debug dumps, tests). The visit runs under the
+// store lock and must not call back into the store.
+func (st *Store) EachTemplate(visit func(op string, t *Template)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for op, l := range st.byOp {
+		l.FromFront(func(_ string, t *Template) bool {
+			visit(op, t)
+			return true
+		})
+	}
+}
+
+// ReleaseAll returns every template's chunk arenas to the pool and
+// empties the store. The unified replica registry calls this (through
+// the pool entry's ReleaseArenas) once an evicted entry's last in-flight
+// call has returned; a late MarkSuspect from a pipelined response simply
+// misses its lookup afterwards.
+func (st *Store) ReleaseAll() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for op, l := range st.byOp {
+		for {
+			_, t, ok := l.RemoveTail()
+			if !ok {
+				break
+			}
+			t.release()
+		}
+		delete(st.byOp, op)
+	}
 }
 
 // Stub is a client-side SOAP endpoint employing differential

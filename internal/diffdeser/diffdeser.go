@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"bsoap/internal/replica"
 	"bsoap/internal/soapdec"
 	"bsoap/internal/wire"
 	"bsoap/internal/xsdlex"
@@ -58,10 +59,15 @@ const DefaultMaxKeys = 64
 // lock.
 type Deserializer struct {
 	lookup    soapdec.Lookup
-	templates map[string][]*template // LRU front first
-	keyLRU    []string               // operation keys, most recent first
+	keys      *replica.LRU[string, *keyTemplates] // the tree's one LRU
 	maxKeys   int
 	evictions int64
+	size      int64 // resident bytes, maintained incrementally
+}
+
+// keyTemplates is one operation key's template list, LRU front first.
+type keyTemplates struct {
+	list []*template
 }
 
 // New returns a deserializer resolving operations through lookup, with
@@ -77,34 +83,44 @@ func NewBounded(lookup soapdec.Lookup, maxKeys int) *Deserializer {
 		maxKeys = DefaultMaxKeys
 	}
 	return &Deserializer{
-		lookup:    lookup,
-		templates: make(map[string][]*template),
-		maxKeys:   maxKeys,
+		lookup:  lookup,
+		keys:    replica.NewLRU[string, *keyTemplates](),
+		maxKeys: maxKeys,
 	}
 }
 
 // Evictions reports how many operation keys the LRU bound has evicted.
 func (d *Deserializer) Evictions() int64 { return d.evictions }
 
+// SizeBytes reports the deserializer's resident cost: stored message
+// bodies plus a fixed estimate per template for the parsed message and
+// its leaf ranges. Maintained incrementally, so reading it is free —
+// the server runtime feeds it to the replica registry's byte budget.
+func (d *Deserializer) SizeBytes() int { return int(d.size) }
+
+// templateCost estimates one template's resident bytes: the body copy,
+// the parsed message's leaf storage, and the range table.
+func templateCost(t *template) int64 {
+	const perRange = 16 // two ints per soapdec.LeafRange
+	const fixed = 256   // template struct, message header
+	return int64(cap(t.body)) + int64(len(t.ranges))*perRange + fixed
+}
+
 // noteKey moves key to the front of the key LRU, inserting it when new
 // and evicting the least recently used key (and its templates) beyond
 // maxKeys.
-func (d *Deserializer) noteKey(key string) {
-	for i, k := range d.keyLRU {
-		if k == key {
-			if i != 0 {
-				copy(d.keyLRU[1:i+1], d.keyLRU[0:i])
-				d.keyLRU[0] = key
-			}
-			return
-		}
+func (d *Deserializer) noteKey(key string, kt *keyTemplates) {
+	if _, ok := d.keys.Get(key); ok {
+		return
 	}
-	d.keyLRU = append([]string{key}, d.keyLRU...)
-	if len(d.keyLRU) > d.maxKeys {
-		victim := d.keyLRU[len(d.keyLRU)-1]
-		d.keyLRU = d.keyLRU[:len(d.keyLRU)-1]
-		delete(d.templates, victim)
-		d.evictions++
+	d.keys.PushFront(key, kt)
+	if d.keys.Len() > d.maxKeys {
+		if _, victim, ok := d.keys.RemoveTail(); ok {
+			for _, t := range victim.list {
+				d.size -= templateCost(t)
+			}
+			d.evictions++
+		}
 	}
 }
 
@@ -112,12 +128,12 @@ func (d *Deserializer) noteKey(key string) {
 // had identical framing. The returned message is owned by the
 // deserializer and valid until the next Decode with the same key.
 func (d *Deserializer) Decode(key string, body []byte) (*wire.Message, Info, error) {
-	list := d.templates[key]
-	if len(list) == 0 {
+	kt, ok := d.keys.Peek(key)
+	if !ok || len(kt.list) == 0 {
 		return d.fullParse(key, body, "no template")
 	}
 	reason := "length mismatch"
-	for idx, tpl := range list {
+	for idx, tpl := range kt.list {
 		if len(body) != len(tpl.body) {
 			continue
 		}
@@ -129,10 +145,10 @@ func (d *Deserializer) Decode(key string, body []byte) (*wire.Message, Info, err
 		// Move the hit to the LRU front (template within the key, and
 		// the key within the deserializer).
 		if idx != 0 {
-			copy(list[1:idx+1], list[0:idx])
-			list[0] = tpl
+			copy(kt.list[1:idx+1], kt.list[0:idx])
+			kt.list[0] = tpl
 		}
-		d.noteKey(key)
+		d.keys.Touch(key)
 		return msg, info, nil
 	}
 	return d.fullParse(key, body, reason)
@@ -238,23 +254,31 @@ func (d *Deserializer) fullParse(key string, body []byte, reason string) (*wire.
 		msg:    res.Msg,
 		ranges: res.Ranges,
 	}
-	list := append([]*template{tpl}, d.templates[key]...)
-	if len(list) > MaxTemplatesPerKey {
-		list = list[:MaxTemplatesPerKey]
+	kt, ok := d.keys.Peek(key)
+	if !ok {
+		kt = &keyTemplates{}
 	}
-	d.templates[key] = list
-	d.noteKey(key)
+	kt.list = append([]*template{tpl}, kt.list...)
+	d.size += templateCost(tpl)
+	if len(kt.list) > MaxTemplatesPerKey {
+		for _, dropped := range kt.list[MaxTemplatesPerKey:] {
+			d.size -= templateCost(dropped)
+		}
+		kt.list = kt.list[:MaxTemplatesPerKey]
+	}
+	d.noteKey(key, kt)
 	return res.Msg, Info{FullParse: true, Reason: reason}, nil
 }
 
 // KeyCount reports how many operation keys are resident.
-func (d *Deserializer) KeyCount() int { return len(d.templates) }
+func (d *Deserializer) KeyCount() int { return d.keys.Len() }
 
 // TemplateCount reports how many templates are resident (all keys).
 func (d *Deserializer) TemplateCount() int {
 	n := 0
-	for _, l := range d.templates {
-		n += len(l)
-	}
+	d.keys.FromFront(func(_ string, kt *keyTemplates) bool {
+		n += len(kt.list)
+		return true
+	})
 	return n
 }

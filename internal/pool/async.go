@@ -28,7 +28,7 @@ var ErrNotPipelined = fmt.Errorf("pool: CallAsync requires Options.PipelineDepth
 type Future struct {
 	p     *Pool
 	pd    *transport.Pending
-	r     *replica
+	r     *engine
 	op    string
 	sig   string
 	ci    core.CallInfo

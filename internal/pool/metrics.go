@@ -14,6 +14,7 @@ import (
 
 	"bsoap/internal/core"
 	"bsoap/internal/promtext"
+	"bsoap/internal/replica"
 )
 
 // errKind indexes the per-kind error counters: what stopped a failed
@@ -65,6 +66,12 @@ type Metrics struct {
 	templateRebinds atomic.Int64
 	staleRebinds    atomic.Int64
 	evictions       atomic.Int64
+	budgetEvictions atomic.Int64
+
+	// templateSource, when set, snapshots the replica registry's byte
+	// accounting (resident bytes, high water, eviction splits) so the
+	// template-memory gauges come straight from the budget enforcer.
+	templateSource atomic.Pointer[func() replica.Counters]
 
 	degradedFTS          atomic.Int64
 	retryBudgetExhausted atomic.Int64
@@ -204,8 +211,17 @@ type Stats struct {
 	// away from (whose template bytes were therefore stale).
 	TemplateStaleRebinds int64 `json:"template_stale_rebinds"`
 	// TemplateEvictions counts (operation, signature) replica sets
-	// dropped by the per-operation LRU cap.
-	TemplateEvictions int64 `json:"template_evictions"`
+	// dropped for any reason; TemplateBudgetEvictions is the subset
+	// driven by the MaxTemplateBytes budget (the rest is the
+	// per-operation LRU cap).
+	TemplateEvictions       int64 `json:"template_evictions"`
+	TemplateBudgetEvictions int64 `json:"template_budget_evictions"`
+
+	// TemplateBytes gauges the registry's accounted template memory;
+	// TemplateBytesHighWater is its lifetime maximum. Zero when the pool
+	// has no template source registered (bare Metrics in tests).
+	TemplateBytes          int64 `json:"template_bytes"`
+	TemplateBytesHighWater int64 `json:"template_bytes_high_water"`
 
 	// FaultsInjected is the external fault injector's running count
 	// (zero unless a fault source is registered; see SetFaultSource).
@@ -287,8 +303,9 @@ func (m *Metrics) Snapshot() Stats {
 		Retries:         m.retries.Load(),
 		TemplateRebinds: m.templateRebinds.Load(),
 
-		TemplateStaleRebinds: m.staleRebinds.Load(),
-		TemplateEvictions:    m.evictions.Load(),
+		TemplateStaleRebinds:    m.staleRebinds.Load(),
+		TemplateEvictions:       m.evictions.Load(),
+		TemplateBudgetEvictions: m.budgetEvictions.Load(),
 
 		RetryBudgetExhausted: m.retryBudgetExhausted.Load(),
 		DegradedFTS:          m.degradedFTS.Load(),
@@ -309,6 +326,11 @@ func (m *Metrics) Snapshot() Stats {
 	}
 	if f := m.faultSource.Load(); f != nil {
 		s.FaultsInjected = (*f)()
+	}
+	if f := m.templateSource.Load(); f != nil {
+		c := (*f)()
+		s.TemplateBytes = c.Bytes
+		s.TemplateBytesHighWater = c.HighWater
 	}
 	s.BytesSaved = s.BytesOnWire - s.BytesSerialized
 	return s
@@ -367,7 +389,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 
 	p.Counter("bsoap_client_template_rebinds_total", "Template rebinds to a different message object.", s.TemplateRebinds)
 	p.Counter("bsoap_client_template_stale_rebinds_total", "Full rewrites forced by replica bounce.", s.TemplateStaleRebinds)
-	p.Counter("bsoap_client_template_evictions_total", "Replica sets evicted by the per-op LRU.", s.TemplateEvictions)
+	p.CounterWithLabel("bsoap_client_template_evictions_total", "Replica sets evicted, by driver.",
+		"reason", []promtext.LabeledValue{
+			{Label: "lru", Value: s.TemplateEvictions - s.TemplateBudgetEvictions},
+			{Label: "budget", Value: s.TemplateBudgetEvictions},
+		})
+	p.Gauge("bsoap_client_template_bytes", "Accounted template memory resident in the replica registry.", s.TemplateBytes)
+	p.Gauge("bsoap_client_template_bytes_high_water", "Lifetime maximum of bsoap_client_template_bytes.", s.TemplateBytesHighWater)
 
 	p.Counter("bsoap_client_faults_injected_total", "Faults the external injector put on the wire.", s.FaultsInjected)
 	p.Counter("bsoap_client_retry_budget_exhausted_total", "Calls that ran out of retry budget.", s.RetryBudgetExhausted)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"bsoap/internal/core"
+	"bsoap/internal/replica"
 	"bsoap/internal/trace"
 	"bsoap/internal/transport"
 	"bsoap/internal/wire"
@@ -52,6 +53,12 @@ type Options struct {
 	// Replicas bounds per-(operation,signature) engine replicas
 	// (default 4): the parallelism ceiling for a single hot operation.
 	Replicas int
+	// MaxTemplateBytes budgets the template store's memory: the sum of
+	// all replica sets' template footprints is kept at or below it by
+	// evicting least-recently-used entries (with per-operation fairness
+	// floors). Zero leaves template memory bounded only by the
+	// per-operation count caps. See README "Sizing template memory".
+	MaxTemplateBytes int64
 
 	// MaxRetries is how many times a Call is retried on a send error
 	// after repairing the connection (default 1). The engine preserves
@@ -148,7 +155,7 @@ func New(opts Options) (*Pool, error) {
 	return &Pool{
 		opts:    o,
 		senders: newSenderPool(o.Size, dial, o, m),
-		store:   NewShardedStore(o.Shards, o.Replicas, o.Config, m),
+		store:   NewShardedStore(o.Shards, o.Replicas, o.MaxTemplateBytes, o.Config, m),
 		metrics: m,
 	}, nil
 }
@@ -273,22 +280,19 @@ func (p *Pool) TemplateCount() int { return p.store.TemplateCount() }
 // Entries reports distinct (operation, signature) keys seen.
 func (p *Pool) Entries() int { return p.store.Entries() }
 
-// DebugTemplates snapshots the live template store (see
-// ShardedStore.DebugSnapshot).
-func (p *Pool) DebugTemplates() []TemplateInfo { return p.store.DebugSnapshot() }
+// DebugTemplates snapshots the live template store in the uniform
+// client/server dump format (see ShardedStore.DebugSnapshot).
+func (p *Pool) DebugTemplates() replica.Dump { return p.store.DebugSnapshot() }
 
 // TemplatesHandler serves the live template store as indented JSON — the
-// /debug/templates endpoint.
+// /debug/templates endpoint, in the same shape the server side serves
+// so `bsoap-inspect templates` renders both.
 func (p *Pool) TemplatesHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(struct {
-			TemplateCount int            `json:"template_count"`
-			Entries       int            `json:"entries"`
-			Templates     []TemplateInfo `json:"templates"`
-		}{p.TemplateCount(), p.Entries(), p.DebugTemplates()})
+		_ = enc.Encode(p.DebugTemplates())
 	})
 }
 

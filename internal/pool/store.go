@@ -1,95 +1,121 @@
 package pool
 
 import (
-	"hash/fnv"
 	"net"
 	"reflect"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bsoap/internal/core"
+	reg "bsoap/internal/replica"
 	"bsoap/internal/trace"
 	"bsoap/internal/wire"
 )
 
 // ShardedStore is the concurrent template store at the heart of the
-// pool. Templates are keyed by (operation, structural signature) and
-// grouped into shards, each guarded by its own mutex, so goroutines
-// sending different operations never contend on a lock.
+// pool, built on the unified replica registry (internal/replica): entry
+// lookup, sharding, the per-operation signature LRU, in-flight
+// refcounts and the byte budget all live there; this file owns what is
+// client-specific — the engine replicas inside an entry, message
+// affinity, and the stale-rebind protocol.
 //
-// Within one key the store holds up to Replicas independent engine
-// replicas (a core.Stub with a single-template store each). A call
-// checks out one replica, holds its lock across classify + diff + send
-// (the template's bytes are on the wire during the send, so they cannot
-// be mutated concurrently), and releases it. Replicas are what lets a
-// hot operation scale: R goroutines diff and send R copies of the same
+// Entries are keyed by (operation, structural signature). Within one
+// entry the store holds up to Replicas independent engine replicas (a
+// core.Stub with a single-key store each). A call checks out one
+// replica, holds its lock across classify + diff + send (the template's
+// bytes are on the wire during the send, so they cannot be mutated
+// concurrently), and releases it. Replicas are what lets a hot
+// operation scale: R goroutines diff and send R copies of the same
 // template in parallel, while the total first-time-send cost stays
-// bounded at R per structure — not one per goroutine, which is what
-// naive stub-per-worker designs pay.
+// bounded at R per structure.
 //
 // Checkout prefers the replica a message used last (affinity by message
-// identity), preserving the engine's dirty-bit classification: a message
-// landing on its own replica gets content/structural matches exactly as
-// a dedicated stub would; landing elsewhere costs one template rebind
-// (all values rewritten, tags reused). Because dirty bits live on the
-// message while template bytes live per replica, the store also tracks
-// which replica served each message last: a message returning to an
-// earlier replica after being served elsewhere is forced through a full
-// value rewrite (see acquire), or its untouched resend would put that
-// replica's stale bytes on the wire.
+// identity), preserving the engine's dirty-bit classification. Because
+// dirty bits live on the message while template bytes live per replica,
+// the entry also tracks which replica served each message last: a
+// message returning to an earlier replica after being served elsewhere
+// is forced through a full value rewrite (see acquire), or its
+// untouched resend would put that replica's stale bytes on the wire.
 //
-// Shards are keyed by operation; within a shard, live (operation,
-// signature) replica sets are bounded per operation by the engine's
-// MaxTemplatesPerOp (LRU eviction, mirroring core.Store), so a client
-// cycling through many message shapes cannot grow the store without
-// bound.
+// Eviction — per-operation LRU cap or byte budget — condemns an entry
+// in the registry; calls already holding one of its engines complete
+// unaffected, and the registry releases the entry's chunk arenas when
+// the last in-flight call returns (previously eviction could only drop
+// references and wait for the garbage collector). A message whose entry
+// was evicted simply builds a fresh one on its next call: a degraded
+// first-time send, never a diff against released bytes.
 type ShardedStore struct {
-	shards   []storeShard
-	mask     uint32
+	reg      *reg.Registry[*storeEntry]
 	replicas int
-	perOp    int
 	cfg      core.Config
 	metrics  *Metrics
 }
 
-type storeShard struct {
-	mu      sync.Mutex
-	entries map[storeKey]*storeEntry
-	// sigLRU orders each operation's live signatures most-recent first;
-	// the tail is evicted once an operation exceeds the per-op cap.
-	sigLRU map[string][]string
-}
-
-type storeKey struct {
-	op  string
-	sig string
-}
-
-// maxTrackedMessages bounds each entry's last-served map. When the cap
-// is hit the map is reset, which is safe: a tracked message that loses
-// its record merely pays one forced full-value rewrite on its next call
-// (acquire treats an unknown last server as a possible bounce).
-const maxTrackedMessages = 1024
-
 // storeEntry is the replica set for one (operation, signature).
 type storeEntry struct {
-	replicas []*replica
-	// last records the replica that most recently served each message.
-	// A message whose calls alternate between replicas has template
-	// bytes in several of them, only the last of which is current.
-	last map[*wire.Message]*replica
+	mu      sync.Mutex
+	engines []*engine
+	// last records the engine that most recently served each message.
+	// A message whose calls alternate between engines has template
+	// bytes in several of them, only the last of which is current. The
+	// tracker is bounded: at capacity it resets wholesale, and acquire
+	// treats an unknown last server as a possible bounce.
+	last *reg.Tracker[*wire.Message, *engine]
+	// size caches the entry's template footprint for the registry's
+	// budget accounting: updated by release while the engine lock is
+	// held, read lock-free by SizeBytes under registry locks.
+	size atomic.Int64
 }
 
-// replica is one lockable differential-serialization engine: a stub
+// SizeBytes reports the cached template footprint (replica.Entry).
+func (e *storeEntry) SizeBytes() int { return int(e.size.Load()) }
+
+// ReleaseArenas returns every engine's template arenas to the chunk
+// pool (replica.Entry). The registry calls it once the evicted entry's
+// last in-flight call has returned; the engine locks serialize against
+// a late MarkSuspect from a pipelined response, which afterwards just
+// misses its store lookup.
+func (e *storeEntry) ReleaseArenas() {
+	e.mu.Lock()
+	engines := e.engines
+	e.mu.Unlock()
+	for _, r := range engines {
+		r.mu.Lock()
+		r.stub.Store().ReleaseAll()
+		r.mu.Unlock()
+	}
+}
+
+// engine is one lockable differential-serialization engine: a stub
 // whose sink is swapped to the checked-out connection per call.
-type replica struct {
+type engine struct {
 	mu   sync.Mutex
 	stub *core.Stub
 	sink swapSink
+	// slot is the registry slot of the entry this engine belongs to;
+	// stable for the entry's lifetime, it is how release finds its way
+	// back to the registry's refcount.
+	slot *reg.Slot[*storeEntry]
 	// bound is the message identity currently bound to the template,
 	// used to count rebinds (metrics only; the engine tracks its own
 	// binding).
 	bound *wire.Message
+	// fp is the engine's last-accounted template footprint, guarded by
+	// mu; release folds the delta into the entry's cached size. gen is
+	// the stub-stats generation at which fp was computed: the footprint
+	// walk is skipped while the counters that can change it hold still.
+	fp  int64
+	gen int64
+}
+
+// footGen folds the stub counters that can change its store's
+// footprint — template builds and buffer reshaping — into one
+// generation number. In-place rewrites, tag shifts, shifts, and steals
+// reuse existing bytes, so the steady state keeps the generation (and
+// the accounted footprint) constant without walking the chunk lists on
+// every release.
+func footGen(cs core.Stats) int64 {
+	return cs.FirstTimeSends + cs.FullSerializations + cs.Grows + cs.Splits
 }
 
 // swapSink routes the stub's output to whatever connection the call
@@ -99,14 +125,11 @@ type swapSink struct{ s core.Sink }
 func (w *swapSink) Send(bufs net.Buffers) error { return w.s.Send(bufs) }
 
 // NewShardedStore builds a store with the given shard count (rounded up
-// to a power of two, default 16) and per-key replica limit (default 4).
-func NewShardedStore(shards, replicas int, cfg core.Config, m *Metrics) *ShardedStore {
+// to a power of two, default 16), per-key replica limit (default 4),
+// and template memory budget in bytes (0 = unbudgeted).
+func NewShardedStore(shards, replicas int, maxBytes int64, cfg core.Config, m *Metrics) *ShardedStore {
 	if shards <= 0 {
 		shards = 16
-	}
-	n := 1
-	for n < shards {
-		n <<= 1
 	}
 	if replicas <= 0 {
 		replicas = 4
@@ -119,91 +142,52 @@ func NewShardedStore(shards, replicas int, cfg core.Config, m *Metrics) *Sharded
 		perOp = 4 // core.Config's own default
 	}
 	s := &ShardedStore{
-		shards:   make([]storeShard, n),
-		mask:     uint32(n - 1),
 		replicas: replicas,
-		perOp:    perOp,
 		cfg:      cfg,
 		metrics:  m,
 	}
-	for i := range s.shards {
-		s.shards[i].entries = make(map[storeKey]*storeEntry)
-		s.shards[i].sigLRU = make(map[string][]string)
-	}
+	s.reg = reg.NewRegistry(reg.RegistryOptions[*storeEntry]{
+		Shards:      shards,
+		MaxPerGroup: perOp,
+		MaxBytes:    maxBytes,
+		New: func(reg.Key) *storeEntry {
+			return &storeEntry{last: reg.NewTracker[*wire.Message, *engine](0)}
+		},
+		OnEvict: func(key reg.Key, reason reg.Reason, bytes int64) {
+			m.evictions.Add(1)
+			if reason == reg.ReasonBudget {
+				m.budgetEvictions.Add(1)
+			}
+			if trace.Enabled() {
+				trace.Rec(0, trace.KindReplicaEvict, trace.OpID(key.Group), int64(reason), bytes)
+			}
+		},
+	})
+	counters := s.reg.Counters
+	m.templateSource.Store(&counters)
 	return s
 }
 
-// opHash distributes operations over shards. Hashing the operation alone
-// (not the signature) keeps all of an operation's signatures in one
-// shard, so the per-op LRU cap is global — exactly core.Store's
-// MaxTemplatesPerOp semantics — while goroutines sending different
-// operations still never contend.
-func opHash(op string) uint32 {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(op))
-	return h.Sum32()
-}
+// acquire returns a locked engine for m's operation+signature, with an
+// in-flight reference held on its registry entry. The caller must
+// release it after the call completes. m must not have another call in
+// flight (see Pool's per-message confinement contract). span is the
+// call's flight-recorder span (zero when tracing is off).
+func (s *ShardedStore) acquire(m *wire.Message, span uint64) *engine {
+	key := reg.Key{Group: m.Operation(), Sub: m.Signature()}
+	slot, _ := s.reg.Acquire(key)
+	e := slot.Value
+	aff := reg.Affinity64(reflect.ValueOf(m).Pointer())
 
-// noteKey moves key's signature to the front of its operation's LRU,
-// inserting it when new and evicting the least recently used signature
-// beyond perOp. The caller holds sh.mu. An evicted replica set simply
-// becomes unreachable for new acquires; calls already holding one of its
-// replicas complete unaffected and the memory is freed when they return.
-func (sh *storeShard) noteKey(key storeKey, perOp int, m *Metrics) {
-	list := sh.sigLRU[key.op]
-	for i, sig := range list {
-		if sig == key.sig {
-			if i != 0 {
-				copy(list[1:i+1], list[0:i])
-				list[0] = key.sig
-			}
-			return
-		}
-	}
-	list = append([]string{key.sig}, list...)
-	if len(list) > perOp {
-		victim := list[len(list)-1]
-		list = list[:len(list)-1]
-		delete(sh.entries, storeKey{op: key.op, sig: victim})
-		m.evictions.Add(1)
-	}
-	sh.sigLRU[key.op] = list
-}
-
-// msgAffinity hashes a message's identity to spread messages over a
-// key's replicas stably: the same message object prefers the same
-// replica call after call, keeping its dirty-bit binding alive.
-func msgAffinity(m *wire.Message) uint64 {
-	p := uint64(reflect.ValueOf(m).Pointer())
-	// Fibonacci hashing: pointer low bits are all zero from alignment.
-	return (p * 0x9E3779B97F4A7C15) >> 32
-}
-
-// acquire returns a locked replica for m's operation+signature. The
-// caller must release it after the call completes. m must not have
-// another call in flight (see Pool's per-message confinement contract).
-// span is the call's flight-recorder span (zero when tracing is off).
-func (s *ShardedStore) acquire(m *wire.Message, span uint64) *replica {
-	key := storeKey{op: m.Operation(), sig: m.Signature()}
-	sh := &s.shards[opHash(key.op)&s.mask]
-	aff := msgAffinity(m)
-
-	sh.mu.Lock()
-	e := sh.entries[key]
-	if e == nil {
-		e = &storeEntry{last: make(map[*wire.Message]*replica)}
-		sh.entries[key] = e
-	}
-	sh.noteKey(key, s.perOp, s.metrics)
-
-	var r *replica
+	e.mu.Lock()
+	var r *engine
 	locked := false
-	if n := len(e.replicas); n > 0 {
+	if n := len(e.engines); n > 0 {
 		// Preferred replica first, then any free one.
-		if pref := e.replicas[aff%uint64(n)]; pref.mu.TryLock() {
+		if pref := e.engines[aff%uint64(n)]; pref.mu.TryLock() {
 			r, locked = pref, true
 		} else {
-			for _, c := range e.replicas {
+			for _, c := range e.engines {
 				if c.mu.TryLock() {
 					r, locked = c, true
 					break
@@ -211,24 +195,21 @@ func (s *ShardedStore) acquire(m *wire.Message, span uint64) *replica {
 			}
 		}
 	}
-	if r == nil && len(e.replicas) < s.replicas {
-		r = &replica{}
+	if r == nil && len(e.engines) < s.replicas {
+		r = &engine{slot: slot}
 		r.stub = core.NewStub(s.cfg, &r.sink)
 		r.mu.Lock()
 		locked = true
-		e.replicas = append(e.replicas, r)
+		e.engines = append(e.engines, r)
 	}
 	if r == nil {
 		// Every replica busy and the set is full: queue on the preferred
-		// one outside the shard lock.
-		r = e.replicas[aff%uint64(len(e.replicas))]
+		// one outside the entry lock.
+		r = e.engines[aff%uint64(len(e.engines))]
 	}
-	prev := e.last[m]
-	if prev == nil && len(e.last) >= maxTrackedMessages {
-		e.last = make(map[*wire.Message]*replica)
-	}
-	e.last[m] = r
-	sh.mu.Unlock()
+	prev, _ := e.last.Lookup(m)
+	e.last.Note(m, r)
+	e.mu.Unlock()
 
 	if !locked {
 		r.mu.Lock()
@@ -249,16 +230,27 @@ func (s *ShardedStore) acquire(m *wire.Message, span uint64) *replica {
 		m.MarkAllDirty()
 		s.metrics.staleRebinds.Add(1)
 		if span != 0 {
-			trace.Rec(span, trace.KindStaleRebind, trace.OpID(key.op), 0, 0)
+			trace.Rec(span, trace.KindStaleRebind, trace.OpID(key.Group), 0, 0)
 		}
 	}
 	return r
 }
 
-// release returns a replica acquired by acquire.
-func (s *ShardedStore) release(r *replica) {
+// release returns an engine acquired by acquire: it re-accounts the
+// engine's template footprint into the entry's cached size, unlocks the
+// engine, and drops the registry reference — the budget-enforcement
+// point, and, for a condemned entry, possibly the release that frees
+// its arenas.
+func (s *ShardedStore) release(r *engine) {
+	if gen := footGen(r.stub.Stats()); gen != r.gen {
+		r.gen = gen
+		fp := int64(r.stub.Store().Footprint())
+		r.slot.Value.size.Add(fp - r.fp)
+		r.fp = fp
+	}
 	r.sink.s = nil
 	r.mu.Unlock()
+	s.reg.Release(r.slot)
 }
 
 // markSuspect poisons r's template for (op, sig), if it still holds one.
@@ -267,8 +259,10 @@ func (s *ShardedStore) release(r *replica) {
 // arrives late — safe, because a first-time send serializes from live
 // values regardless of dirty bits, and any call that raced in between
 // diffed against bytes that genuinely made it onto the wire before the
-// connection died. span tags the flight-recorder event (0 = untraced).
-func (s *ShardedStore) markSuspect(r *replica, op, sig string, span uint64) {
+// connection died. If the entry was evicted and its arenas released in
+// the meantime, the lookup simply misses. span tags the flight-recorder
+// event (0 = untraced).
+func (s *ShardedStore) markSuspect(r *engine, op, sig string, span uint64) {
 	r.mu.Lock()
 	found := r.stub.MarkSuspect(op, sig)
 	r.mu.Unlock()
@@ -277,92 +271,34 @@ func (s *ShardedStore) markSuspect(r *replica, op, sig string, span uint64) {
 	}
 }
 
-// TemplateCount sums the stored templates across every shard and
+// TemplateCount sums the stored templates across every entry and
 // replica (each replica's single-key store holds at most
 // MaxTemplatesPerOp; in practice one).
 func (s *ShardedStore) TemplateCount() int {
 	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for _, e := range sh.entries {
-			for _, r := range e.replicas {
-				n += r.stub.Store().TemplateCount()
-			}
+	s.reg.Each(func(_ reg.Key, e *storeEntry) {
+		e.mu.Lock()
+		for _, r := range e.engines {
+			n += r.stub.Store().TemplateCount()
 		}
-		sh.mu.Unlock()
-	}
+		e.mu.Unlock()
+	})
 	return n
 }
 
-// TemplateInfo describes one replica of one (operation, signature) key
-// for the /debug/templates view.
-type TemplateInfo struct {
-	Op        string `json:"op"`
-	Signature string `json:"sig"`
-	Replica   int    `json:"replica"`
-	// Busy means the replica's lock was held mid-call when the snapshot
-	// ran; its template fields are zero rather than racily read.
-	Busy bool `json:"busy,omitempty"`
-	// Present distinguishes "replica exists but has no template yet"
-	// (never called, or its template was discarded as suspect).
-	Present   bool `json:"present"`
-	Bytes     int  `json:"bytes,omitempty"`
-	Chunks    int  `json:"chunks,omitempty"`
-	Entries   int  `json:"dut_entries,omitempty"`
-	Footprint int  `json:"footprint,omitempty"`
-	Suspect   bool `json:"suspect,omitempty"`
-}
-
-// DebugSnapshot walks every shard and reports the live template replicas.
-// Replicas whose lock is held (a call in flight) are reported Busy with
-// no template detail — the walk never blocks on a send.
-func (s *ShardedStore) DebugSnapshot() []TemplateInfo {
-	var out []TemplateInfo
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for key, e := range sh.entries {
-			for ri, r := range e.replicas {
-				info := TemplateInfo{Op: key.op, Signature: key.sig, Replica: ri}
-				if r.mu.TryLock() {
-					if tpl := r.stub.Template(key.op, key.sig); tpl != nil {
-						info.Present = true
-						info.Bytes = tpl.Buffer().Len()
-						info.Chunks = tpl.Buffer().NumChunks()
-						info.Entries = tpl.Table().Len()
-						info.Footprint = tpl.MemoryFootprint()
-						info.Suspect = tpl.Suspect()
-					}
-					r.mu.Unlock()
-				} else {
-					info.Busy = true
-				}
-				out = append(out, info)
-			}
-		}
-		sh.mu.Unlock()
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Op != out[b].Op {
-			return out[a].Op < out[b].Op
-		}
-		if out[a].Signature != out[b].Signature {
-			return out[a].Signature < out[b].Signature
-		}
-		return out[a].Replica < out[b].Replica
+// DebugSnapshot dumps the registry in the uniform client/server format
+// served by /debug/templates and read by `bsoap-inspect templates`. Rows
+// whose engines are mid-call report the registry's accounted bytes
+// without blocking on the engine locks.
+func (s *ShardedStore) DebugSnapshot() reg.Dump {
+	return s.reg.Dump("client", func(e *storeEntry, d *reg.DebugEntry) {
+		e.mu.Lock()
+		d.Replicas = len(e.engines)
+		e.mu.Unlock()
 	})
-	return out
 }
 
 // Entries reports the number of distinct (operation, signature) keys.
 func (s *ShardedStore) Entries() int {
-	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		n += len(sh.entries)
-		sh.mu.Unlock()
-	}
-	return n
+	return s.reg.Len()
 }

@@ -15,11 +15,11 @@ import (
 // (preferred one busy) and then returns must not be classified as a
 // content match — the original replica's bytes predate the bounce.
 func TestReplicaBounceForcesRewrite(t *testing.T) {
-	st := NewShardedStore(1, 2, core.Config{}, nil)
+	st := NewShardedStore(1, 2, 0, core.Config{}, nil)
 	d := workload.NewDoubles(8, workload.FillIntermediate)
 	m := d.Msg
 
-	call := func() (core.CallInfo, []byte, *replica) {
+	call := func() (core.CallInfo, []byte, *engine) {
 		t.Helper()
 		r := st.acquire(m, 0)
 		var buf bytes.Buffer
@@ -110,5 +110,121 @@ func TestShardedStoreEvictsColdSignatures(t *testing.T) {
 	}
 	if got := p.Stats().TemplateEvictions; got != 2 {
 		t.Fatalf("evictions = %d, want 2 (B then C)", got)
+	}
+}
+
+// TestBudgetEvictionDegradesToFTS is the client half of the
+// eviction-under-budget-pressure contract: a replica set evicted by the
+// byte budget is rebuilt from scratch on its message's next call — a
+// degraded first-time send carrying the message's current values, never
+// a diff against released template bytes.
+func TestBudgetEvictionDegradesToFTS(t *testing.T) {
+	// A 1-byte budget admits each entry only by self-exemption and
+	// condemns everything else at every release.
+	st := NewShardedStore(1, 1, 1, core.Config{}, nil)
+	dA := workload.NewDoubles(8, workload.FillIntermediate)
+	dB := workload.NewDoubles(9, workload.FillIntermediate)
+
+	call := func(d *workload.Doubles) (core.CallInfo, []byte) {
+		t.Helper()
+		r := st.acquire(d.Msg, 0)
+		var buf bytes.Buffer
+		r.sink.s = transport.WriterSink{W: &buf}
+		ci, err := r.stub.Call(d.Msg)
+		st.release(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ci, buf.Bytes()
+	}
+
+	if ci, _ := call(dA); ci.Match != core.FirstTime {
+		t.Fatalf("call A1 match = %v, want first-time", ci.Match)
+	}
+	if ci, _ := call(dB); ci.Match != core.FirstTime {
+		t.Fatalf("call B match = %v, want first-time", ci.Match)
+	}
+	if got := st.metrics.budgetEvictions.Load(); got == 0 {
+		t.Fatal("expected a budget eviction after B's release")
+	}
+	if c := st.reg.Counters(); c.Pending != 0 {
+		t.Fatalf("pending releases = %d, want 0 (no call in flight)", c.Pending)
+	}
+
+	// A's entry is gone and its arenas released: the next call must be a
+	// fresh first-time send with A's current values, not a diff.
+	dA.SetAll(777.25)
+	ci, b := call(dA)
+	if ci.Match != core.FirstTime {
+		t.Fatalf("call A2 match = %v, want degraded first-time", ci.Match)
+	}
+	if !bytes.Contains(b, []byte("777.25")) {
+		t.Fatalf("call A2 payload missing current values:\n%s", b)
+	}
+}
+
+// TestBudgetEvictionWithInFlightCall condemns an entry while a call
+// holds one of its engines: the call must finish serializing against
+// live arenas (under -tags membufpoison a use-after-release would put
+// 0xDB poison bytes on the wire), and the arenas are released only when
+// the in-flight reference returns.
+func TestBudgetEvictionWithInFlightCall(t *testing.T) {
+	st := NewShardedStore(1, 1, 1, core.Config{}, nil)
+	dA := workload.NewDoubles(8, workload.FillIntermediate)
+	dB := workload.NewDoubles(9, workload.FillIntermediate)
+
+	call := func(d *workload.Doubles) core.CallInfo {
+		t.Helper()
+		r := st.acquire(d.Msg, 0)
+		var buf bytes.Buffer
+		r.sink.s = transport.WriterSink{W: &buf}
+		ci, err := r.stub.Call(d.Msg)
+		st.release(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ci
+	}
+
+	// Warm A, then take its engine as an in-flight call would.
+	if ci := call(dA); ci.Match != core.FirstTime {
+		t.Fatalf("warmup match = %v", ci.Match)
+	}
+	rA := st.acquire(dA.Msg, 0)
+
+	// B's release must chase the budget; with A in flight only the
+	// last-resort tier can pay, condemning A's entry under our feet.
+	call(dB)
+	if got := st.metrics.budgetEvictions.Load(); got == 0 {
+		t.Fatal("expected a budget eviction while A was in flight")
+	}
+	if c := st.reg.Counters(); c.Pending == 0 {
+		t.Fatal("condemned in-flight entry should be pending arena release")
+	}
+
+	// The held engine still diffs and sends against live template bytes.
+	var buf bytes.Buffer
+	rA.sink.s = transport.WriterSink{W: &buf}
+	dA.SetAll(4321.5)
+	if _, err := rA.stub.Call(dA.Msg); err != nil {
+		t.Fatal(err)
+	}
+	st.release(rA)
+	out := buf.Bytes()
+	if !bytes.Contains(out, []byte("4321.5")) {
+		t.Fatalf("in-flight call payload missing current values:\n%s", out)
+	}
+	for _, c := range out {
+		if c == 0xDB {
+			t.Fatal("poison byte on the wire: template arenas were released under an in-flight call")
+		}
+	}
+	if c := st.reg.Counters(); c.Pending != 0 {
+		t.Fatalf("pending releases = %d, want 0 after the in-flight call returned", c.Pending)
+	}
+
+	// The condemned entry is gone: A's next call rebuilds fresh.
+	if ci := call(dA); ci.Match != core.FirstTime {
+		t.Fatalf("post-eviction match = %v, want first-time", ci.Match)
 	}
 }

@@ -53,7 +53,7 @@ func Validate(r io.Reader) (Stats, error) {
 			}
 			continue
 		}
-		name, rest, err := splitSample(line)
+		name, _, rest, err := splitSample(line)
 		if err != nil {
 			return st, fmt.Errorf("line %d: %v", lineNo, err)
 		}
@@ -86,8 +86,11 @@ func Validate(r io.Reader) (Stats, error) {
 }
 
 // ReadValues parses r as Prometheus text format and returns each
-// metric's sample value by name (labels are ignored; for a name with
-// several labeled samples the last one wins). It is the scrape-side
+// metric's sample value under two keys: the bare name (labels ignored;
+// for a name with several labeled samples the last one wins) and, for
+// labeled samples, the full `name{label="value"}` key exactly as
+// exposed — so callers can assert on one series of a labeled family
+// (e.g. `..._evictions_total{reason="budget"}`). It is the scrape-side
 // complement of Validate: loadgen uses it to judge a server's
 // differential fast-path rate from its /metrics page.
 func ReadValues(r io.Reader) (map[string]float64, error) {
@@ -101,7 +104,7 @@ func ReadValues(r io.Reader) (map[string]float64, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		name, rest, err := splitSample(line)
+		name, labels, rest, err := splitSample(line)
 		if err != nil {
 			return vals, fmt.Errorf("line %d: %v", lineNo, err)
 		}
@@ -114,6 +117,9 @@ func ReadValues(r io.Reader) (map[string]float64, error) {
 			return vals, fmt.Errorf("line %d: bad value %q: %v", lineNo, parts[0], err)
 		}
 		vals[name] = v
+		if labels != "" {
+			vals[name+"{"+labels+"}"] = v
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return vals, err
@@ -121,27 +127,29 @@ func ReadValues(r io.Reader) (map[string]float64, error) {
 	return vals, nil
 }
 
-// splitSample splits a sample line into metric name (label braces
-// stripped but syntax-checked) and the remainder after the name/labels.
-func splitSample(line string) (name, rest string, err error) {
+// splitSample splits a sample line into metric name, the raw label-set
+// text between the braces (empty for unlabeled samples, syntax-checked
+// otherwise) and the remainder after the name/labels.
+func splitSample(line string) (name, labels, rest string, err error) {
 	brace := strings.IndexByte(line, '{')
 	if brace < 0 {
 		sp := strings.IndexByte(line, ' ')
 		if sp < 0 {
-			return "", "", fmt.Errorf("sample without value: %q", line)
+			return "", "", "", fmt.Errorf("sample without value: %q", line)
 		}
-		return line[:sp], line[sp+1:], nil
+		return line[:sp], "", line[sp+1:], nil
 	}
 	name = line[:brace]
 	end := strings.IndexByte(line, '}')
 	if end < brace {
-		return "", "", fmt.Errorf("unterminated label set: %q", line)
+		return "", "", "", fmt.Errorf("unterminated label set: %q", line)
 	}
-	if err := validLabels(line[brace+1 : end]); err != nil {
-		return "", "", err
+	labels = line[brace+1 : end]
+	if err := validLabels(labels); err != nil {
+		return "", "", "", err
 	}
 	rest = strings.TrimPrefix(line[end+1:], " ")
-	return name, rest, nil
+	return name, labels, rest, nil
 }
 
 // validLabels checks `k="v",k2="v2"` syntax (values must be quoted; a

@@ -1,0 +1,61 @@
+package replica
+
+// DefaultTrackerCap bounds a Tracker's map before it resets wholesale.
+// The value matches the historical caps that pool/store.go and the
+// serverpool handler table each hand-rolled before they were unified
+// here: large enough that a steady working set never resets, small
+// enough that a pathological workload cycling through fresh identities
+// (new message structs every call, one-shot connections) cannot grow
+// the map without bound.
+const DefaultTrackerCap = 1024
+
+// Tracker is the one bounded last-served affinity map: the client pool
+// keys it by message pointer to remember which engine last served a
+// message (a change of engine means the template no longer matches the
+// message's dirty bits and every region must be re-serialized), the
+// server side bounds per-replica key tables with it. When the map hits
+// its cap it is reset wholesale — affinity is a hint, and forgetting it
+// costs one degraded call per entry, which is far cheaper than an
+// unbounded map. Not safe for concurrent use; callers hold the
+// enclosing entry lock.
+type Tracker[K comparable, V any] struct {
+	m      map[K]V
+	cap    int
+	resets int64
+}
+
+// NewTracker returns a tracker bounded at capacity (DefaultTrackerCap
+// if capacity <= 0).
+func NewTracker[K comparable, V any](capacity int) *Tracker[K, V] {
+	if capacity <= 0 {
+		capacity = DefaultTrackerCap
+	}
+	return &Tracker[K, V]{m: make(map[K]V), cap: capacity}
+}
+
+// Lookup returns the tracked value for key.
+func (t *Tracker[K, V]) Lookup(key K) (V, bool) {
+	v, ok := t.m[key]
+	return v, ok
+}
+
+// Note records key → value, resetting the map first if it is at
+// capacity and key would grow it.
+func (t *Tracker[K, V]) Note(key K, value V) {
+	if len(t.m) >= t.cap {
+		if _, ok := t.m[key]; !ok {
+			t.m = make(map[K]V)
+			t.resets++
+		}
+	}
+	t.m[key] = value
+}
+
+// Forget removes key.
+func (t *Tracker[K, V]) Forget(key K) { delete(t.m, key) }
+
+// Len reports the number of tracked keys.
+func (t *Tracker[K, V]) Len() int { return len(t.m) }
+
+// Resets reports how many times the map has been reset at capacity.
+func (t *Tracker[K, V]) Resets() int64 { return t.resets }

@@ -1,0 +1,55 @@
+package replica
+
+import "testing"
+
+// TestTrackerCapReset is the single regression test replacing the two
+// hand-rolled 1024-entry reset copies that used to live in pool/store.go
+// and the serverpool handler table: at capacity the map resets wholesale
+// rather than growing without bound, and re-noting an existing key never
+// triggers a reset.
+func TestTrackerCapReset(t *testing.T) {
+	tr := NewTracker[int, string](4)
+	for i := 0; i < 4; i++ {
+		tr.Note(i, "v")
+	}
+	if tr.Len() != 4 || tr.Resets() != 0 {
+		t.Fatalf("len=%d resets=%d, want 4,0", tr.Len(), tr.Resets())
+	}
+	// Existing key at capacity: overwrite in place, no reset.
+	tr.Note(2, "w")
+	if tr.Len() != 4 || tr.Resets() != 0 {
+		t.Fatalf("after overwrite: len=%d resets=%d, want 4,0", tr.Len(), tr.Resets())
+	}
+	if v, ok := tr.Lookup(2); !ok || v != "w" {
+		t.Fatalf("Lookup(2) = %q,%v", v, ok)
+	}
+	// New key at capacity: wholesale reset, then the new key alone.
+	tr.Note(99, "x")
+	if tr.Len() != 1 || tr.Resets() != 1 {
+		t.Fatalf("after reset: len=%d resets=%d, want 1,1", tr.Len(), tr.Resets())
+	}
+	if _, ok := tr.Lookup(0); ok {
+		t.Fatal("old key survived the reset")
+	}
+	if v, ok := tr.Lookup(99); !ok || v != "x" {
+		t.Fatalf("Lookup(99) = %q,%v", v, ok)
+	}
+	tr.Forget(99)
+	if tr.Len() != 0 {
+		t.Fatalf("len after Forget = %d", tr.Len())
+	}
+}
+
+func TestTrackerDefaultCap(t *testing.T) {
+	tr := NewTracker[int, int](0)
+	for i := 0; i < DefaultTrackerCap; i++ {
+		tr.Note(i, i)
+	}
+	if tr.Len() != DefaultTrackerCap || tr.Resets() != 0 {
+		t.Fatalf("len=%d resets=%d before overflow", tr.Len(), tr.Resets())
+	}
+	tr.Note(DefaultTrackerCap, 0)
+	if tr.Len() != 1 || tr.Resets() != 1 {
+		t.Fatalf("len=%d resets=%d after overflow, want 1,1", tr.Len(), tr.Resets())
+	}
+}

@@ -1,17 +1,24 @@
 // Package serverpool is the concurrent SOAP server runtime. Where
 // server.SOAP serializes every request behind one mutex, Runtime keeps
-// a sharded pool of per-connection (or per-client) replicas, each with
-// its own differential deserializer and differential response stub —
-// the server-side mirror of the client's pool.ShardedStore. Requests
-// from the same connection land on the same replica, so its stored
-// templates track that client's message shapes: concurrent clients with
-// different shapes no longer thrash a shared template set, and decodes
-// proceed in parallel with no cross-connection lock.
+// a pool of per-connection (or per-client) replicas, each with its own
+// differential deserializer and differential response stub — the
+// server-side mirror of the client's pool.ShardedStore. Requests from
+// the same connection land on the same replica, so its stored templates
+// track that client's message shapes: concurrent clients with different
+// shapes no longer thrash a shared template set, and decodes proceed in
+// parallel with no cross-connection lock.
+//
+// Replicas live in the unified replica registry (internal/replica),
+// which owns sharding, the recency list, in-flight refcounts and the
+// MaxTemplateBytes budget; this package owns what is server-specific —
+// the decode fast path, handler dispatch and response serialization.
 package serverpool
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,6 +26,7 @@ import (
 	"bsoap/internal/core"
 	"bsoap/internal/diffdeser"
 	"bsoap/internal/multiref"
+	reg "bsoap/internal/replica"
 	"bsoap/internal/server"
 	"bsoap/internal/soapdec"
 	"bsoap/internal/trace"
@@ -66,6 +74,13 @@ type Options struct {
 	// 256). The bound is enforced per shard as max(1, MaxReplicas/Shards)
 	// with LRU eviction, mirroring pool.ShardedStore.
 	MaxReplicas int
+	// MaxTemplateBytes budgets the replicas' aggregate template memory
+	// (request deserializer templates, response stub templates and the
+	// response buffer): the registry evicts least-recently-used replicas
+	// to stay at or below it. Zero leaves memory bounded only by
+	// MaxReplicas and the per-replica key caps. See README "Sizing
+	// template memory".
+	MaxTemplateBytes int64
 	// MaxKeysPerReplica bounds operation keys inside each replica's
 	// deserializer (0 = diffdeser.DefaultMaxKeys).
 	MaxKeysPerReplica int
@@ -88,8 +103,7 @@ type Runtime struct {
 	opts    Options
 	metrics *transport.ServerMetrics
 	ops     map[string]*operation
-	shards  []shard
-	mask    uint32
+	reg     *reg.Registry[*replica]
 
 	wsdlMu sync.Mutex
 	wsdl   []byte
@@ -109,20 +123,6 @@ type operation struct {
 	factory HandlerFactory
 }
 
-// replicaKey identifies one replica: the connection ID under
-// AffinityConn, the remote host under AffinityClient.
-type replicaKey struct {
-	conn uint64
-	host string
-}
-
-type shard struct {
-	mu       sync.Mutex
-	replicas map[replicaKey]*replica
-	lru      []replicaKey // front = most recently used
-	max      int
-}
-
 // replica is one client's private decode/encode state: a bounded
 // differential deserializer whose templates track that client's request
 // shapes, a differential response stub, and per-replica handler
@@ -134,9 +134,36 @@ type replica struct {
 	mu           sync.Mutex
 	differ       *diffdeser.Deserializer
 	keyEvictions int64 // last value drained into metrics
-	handlers     map[string]Handler
-	respBuf      bytes.Buffer
-	stub         *core.Stub
+	// handlers maps operation to this replica's handler instance. The
+	// tracker is the same bounded map the client pool uses for message
+	// affinity: at capacity it resets wholesale and the next request of
+	// a forgotten operation just re-runs its factory.
+	handlers *reg.Tracker[string, Handler]
+	respBuf  bytes.Buffer
+	stub     *core.Stub
+	// size caches the replica's memory footprint for the registry's
+	// budget accounting: stored by release while the replica lock is
+	// held, read lock-free by SizeBytes under registry locks.
+	size atomic.Int64
+	// stubFP is the last-walked response-stub footprint and stubGen the
+	// stub-stats generation it was computed at (both guarded by mu):
+	// release skips the chunk-list walk while the counters that can
+	// change the footprint hold still.
+	stubFP  int64
+	stubGen int64
+}
+
+// SizeBytes reports the cached footprint (replica.Entry).
+func (r *replica) SizeBytes() int { return int(r.size.Load()) }
+
+// ReleaseArenas returns the response stub's template arenas to the
+// chunk pool (replica.Entry). The registry calls it once the evicted
+// replica's last in-flight request has finished; taking the replica
+// lock serializes against that request's final response bytes.
+func (r *replica) ReleaseArenas() {
+	r.mu.Lock()
+	r.stub.Store().ReleaseAll()
+	r.mu.Unlock()
 }
 
 // Stats is a point-in-time snapshot of runtime counters.
@@ -158,18 +185,9 @@ func New(opts Options) *Runtime {
 	if nshards <= 0 {
 		nshards = 16
 	}
-	// Round up to a power of two so the shard index is a mask.
-	n := 1
-	for n < nshards {
-		n <<= 1
-	}
 	maxReplicas := opts.MaxReplicas
 	if maxReplicas <= 0 {
 		maxReplicas = 256
-	}
-	perShard := maxReplicas / n
-	if perShard < 1 {
-		perShard = 1
 	}
 	m := opts.Metrics
 	if m == nil {
@@ -179,13 +197,24 @@ func New(opts Options) *Runtime {
 		opts:    opts,
 		metrics: m,
 		ops:     make(map[string]*operation),
-		shards:  make([]shard, n),
-		mask:    uint32(n - 1),
 	}
-	for i := range rt.shards {
-		rt.shards[i].replicas = make(map[replicaKey]*replica)
-		rt.shards[i].max = perShard
-	}
+	rt.reg = reg.NewRegistry(reg.RegistryOptions[*replica]{
+		Shards:     nshards,
+		MaxEntries: maxReplicas,
+		MaxBytes:   opts.MaxTemplateBytes,
+		New:        func(reg.Key) *replica { return rt.newReplica() },
+		OnEvict: func(key reg.Key, reason reg.Reason, bytes int64) {
+			// The evicted replica is not torn down here: a request
+			// already holding it finishes normally, and the registry
+			// releases its arenas after the last in-flight reference.
+			rt.replicaEvictions.Add(1)
+			m.RecordReplicaEviction(reason == reg.ReasonBudget)
+			if trace.Enabled() {
+				trace.Rec(0, trace.KindReplicaEvict, trace.OpID(key.String()), int64(reason), bytes)
+			}
+		},
+	})
+	m.SetTemplateSource(rt.reg.Counters)
 	return rt
 }
 
@@ -220,59 +249,63 @@ func (rt *Runtime) SetWSDL(doc []byte) {
 
 // Stats returns runtime counters.
 func (rt *Runtime) Stats() Stats {
-	st := Stats{
+	return Stats{
 		Requests:         rt.requests.Load(),
 		FullParses:       rt.fullParses.Load(),
 		DiffDecodes:      rt.diffDecodes.Load(),
 		ValuesReparsed:   rt.valuesReparsed.Load(),
 		MultiRefInlined:  rt.multiRefInlined.Load(),
 		SelfCheckFails:   rt.selfCheckFails.Load(),
+		Replicas:         rt.reg.Len(),
 		ReplicaEvictions: rt.replicaEvictions.Load(),
 		DDSKeyEvictions:  rt.ddsKeyEvictions.Load(),
 	}
-	for i := range rt.shards {
-		sh := &rt.shards[i]
-		sh.mu.Lock()
-		st.Replicas += len(sh.replicas)
-		sh.mu.Unlock()
-	}
-	return st
 }
 
 // ResponseStats sums the response stubs' differential counters across
 // resident replicas (evicted replicas take their counts with them).
 func (rt *Runtime) ResponseStats() core.Stats {
 	var sum core.Stats
-	for i := range rt.shards {
-		sh := &rt.shards[i]
-		sh.mu.Lock()
-		reps := make([]*replica, 0, len(sh.replicas))
-		for _, r := range sh.replicas {
-			reps = append(reps, r)
-		}
-		sh.mu.Unlock()
-		for _, r := range reps {
-			r.mu.Lock()
-			cs := r.stub.Stats()
-			r.mu.Unlock()
-			sum.Calls += cs.Calls
-			sum.FirstTimeSends += cs.FirstTimeSends
-			sum.ContentMatches += cs.ContentMatches
-			sum.StructuralMatches += cs.StructuralMatches
-			sum.PartialMatches += cs.PartialMatches
-			sum.FullSerializations += cs.FullSerializations
-			sum.DegradedFTS += cs.DegradedFTS
-			sum.BytesSent += cs.BytesSent
-			sum.BytesSerialized += cs.BytesSerialized
-			sum.ValuesRewritten += cs.ValuesRewritten
-			sum.TagShifts += cs.TagShifts
-			sum.Shifts += cs.Shifts
-			sum.Steals += cs.Steals
-			sum.Grows += cs.Grows
-			sum.Splits += cs.Splits
-		}
-	}
+	rt.reg.Each(func(_ reg.Key, r *replica) {
+		r.mu.Lock()
+		cs := r.stub.Stats()
+		r.mu.Unlock()
+		sum.Calls += cs.Calls
+		sum.FirstTimeSends += cs.FirstTimeSends
+		sum.ContentMatches += cs.ContentMatches
+		sum.StructuralMatches += cs.StructuralMatches
+		sum.PartialMatches += cs.PartialMatches
+		sum.FullSerializations += cs.FullSerializations
+		sum.DegradedFTS += cs.DegradedFTS
+		sum.BytesSent += cs.BytesSent
+		sum.BytesSerialized += cs.BytesSerialized
+		sum.ValuesRewritten += cs.ValuesRewritten
+		sum.TagShifts += cs.TagShifts
+		sum.Shifts += cs.Shifts
+		sum.Steals += cs.Steals
+		sum.Grows += cs.Grows
+		sum.Splits += cs.Splits
+	})
 	return sum
+}
+
+// DebugTemplates snapshots the replica registry in the uniform
+// client/server dump format served by /debug/templates and read by
+// `bsoap-inspect templates`. Each server entry is a single replica; the
+// affinity column carries the conn:N or host:X grouping key.
+func (rt *Runtime) DebugTemplates() reg.Dump {
+	return rt.reg.Dump("server", nil)
+}
+
+// TemplatesHandler serves DebugTemplates as indented JSON — the
+// server-side /debug/templates endpoint.
+func (rt *Runtime) TemplatesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rt.DebugTemplates())
+	})
 }
 
 // HTTPHandler adapts the runtime to the transport server: POSTs are
@@ -289,8 +322,8 @@ func (rt *Runtime) HTTPHandler() transport.Handler {
 			}
 			return doc, nil
 		}
-		r := rt.acquire(rt.keyFor(req))
-		defer r.mu.Unlock()
+		slot, r := rt.acquire(rt.keyFor(req))
+		defer rt.release(slot)
 		return rt.handle(r, req.Body)
 	}
 }
@@ -298,81 +331,63 @@ func (rt *Runtime) HTTPHandler() transport.Handler {
 // Handle decodes and dispatches one envelope for the given connection
 // identity, for callers not going through transport.Server.
 func (rt *Runtime) Handle(connID uint64, remoteAddr string, body []byte) ([]byte, error) {
-	r := rt.acquire(rt.keyFor(&transport.Request{ConnID: connID, RemoteAddr: remoteAddr}))
-	defer r.mu.Unlock()
+	slot, r := rt.acquire(rt.keyFor(&transport.Request{ConnID: connID, RemoteAddr: remoteAddr}))
+	defer rt.release(slot)
 	return rt.handle(r, body)
 }
 
-func (rt *Runtime) keyFor(req *transport.Request) replicaKey {
+func (rt *Runtime) keyFor(req *transport.Request) reg.Key {
 	if rt.opts.Affinity == AffinityClient {
 		host := req.RemoteAddr
 		if c := strings.LastIndexByte(host, ':'); c >= 0 {
 			host = host[:c]
 		}
-		return replicaKey{host: host}
+		return reg.Key{Sub: host}
 	}
-	return replicaKey{conn: req.ConnID}
+	return reg.Key{Conn: req.ConnID}
 }
 
-func (rt *Runtime) shardFor(key replicaKey) *shard {
-	var h uint32
-	if key.host != "" {
-		h = 2166136261 // FNV-1a
-		for i := 0; i < len(key.host); i++ {
-			h ^= uint32(key.host[i])
-			h *= 16777619
-		}
-	} else {
-		h = uint32(key.conn*2654435761) ^ uint32(key.conn>>32)
-	}
-	return &rt.shards[h&rt.mask]
-}
-
-// acquire returns the key's replica with its mutex held. Finding or
-// creating the replica holds only the shard lock; the replica lock is
-// taken outside it, so a slow request on one replica never blocks
-// lookups of its shard siblings.
-func (rt *Runtime) acquire(key replicaKey) *replica {
-	sh := rt.shardFor(key)
-	sh.mu.Lock()
-	r, ok := sh.replicas[key]
-	if ok {
-		sh.touch(key)
-	} else {
-		r = rt.newReplica()
-		sh.replicas[key] = r
-		sh.lru = append(sh.lru, replicaKey{})
-		copy(sh.lru[1:], sh.lru)
-		sh.lru[0] = key
-		if len(sh.replicas) > sh.max {
-			victim := sh.lru[len(sh.lru)-1]
-			sh.lru = sh.lru[:len(sh.lru)-1]
-			delete(sh.replicas, victim)
-			// The evicted replica is not torn down: a request already
-			// holding it finishes normally, and its arenas stay valid for
-			// any in-flight response bytes (same rule as ShardedStore).
-			rt.replicaEvictions.Add(1)
-			rt.metrics.RecordReplicaEviction()
-		}
-	}
-	sh.mu.Unlock()
+// acquire returns the key's replica with its mutex held and an
+// in-flight reference on its registry slot. Finding or creating the
+// replica holds only registry locks; the replica lock is taken outside
+// them, so a slow request on one replica never blocks lookups of its
+// shard siblings.
+func (rt *Runtime) acquire(key reg.Key) (*reg.Slot[*replica], *replica) {
+	slot, _ := rt.reg.Acquire(key)
+	r := slot.Value
 	r.mu.Lock()
-	return r
+	return slot, r
 }
 
-// touch moves key to the LRU front. Caller holds sh.mu.
-func (sh *shard) touch(key replicaKey) {
-	for i, k := range sh.lru {
-		if k == key {
-			copy(sh.lru[1:i+1], sh.lru[:i])
-			sh.lru[0] = key
-			return
-		}
+// release re-accounts the replica's footprint into its cached size,
+// unlocks it, and drops the registry reference — the budget-enforcement
+// point, and, for an evicted replica, possibly the release that frees
+// its arenas. Caller holds r.mu.
+func (rt *Runtime) release(slot *reg.Slot[*replica]) {
+	r := slot.Value
+	if gen := footGen(r.stub.Stats()); gen != r.stubGen {
+		r.stubGen = gen
+		r.stubFP = int64(r.stub.Store().Footprint())
 	}
+	fp := r.stubFP + int64(r.respBuf.Cap())
+	if r.differ != nil {
+		fp += int64(r.differ.SizeBytes())
+	}
+	r.size.Store(fp)
+	r.mu.Unlock()
+	rt.reg.Release(slot)
+}
+
+// footGen folds the stub counters that can change its store's footprint
+// — template builds and buffer reshaping — into one generation number,
+// so the steady state (in-place rewrites, tag shifts) skips the
+// chunk-list walk entirely.
+func footGen(cs core.Stats) int64 {
+	return cs.FirstTimeSends + cs.FullSerializations + cs.Grows + cs.Splits
 }
 
 func (rt *Runtime) newReplica() *replica {
-	r := &replica{handlers: make(map[string]Handler)}
+	r := &replica{handlers: reg.NewTracker[string, Handler](0)}
 	if rt.opts.DifferentialDeserialization {
 		r.differ = diffdeser.NewBounded(rt.lookupSchema, rt.opts.MaxKeysPerReplica)
 	}
@@ -448,14 +463,14 @@ func (rt *Runtime) handle(r *replica, body []byte) ([]byte, error) {
 	}
 
 	opLocal := msg.Operation()
-	h := r.handlers[opLocal]
-	if h == nil {
+	h, ok := r.handlers.Lookup(opLocal)
+	if !ok {
 		op := rt.ops[opLocal]
 		if op == nil {
 			return nil, fmt.Errorf("serverpool: no handler for %s", opLocal)
 		}
 		h = op.factory()
-		r.handlers[opLocal] = h
+		r.handlers.Note(opLocal, h)
 	}
 	resp, err := h(msg)
 	if err != nil {

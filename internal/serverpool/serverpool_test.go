@@ -1,13 +1,16 @@
 package serverpool
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 
 	"bsoap/internal/core"
+	reg "bsoap/internal/replica"
 	"bsoap/internal/soapdec"
 	"bsoap/internal/transport"
 	"bsoap/internal/wire"
@@ -336,5 +339,223 @@ func TestResponseStatsAggregate(t *testing.T) {
 	// Identical totals: repeats on conn 1's stub are content matches.
 	if rs.ContentMatches != 2 {
 		t.Fatalf("content matches = %d, want 2", rs.ContentMatches)
+	}
+}
+
+// TestBudgetEvictionWithInFlightRequest is the server half of the
+// eviction-under-budget-pressure contract: a replica condemned by the
+// byte budget while its request is still decoding finishes on live
+// arenas (under -tags membufpoison a use-after-release would corrupt
+// the response), and its arenas are released only after that request's
+// reference returns.
+func TestBudgetEvictionWithInFlightRequest(t *testing.T) {
+	m := transport.NewServerMetrics()
+	// A 1-byte budget admits each replica only by self-exemption and
+	// condemns everything else at every release.
+	rt := newSumRuntime(Options{
+		DifferentialDeserialization: true,
+		SelfCheck:                   true,
+		Shards:                      1,
+		MaxTemplateBytes:            1,
+		Metrics:                     m,
+	})
+	a, b := newClient(6), newClient(7)
+
+	// Warm conn 1, then take its replica as an in-flight request would.
+	if _, err := rt.Handle(1, "", a.body(t)); err != nil {
+		t.Fatal(err)
+	}
+	slot, r := rt.acquire(reg.Key{Conn: 1})
+
+	// Conn 2's release must chase the budget; with conn 1 in flight only
+	// the last-resort tier can pay, condemning its replica under us.
+	if _, err := rt.Handle(2, "", b.body(t)); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Snapshot().ReplicaBudgetEvictions; n == 0 {
+		t.Fatal("expected a budget eviction while conn 1 was in flight")
+	}
+	if c := rt.reg.Counters(); c.Pending == 0 {
+		t.Fatal("condemned in-flight replica should be pending arena release")
+	}
+
+	// The held replica still decodes differentially and serializes its
+	// response on live arenas; SelfCheck re-verifies the decode.
+	a.arr.Set(0, 1234.5)
+	resp, err := rt.handle(r, a.body(t))
+	rt.release(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp), "sumResponse") {
+		t.Fatalf("in-flight response: %s", resp)
+	}
+	for _, c := range resp {
+		if c == 0xDB {
+			t.Fatal("poison byte in response: replica arenas were released under an in-flight request")
+		}
+	}
+	if st := rt.Stats(); st.SelfCheckFails != 0 {
+		t.Fatalf("self-check fails: %d", st.SelfCheckFails)
+	}
+	if c := rt.reg.Counters(); c.Pending != 0 {
+		t.Fatalf("pending releases = %d, want 0 after the in-flight request returned", c.Pending)
+	}
+
+	// Conn 1 returns on a fresh replica: a full parse, then correct sums.
+	before := rt.Stats().FullParses
+	if _, err := rt.Handle(1, "", a.body(t)); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().FullParses != before+1 {
+		t.Fatal("fresh replica should have full-parsed")
+	}
+}
+
+// TestTemplateBytesNeverExceedBudget hammers one runtime from several
+// connections under a small budget and asserts the exported gauge never
+// reads above it (the reservation-first admission contract).
+func TestTemplateBytesNeverExceedBudget(t *testing.T) {
+	m := transport.NewServerMetrics()
+	// Each replica's footprint is ~36 KB (template arena, DUT, differ
+	// state, response buffer): the budget holds a few of them but not
+	// the twelve-connection working set, so eviction churns continuously
+	// while no single replica triggers the oversized-entry exemption.
+	const budget = 128 << 10
+	rt := newSumRuntime(Options{
+		DifferentialDeserialization: true,
+		Shards:                      2,
+		MaxTemplateBytes:            budget,
+		Metrics:                     m,
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if b := m.Snapshot().TemplateBytes; b > budget {
+				t.Errorf("template bytes %d exceed budget %d", b, budget)
+				return
+			}
+		}
+	}()
+	var cwg sync.WaitGroup
+	for id := 1; id <= 12; id++ {
+		cwg.Add(1)
+		go func(id int) {
+			defer cwg.Done()
+			c := newClient(32 + id)
+			for r := 0; r < 60; r++ {
+				c.arr.Set(r%c.msg.NumLeaves(), float64(id*100+r))
+				if _, err := rt.Handle(uint64(id), "", c.body(t)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	cwg.Wait()
+	close(stop)
+	wg.Wait()
+	if hw := m.Snapshot().TemplateBytesHighWater; hw > budget {
+		t.Fatalf("high water %d exceeds budget %d", hw, budget)
+	}
+	if c := rt.reg.Counters(); c.Pending != 0 {
+		t.Fatalf("pending releases = %d, want 0 after quiesce", c.Pending)
+	}
+}
+
+// TestDebugTemplatesDump drives a couple of connections and asserts the
+// uniform dump — directly and through the /debug/templates handler —
+// carries the registry's accounting: affinity keys, per-entry bytes,
+// in-flight counts, and the budget fields bsoap-inspect renders.
+func TestDebugTemplatesDump(t *testing.T) {
+	const budget = 1 << 20
+	rt := newSumRuntime(Options{
+		DifferentialDeserialization: true,
+		MaxTemplateBytes:            budget,
+	})
+	a, b := newClient(8), newClient(12)
+	for r := 0; r < 3; r++ {
+		if _, err := rt.Handle(1, "", a.body(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Handle(2, "", b.body(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(d reg.Dump) {
+		t.Helper()
+		if d.Side != "server" {
+			t.Fatalf("side = %q, want server", d.Side)
+		}
+		if d.Entries != 2 || len(d.Templates) != 2 {
+			t.Fatalf("entries = %d (%d rows), want 2", d.Entries, len(d.Templates))
+		}
+		if d.BudgetBytes != budget {
+			t.Fatalf("budget = %d, want %d", d.BudgetBytes, budget)
+		}
+		if d.Bytes <= 0 || d.HighWaterBytes < d.Bytes {
+			t.Fatalf("bytes = %d, high water = %d", d.Bytes, d.HighWaterBytes)
+		}
+		seen := map[string]bool{}
+		var sum int64
+		for _, e := range d.Templates {
+			seen[e.Affinity] = true
+			if e.Bytes <= 0 || e.Replicas != 1 || e.InFlight != 0 {
+				t.Fatalf("row %+v: want positive bytes, 1 replica, 0 in flight", e)
+			}
+			if e.LastUseNS == 0 {
+				t.Fatalf("row %s: zero last-use", e.Affinity)
+			}
+			sum += e.Bytes
+		}
+		if !seen["conn:1"] || !seen["conn:2"] {
+			t.Fatalf("affinity keys = %v, want conn:1 and conn:2", seen)
+		}
+		if sum != d.Bytes {
+			t.Fatalf("row bytes sum %d != dump bytes %d", sum, d.Bytes)
+		}
+	}
+	check(rt.DebugTemplates())
+
+	rec := httptest.NewRecorder()
+	rt.TemplatesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/templates", nil))
+	if rec.Code != 200 {
+		t.Fatalf("handler status %d", rec.Code)
+	}
+	var d reg.Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("handler body: %v", err)
+	}
+	check(d)
+}
+
+// TestRegisterShared routes every replica through one shared handler
+// instance.
+func TestRegisterShared(t *testing.T) {
+	rt := New(Options{DifferentialDeserialization: true})
+	calls := 0
+	resp := wire.NewMessage("urn:calc", "sumResponse")
+	resp.AddDouble("total", 0)
+	rt.RegisterShared(sumSchema(), func(req *wire.Message) (*wire.Message, error) {
+		calls++
+		return resp, nil
+	})
+	a := newClient(4)
+	for conn := uint64(1); conn <= 2; conn++ {
+		if _, err := rt.Handle(conn, "", a.body(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("shared handler ran %d times, want 2", calls)
 	}
 }

@@ -115,8 +115,13 @@ const (
 	// success / 0 on error, B=submit-to-completion latency in
 	// nanoseconds.
 	KindAsyncComplete
+	// KindReplicaEvict is a replica-registry eviction (client or server):
+	// A=op id (0 for conn/host-keyed entries), B=reason (0 LRU count cap,
+	// 1 byte budget), C=the entry's accounted bytes. Span 0: evictions
+	// belong to the registry, not to any one call.
+	KindReplicaEvict
 
-	kindCount = int(KindAsyncComplete) + 1
+	kindCount = int(KindReplicaEvict) + 1
 )
 
 var kindNames = [kindCount]string{
@@ -144,6 +149,7 @@ var kindNames = [kindCount]string{
 	KindServerRespond:   "server-respond",
 	KindAsyncSubmit:     "async-submit",
 	KindAsyncComplete:   "async-complete",
+	KindReplicaEvict:    "replica-evict",
 }
 
 // String returns the kind's wire name (stable; the inspector and the

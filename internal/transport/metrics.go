@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"bsoap/internal/promtext"
+	"bsoap/internal/replica"
 )
 
 // ServerMetrics is the server-side counterpart of pool.Metrics: a
@@ -31,11 +32,17 @@ type ServerMetrics struct {
 
 	// Differential-deserialization outcomes, recorded by the serverpool
 	// runtime (the transport itself never parses SOAP).
-	ddsFastPath       atomic.Int64
-	ddsFullParses     atomic.Int64
-	ddsValuesReparsed atomic.Int64
-	ddsKeyEvictions   atomic.Int64
-	replicaEvictions  atomic.Int64
+	ddsFastPath            atomic.Int64
+	ddsFullParses          atomic.Int64
+	ddsValuesReparsed      atomic.Int64
+	ddsKeyEvictions        atomic.Int64
+	replicaEvictions       atomic.Int64
+	replicaBudgetEvictions atomic.Int64
+
+	// templateSource, when set, snapshots the serverpool replica
+	// registry's byte accounting so the template-memory gauges come
+	// straight from the budget enforcer.
+	templateSource atomic.Pointer[func() replica.Counters]
 }
 
 // NewServerMetrics returns an empty registry.
@@ -61,12 +68,20 @@ type ServerStats struct {
 	DDSValuesReparsed int64 `json:"dds_values_reparsed"`
 	DDSKeyEvictions   int64 `json:"dds_key_evictions"`
 	ReplicaEvictions  int64 `json:"replica_evictions"`
+
+	// ReplicaBudgetEvictions is the subset of ReplicaEvictions driven by
+	// the MaxTemplateBytes budget; the rest is the replica count cap.
+	ReplicaBudgetEvictions int64 `json:"replica_budget_evictions"`
+	// TemplateBytes gauges the replica registry's accounted template
+	// memory; TemplateBytesHighWater is its lifetime maximum.
+	TemplateBytes          int64 `json:"template_bytes"`
+	TemplateBytesHighWater int64 `json:"template_bytes_high_water"`
 }
 
 // Snapshot reads every counter. Counters are read independently, so a
 // snapshot taken mid-request may be off by one between related fields.
 func (m *ServerMetrics) Snapshot() ServerStats {
-	return ServerStats{
+	st := ServerStats{
 		Requests:     m.requests.Load(),
 		BytesIn:      m.bytesIn.Load(),
 		ParseErrors:  m.parseErrors.Load(),
@@ -84,7 +99,15 @@ func (m *ServerMetrics) Snapshot() ServerStats {
 		DDSValuesReparsed: m.ddsValuesReparsed.Load(),
 		DDSKeyEvictions:   m.ddsKeyEvictions.Load(),
 		ReplicaEvictions:  m.replicaEvictions.Load(),
+
+		ReplicaBudgetEvictions: m.replicaBudgetEvictions.Load(),
 	}
+	if f := m.templateSource.Load(); f != nil {
+		c := (*f)()
+		st.TemplateBytes = c.Bytes
+		st.TemplateBytesHighWater = c.HighWater
+	}
+	return st
 }
 
 // RecordDDSDecode counts one decoded request: fast differential decodes
@@ -107,9 +130,21 @@ func (m *ServerMetrics) AddDDSKeyEvictions(n int64) {
 	}
 }
 
-// RecordReplicaEviction counts one connection replica evicted by the
-// serverpool LRU.
-func (m *ServerMetrics) RecordReplicaEviction() { m.replicaEvictions.Add(1) }
+// RecordReplicaEviction counts one replica evicted by the serverpool
+// registry; budget marks evictions driven by the MaxTemplateBytes
+// budget rather than the replica count cap.
+func (m *ServerMetrics) RecordReplicaEviction(budget bool) {
+	m.replicaEvictions.Add(1)
+	if budget {
+		m.replicaBudgetEvictions.Add(1)
+	}
+}
+
+// SetTemplateSource installs the function that snapshots the replica
+// registry's byte accounting (serverpool wires this at startup).
+func (m *ServerMetrics) SetTemplateSource(f func() replica.Counters) {
+	m.templateSource.Store(&f)
+}
 
 // connOpened / connClosed maintain the active-connection gauge.
 func (m *ServerMetrics) connOpened() {
@@ -156,7 +191,14 @@ func (m *ServerMetrics) WritePrometheus(w io.Writer) error {
 	p.Counter("bsoap_server_dds_full_parse_total", "Requests decoded by a full schema-driven parse.", st.DDSFullParses)
 	p.Counter("bsoap_server_dds_values_reparsed_total", "Leaf value regions re-lexed on the differential fast path.", st.DDSValuesReparsed)
 	p.Counter("bsoap_server_dds_key_evictions_total", "Operation keys evicted from bounded deserializers.", st.DDSKeyEvictions)
-	p.Counter("bsoap_server_replica_evictions_total", "Connection replicas evicted by the serverpool LRU.", st.ReplicaEvictions)
+	p.Counter("bsoap_server_replica_evictions_total", "Connection replicas evicted by the serverpool registry.", st.ReplicaEvictions)
+	p.CounterWithLabel("bsoap_server_template_evictions_total", "Server replica entries evicted, by reason.", "reason",
+		[]promtext.LabeledValue{
+			{Label: "lru", Value: st.ReplicaEvictions - st.ReplicaBudgetEvictions},
+			{Label: "budget", Value: st.ReplicaBudgetEvictions},
+		})
+	p.Gauge("bsoap_server_template_bytes", "Template memory accounted by the server replica registry.", st.TemplateBytes)
+	p.Gauge("bsoap_server_template_bytes_high_water", "Lifetime maximum of bsoap_server_template_bytes.", st.TemplateBytesHighWater)
 	return p.Err()
 }
 
