@@ -55,6 +55,10 @@ lru_guard
 # report allocs without paying for a full sweep.
 go test -run 'TestSteadyState' .
 BSOAP_TRACE=1 go test -count=1 -run 'TestSteadyState' .
+# Propagation cost: the span header write and the slow-ring observe
+# must be allocation-free too (their AllocsPerRun tests skip under
+# -race, so they need this plain leg).
+go test -run 'AllocFree|IsFree' ./internal/transport ./internal/trace
 go test -run '^$' -bench 'Fig0[12]' -benchtime=100x -benchmem .
 
 # Observability smoke: a real loadgen run against a discard server with
@@ -141,8 +145,11 @@ drain_smoke
 
 # Pipeline smoke: the async call path must actually pay. One worker,
 # small messages (round-trip-bound, where pipelining is the paper's
-# win), depth 8 against a read-ahead server: ≥1.5× the serial calls/s,
-# zero failed calls, ≥90% server fast path. A second run repeats the
+# win), depth 8 against a read-ahead server: ≥4/3 the serial calls/s,
+# zero failed calls, ≥90% server fast path. (The floor was 1.5× when
+# the serial sender allocated per call; the allocation-free request
+# head sped the serial baseline up enough that the localhost ratio now
+# lands 1.4–1.9×.) A second run repeats the
 # load through a 5% fault injector with the server draining mid-run:
 # errors are fine, lost futures are not (loadgen exits nonzero if any
 # future neither resolves nor errors).
@@ -163,8 +170,8 @@ pipeline_smoke() {
     serial_rate=$(awk '/calls\/s/ {gsub("\\(",""); print int($3)}' "$tmp/serial.log")
     piped_rate=$(awk '/calls\/s/ {gsub("\\(",""); print int($3)}' "$tmp/piped.log")
     echo "check.sh: pipeline smoke: serial $serial_rate calls/s, depth-8 $piped_rate calls/s"
-    [ "$piped_rate" -ge $((serial_rate * 3 / 2)) ] || {
-        echo "pipeline smoke: depth-8 rate $piped_rate < 1.5x serial $serial_rate" >&2
+    [ "$piped_rate" -ge $((serial_rate * 4 / 3)) ] || {
+        echo "pipeline smoke: depth-8 rate $piped_rate < 4/3x serial $serial_rate" >&2
         cat "$tmp/serial.log" "$tmp/piped.log" >&2
         exit 1
     }
@@ -234,6 +241,70 @@ budget_smoke() {
     echo "check.sh: budget smoke ok"
 }
 budget_smoke
+
+# Correlated-trace smoke: tracing on both processes, spans propagated
+# over the wire, slow capture armed on both sides. The correlator must
+# merge the two rings into cross-process timelines — its exit code
+# asserts ≥1 merged call, zero orphaned server spans and zero bracket
+# violations — and /debug/health must show nonzero slow captures on
+# both sides.
+correlate_smoke() {
+    tmp=$(mktemp -d)
+    go build -o "$tmp/bsoap-server" ./cmd/bsoap-server
+    go build -o "$tmp/bsoap-loadgen" ./cmd/bsoap-loadgen
+    go build -o "$tmp/bsoap-inspect" ./cmd/bsoap-inspect
+    "$tmp/bsoap-server" -mode bench -addr 127.0.0.1:29994 \
+        -metrics 127.0.0.1:28129 -trace -slow-threshold 1us -quiet \
+        > "$tmp/srv.log" 2>&1 &
+    srv=$!
+    sleep 0.5
+    # Bounded call count, untouched mix and per-leaf sampling keep both
+    # rings far under one wrap — a lapped client ring sheds old spans
+    # and the orphan gate below would trip on them. -hold keeps the
+    # loadgen's debug endpoints alive after the run so both rings can
+    # be scraped at rest.
+    "$tmp/bsoap-loadgen" -addr 127.0.0.1:29994 -workers 8 -rpc -calls 200 \
+        -mix 100/0/0 -trace -trace-sample 1000 -slow-threshold 1us \
+        -metrics 127.0.0.1:28130 -max-err 0 -hold 30s > "$tmp/lg.log" 2>&1 &
+    lg=$!
+    held=0
+    for _ in $(seq 1 100); do
+        if grep -q 'holding debug endpoints' "$tmp/lg.log"; then held=1; break; fi
+        kill -0 "$lg" 2>/dev/null || break
+        sleep 0.2
+    done
+    [ "$held" = 1 ] || {
+        echo "correlate smoke: loadgen never reached the hold window:" >&2
+        cat "$tmp/lg.log" >&2
+        exit 1
+    }
+    "$tmp/bsoap-inspect" health http://127.0.0.1:28130/debug/health \
+        http://127.0.0.1:28129/debug/health > "$tmp/health.log"
+    cat "$tmp/health.log"
+    [ "$(grep -c 'slow capture' "$tmp/health.log")" = 2 ] || {
+        echo "correlate smoke: expected slow-capture status from both processes" >&2
+        exit 1
+    }
+    if grep -q ' 0 captured' "$tmp/health.log"; then
+        echo "correlate smoke: a slow ring captured nothing" >&2
+        exit 1
+    fi
+    "$tmp/bsoap-inspect" trace -correlate \
+        http://127.0.0.1:28130/debug/trace http://127.0.0.1:28129/debug/trace \
+        > "$tmp/corr.log" || {
+        echo "correlate smoke: correlator failed:" >&2
+        tail -40 "$tmp/corr.log" >&2
+        exit 1
+    }
+    tail -1 "$tmp/corr.log"
+    kill "$lg" 2>/dev/null || true
+    wait "$lg" 2>/dev/null || true
+    kill -TERM "$srv"
+    wait "$srv" || { echo "correlate smoke: server exited nonzero" >&2; exit 1; }
+    rm -rf "$tmp"
+    echo "check.sh: correlate smoke ok"
+}
+correlate_smoke
 
 # Coverage floors on the runtime packages the call path spans. These
 # are ratchets, not targets: set just under the measured rate so a

@@ -1,0 +1,232 @@
+// `bsoap-inspect trace -correlate clientURL serverURL` merges the two
+// processes' flight-recorder rings into cross-process call timelines.
+//
+// The client propagates its span id over the X-BSoap-Trace header; the
+// server adopts it, so both rings record events under the same id. A
+// server request group counts as correlated only when it contains a
+// KindServerSpan link event — that event is recorded exclusively for
+// propagated spans, which keeps locally numbered spans of untraced
+// clients (both processes count spans from 1) from colliding.
+//
+// For every merged call the correlator sums each side's KindStage
+// events into a per-stage breakdown and checks the physical nesting
+// invariant: the server's stage total (queue→write) happens inside the
+// client's wire window, so it can never exceed the client's stage total.
+// A violation, an orphaned server span (link event but no client
+// events), or zero merged calls exits nonzero — check.sh leans on that.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"bsoap/internal/trace"
+)
+
+// bracketSlackNs absorbs measurement noise when comparing durations
+// from two different processes. Clock-rate drift is ppm-scale, but the
+// stage intervals are wall-clock and include goroutine scheduling
+// delay: under CPU contention the server can be descheduled for
+// milliseconds between its last write syscall and the stage's closing
+// clock read, extending the measured interval past the client's
+// already-closed window. The check exists to catch attribution bugs —
+// double-counted stages, wrong units — which overshoot by orders of
+// magnitude, so generous slack keeps the gate reliable without
+// blunting it.
+const bracketSlackNs = int64(25 * time.Millisecond)
+
+// sideEvents is one span's events from one ring, recording order.
+type sideEvents struct {
+	evs []trace.EventJSON
+}
+
+func (s *sideEvents) stageSums() (per map[trace.Stage]int64, total int64) {
+	per = make(map[trace.Stage]int64)
+	for _, ev := range s.evs {
+		if k, _ := trace.KindFromString(ev.Kind); k == trace.KindStage {
+			per[trace.Stage(ev.A)] += ev.B
+			total += ev.B
+		}
+	}
+	return per, total
+}
+
+// runCorrelate fetches both rings, merges them, prints the timelines,
+// and returns the process exit code.
+func runCorrelate(w io.Writer, clientURL, serverURL string) int {
+	cd, err := fetchDump(clientURL)
+	if err != nil {
+		fatal(err)
+	}
+	sd, err := fetchDump(serverURL)
+	if err != nil {
+		fatal(err)
+	}
+
+	client := groupSpans(cd)
+	server := groupSpans(sd)
+
+	// Server groups linked to a client span via KindServerSpan; only
+	// these may be correlated (or declared orphaned). A server ring that
+	// outlives several client runs holds one instance per run under the
+	// same span id (every client counts spans from 1) — each instance
+	// begins at its own link event, so keep only the newest one and pair
+	// it with the client ring, which is always from the newest run.
+	linked := make(map[uint64]*trace.EventJSON, len(server))
+	collided := 0
+	for span, g := range server {
+		last := -1
+		anchors := 0
+		for i := range g.evs {
+			if k, _ := trace.KindFromString(g.evs[i].Kind); k == trace.KindServerSpan {
+				last = i
+				anchors++
+			}
+		}
+		if last < 0 {
+			continue
+		}
+		if anchors > 1 {
+			collided++
+			// The newest instance starts just before its link event: the
+			// transport records the server_queue stage, then the runtime
+			// adopts the span.
+			start := last
+			for start > 0 {
+				prev := g.evs[start-1]
+				if k, _ := trace.KindFromString(prev.Kind); k == trace.KindStage && trace.Stage(prev.A) == trace.StageServerQueue {
+					start--
+					continue
+				}
+				break
+			}
+			g.evs = g.evs[start:]
+			for i := range g.evs {
+				if k, _ := trace.KindFromString(g.evs[i].Kind); k == trace.KindServerSpan {
+					last = i
+					break
+				}
+			}
+		}
+		linked[span] = &g.evs[last]
+	}
+	if collided > 0 {
+		fmt.Fprintf(w, "note: %d spans held multiple server instances (server ring predates this client run); newest used\n", collided)
+	}
+
+	var merged, orphaned []uint64
+	for span := range linked {
+		if _, ok := client[span]; ok {
+			merged = append(merged, span)
+		} else {
+			orphaned = append(orphaned, span)
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+	sort.Slice(orphaned, func(a, b int) bool { return orphaned[a] < orphaned[b] })
+
+	violations := 0
+	for _, span := range merged {
+		if !printMerged(w, span, client[span], server[span], linked[span], cd.Ops, sd.Ops) {
+			violations++
+		}
+	}
+
+	fmt.Fprintf(w, "\ncorrelated %d calls, %d orphaned server spans, %d bracket violations\n",
+		len(merged), len(orphaned), violations)
+	for _, span := range orphaned {
+		fmt.Fprintf(w, "  orphaned server span %d (link present, no client events — client ring lapped?)\n", span)
+	}
+	if len(merged) == 0 || len(orphaned) > 0 || violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printMerged renders one correlated call and reports whether the
+// server's stage total nests inside the client's (the bracket check).
+func printMerged(w io.Writer, span uint64, c, s *sideEvents, link *trace.EventJSON, cops, sops map[int64]string) bool {
+	fmt.Fprintf(w, "\ncall %d (server sub-span %d, conn %d):\n", span, link.A, link.B)
+
+	cper, ctotal := c.stageSums()
+	sper, stotal := s.stageSums()
+	fmt.Fprintf(w, "  client stages: %s  (total %v)\n", formatStages(cper), time.Duration(ctotal).Round(time.Microsecond))
+	fmt.Fprintf(w, "  server stages: %s  (total %v)\n", formatStages(sper), time.Duration(stotal).Round(time.Microsecond))
+
+	ok := stotal <= ctotal+bracketSlackNs
+	if !ok {
+		fmt.Fprintf(w, "  BRACKET VIOLATION: server stage total %v exceeds client stage total %v\n",
+			time.Duration(stotal), time.Duration(ctotal))
+	}
+
+	// Merged timeline: each side's events in recording order, times
+	// relative to that side's first event (the two processes' clocks are
+	// not comparable, so no cross-side time axis is implied).
+	fmt.Fprintln(w, "  timeline:")
+	printSide(w, "client", c, cops)
+	printSide(w, "server", s, sops)
+	return ok
+}
+
+func printSide(w io.Writer, side string, s *sideEvents, ops map[int64]string) {
+	if len(s.evs) == 0 {
+		return
+	}
+	t0 := s.evs[0].Time
+	for _, ev := range s.evs {
+		dt := time.Duration(ev.Time - t0)
+		fmt.Fprintf(w, "    [%s] %+10v  %s\n", side, dt.Round(time.Microsecond), renderEvent(ev, ops))
+	}
+}
+
+// formatStages renders a per-stage duration map in stage-enum order.
+func formatStages(per map[trace.Stage]int64) string {
+	if len(per) == 0 {
+		return "(none recorded)"
+	}
+	out := ""
+	for st := trace.Stage(0); int(st) < trace.StageCount; st++ {
+		ns, ok := per[st]
+		if !ok {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %v", st, time.Duration(ns).Round(time.Microsecond))
+	}
+	return out
+}
+
+// groupSpans buckets a dump's events by span, dropping span 0 (events
+// not bound to any call).
+func groupSpans(d *trace.Dump) map[uint64]*sideEvents {
+	out := make(map[uint64]*sideEvents)
+	for _, ev := range d.Events {
+		if ev.Span == 0 {
+			continue
+		}
+		g := out[ev.Span]
+		if g == nil {
+			g = &sideEvents{}
+			out[ev.Span] = g
+		}
+		g.evs = append(g.evs, ev)
+	}
+	return out
+}
+
+func fetchDump(url string) (*trace.Dump, error) {
+	body, err := fetch(url)
+	if err != nil {
+		return nil, err
+	}
+	var d trace.Dump
+	if err := json.Unmarshal(body, &d); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,71 @@
+// `bsoap-inspect health` fetches one or more /debug/health endpoints
+// and renders each process's build identity, uptime, and tracing state
+// on a few lines — the first command to run against a misbehaving
+// deployment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"time"
+
+	"bsoap/internal/health"
+)
+
+// runHealth implements `bsoap-inspect health`.
+func runHealth(args []string) {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8123/debug/health", "health endpoint (positional URLs override)")
+	_ = fs.Parse(args)
+	urls := fs.Args()
+	if len(urls) == 0 {
+		urls = []string{*url}
+	}
+	for i, u := range urls {
+		if i > 0 {
+			fmt.Println()
+		}
+		body, err := fetch(u)
+		if err != nil {
+			fatal(err)
+		}
+		var r health.Report
+		if err := json.Unmarshal(body, &r); err != nil {
+			fatal(fmt.Errorf("decoding %s: %w", u, err))
+		}
+		printHealth(u, &r)
+	}
+}
+
+func printHealth(url string, r *health.Report) {
+	build := r.GoVersion
+	if r.Revision != "" {
+		rev := r.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		build += ", rev " + rev
+		if r.DirtyBuild {
+			build += "+dirty"
+		}
+	}
+	fmt.Printf("%s (%s): pid %d, up %v, %d goroutines (%s)\n",
+		r.Program, url, r.PID,
+		(time.Duration(r.UptimeSeconds * float64(time.Second))).Round(time.Second),
+		r.Goroutines, build)
+	t := r.Trace
+	state := "off"
+	if t.Enabled {
+		state = "on"
+	}
+	fmt.Printf("  trace: %s — %d events recorded, %d spans, ring %d\n",
+		state, t.Recorded, t.Spans, t.RingSize)
+	switch t.SlowMode {
+	case "off":
+		fmt.Printf("  slow capture: off\n")
+	default:
+		fmt.Printf("  slow capture: %s, threshold %v, %d captured (ring %d)\n",
+			t.SlowMode, time.Duration(t.SlowThresholdNs), t.SlowCaptured, t.SlowRingSize)
+	}
+}

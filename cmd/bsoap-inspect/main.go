@@ -40,6 +40,9 @@ func main() {
 		case "templates":
 			runTemplates(os.Args[2:])
 			return
+		case "health":
+			runHealth(os.Args[2:])
+			return
 		}
 	}
 	var (

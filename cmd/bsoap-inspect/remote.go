@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"bsoap/internal/core"
@@ -37,11 +38,26 @@ import (
 func runTrace(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	var (
-		url   = fs.String("url", "http://127.0.0.1:8123/debug/trace", "flight-recorder endpoint")
-		clear = fs.Bool("clear", false, "clear the ring after dumping")
-		spans = fs.Int("spans", 0, "show only the last N call spans (0 = all)")
+		url       = fs.String("url", "http://127.0.0.1:8123/debug/trace", "flight-recorder endpoint")
+		clear     = fs.Bool("clear", false, "clear the ring after dumping")
+		spans     = fs.Int("spans", 0, "show only the last N call spans (0 = all)")
+		follow    = fs.Bool("follow", false, "poll the ring incrementally (?since= cursor) and stream new events")
+		interval  = fs.Duration("interval", time.Second, "poll interval with -follow")
+		correlate = fs.Bool("correlate", false, "merge a client and a server ring by span: trace -correlate clientURL serverURL")
 	)
 	_ = fs.Parse(args)
+
+	if *correlate {
+		urls := fs.Args()
+		if len(urls) != 2 {
+			fatal(fmt.Errorf("trace -correlate needs exactly two endpoints: clientURL serverURL"))
+		}
+		os.Exit(runCorrelate(os.Stdout, urls[0], urls[1]))
+	}
+	if *follow {
+		followTrace(*url, *interval)
+		return
+	}
 
 	u := *url
 	if *clear {
@@ -56,6 +72,37 @@ func runTrace(args []string) {
 		fatal(fmt.Errorf("decoding %s: %w", *url, err))
 	}
 	printTimelines(os.Stdout, &d, *spans)
+}
+
+// followTrace polls the endpoint with the ?since= cursor, printing only
+// events recorded after the previous poll, until interrupted.
+func followTrace(url string, interval time.Duration) {
+	sep := "?"
+	if strings.ContainsRune(url, '?') {
+		sep = "&"
+	}
+	var cursor uint64
+	for {
+		body, err := fetch(fmt.Sprintf("%s%ssince=%d", url, sep, cursor))
+		if err != nil {
+			fatal(err)
+		}
+		var d trace.Dump
+		if err := json.Unmarshal(body, &d); err != nil {
+			fatal(fmt.Errorf("decoding %s: %w", url, err))
+		}
+		if cursor > 0 && d.Recorded < cursor {
+			// The ring was cleared under us: restart from its beginning.
+			fmt.Println("-- ring cleared, cursor reset --")
+			cursor = 0
+			continue
+		}
+		for _, ev := range d.Events {
+			fmt.Printf("%10d  span %-6d %s\n", ev.Seq, ev.Span, renderEvent(ev, d.Ops))
+		}
+		cursor = d.Next
+		time.Sleep(interval)
+	}
 }
 
 // printTimelines groups a dump's events by span and renders each call's
@@ -208,6 +255,10 @@ func renderEvent(ev trace.EventJSON, ops map[int64]string) string {
 			reason = "budget"
 		}
 		return fmt.Sprintf("replica entry %s evicted (%s, %d B released)", op(ev.A), reason, ev.C)
+	case trace.KindServerSpan:
+		return fmt.Sprintf("server adopted client span (sub-span %d, conn %d)", ev.A, ev.B)
+	case trace.KindStage:
+		return fmt.Sprintf("stage %s: %v", trace.Stage(ev.A), time.Duration(ev.B).Round(time.Microsecond))
 	}
 	return fmt.Sprintf("%s a=%d b=%d c=%d", ev.Kind, ev.A, ev.B, ev.C)
 }

@@ -35,6 +35,7 @@ import (
 
 	"bsoap"
 	"bsoap/internal/faultwire"
+	"bsoap/internal/health"
 	"bsoap/internal/promtext"
 	"bsoap/internal/trace"
 	"bsoap/internal/workload"
@@ -49,14 +50,17 @@ func main() {
 		n         = flag.Int("n", 1000, "array elements per message")
 		duration  = flag.Duration("duration", 5*time.Second, "run length")
 		calls     = flag.Int64("calls", 0, "stop after this many calls instead of -duration")
+		hold      = flag.Duration("hold", 0, "keep serving -metrics debug endpoints this long after the run (so trace rings can be scraped/correlated post-run)")
 		conns     = flag.Int("conns", 0, "pooled connections (default = workers, max 16)")
 		replicas  = flag.Int("replicas", 4, "template replicas per operation structure")
 		shards    = flag.Int("shards", 16, "template store shards")
 		maxTmplB  = flag.Int64("max-template-bytes", 0, "template memory budget in bytes (0 = unbudgeted); LRU entries are evicted to stay under it")
 		mix       = flag.String("mix", "60/30/10", "percent of iterations that are untouched/touched/grown")
-		metrics   = flag.String("metrics", "", "serve live metrics on this address (e.g. :8123): JSON at /, Prometheus at /metrics, /debug/trace, /debug/templates")
+		metrics   = flag.String("metrics", "", "serve live metrics on this address (e.g. :8123): JSON at /, Prometheus at /metrics, /debug/trace, /debug/trace/slow, /debug/health, /debug/templates")
 		traceOn   = flag.Bool("trace", false, "enable the flight recorder (dump via -metrics /debug/trace or report a summary on exit)")
 		traceSamp = flag.Uint64("trace-sample", 1, "record every Nth rewrite/tag-shift event (1 = all)")
+		slowThr   = flag.Duration("slow-threshold", 0, "capture full event sets of calls slower end-to-end than this (0 = off)")
+		slowQuant = flag.Float64("slow-quantile", 0, "capture calls slower than this rolling latency quantile, e.g. 0.99 (0 = off; overrides -slow-threshold)")
 		pprofSrv  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) — verify the send path's allocation profile under load")
 		rpc       = flag.Bool("rpc", false, "read one HTTP response per call (pair with a responding server, e.g. -mode record)")
 		pipeline  = flag.Int("pipeline", 0, "pipeline depth: keep up to N async calls in flight per worker (requires a responding server; workers drive max(-ops, N) messages each so the window can fill)")
@@ -136,18 +140,26 @@ func main() {
 			trace.Default.SetSampling(trace.KindTagShift, *traceSamp, 0)
 		}
 	}
+	if *slowThr > 0 {
+		trace.SetSlowThreshold(*slowThr)
+	}
+	if *slowQuant > 0 {
+		trace.SetSlowQuantile(*slowQuant)
+	}
 	if *metrics != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/", pool.Metrics())
 		mux.Handle("/metrics", pool.Metrics().PrometheusHandler())
 		mux.Handle("/debug/trace", trace.Handler())
+		mux.Handle("/debug/trace/slow", trace.SlowHandler())
+		mux.Handle("/debug/health", health.NewProbe("bsoap-loadgen").Handler())
 		mux.Handle("/debug/templates", pool.TemplatesHandler())
 		go func() {
 			if err := http.ListenAndServe(*metrics, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "bsoap-loadgen: metrics endpoint:", err)
 			}
 		}()
-		fmt.Printf("bsoap-loadgen: metrics on http://%s/ (JSON), /metrics (Prometheus), /debug/trace, /debug/templates\n", *metrics)
+		fmt.Printf("bsoap-loadgen: metrics on http://%s/ (JSON), /metrics (Prometheus), /debug/trace, /debug/trace/slow, /debug/health, /debug/templates\n", *metrics)
 	}
 	if *pprofSrv != "" {
 		go func() {
@@ -227,6 +239,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bsoap-loadgen: error rate %.2f%% exceeds -max-err %.2f%% (%d of %d calls failed)\n",
 			errRate, *maxErr, errorsN.Load(), st.Calls)
 		os.Exit(1)
+	}
+
+	if *hold > 0 && *metrics != "" {
+		fmt.Printf("bsoap-loadgen: holding debug endpoints on %s for %v\n", *metrics, *hold)
+		time.Sleep(*hold)
 	}
 }
 

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"bsoap/internal/classad"
+	"bsoap/internal/health"
 	"bsoap/internal/mcs"
 	"bsoap/internal/server"
 	"bsoap/internal/serverpool"
@@ -72,8 +73,11 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-connection error logging")
 		recCap   = flag.Int("record-limit", 10000, "record mode: max bodies kept in memory (0 = unbounded)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) — verify the receive path's allocation profile under load")
-		metrics  = flag.String("metrics", "", "serve server metrics on this address (e.g. :8124): JSON at /, Prometheus at /metrics, /debug/trace")
+		metrics  = flag.String("metrics", "", "serve server metrics on this address (e.g. :8124): JSON at /, Prometheus at /metrics, /debug/trace, /debug/trace/slow, /debug/health")
 		traceOn  = flag.Bool("trace", false, "enable the flight recorder (records decode and response-path template decisions)")
+
+		slowThresh = flag.Duration("slow-threshold", 0, "capture full event sets of requests slower than this server-side (0 = off)")
+		slowQuant  = flag.Float64("slow-quantile", 0, "capture requests slower than this rolling latency quantile, e.g. 0.99 (0 = off; overrides -slow-threshold)")
 
 		maxConns     = flag.Int("max-conns", 0, "admission: max open connections, excess rejected 503 (0 = unlimited)")
 		maxInflight  = flag.Int("max-inflight", 0, "admission: max requests handled at once, excess shed 503 (0 = unlimited)")
@@ -103,6 +107,12 @@ func main() {
 
 	if *traceOn {
 		trace.Enable()
+	}
+	if *slowThresh > 0 {
+		trace.SetSlowThreshold(*slowThresh)
+	}
+	if *slowQuant > 0 {
+		trace.SetSlowQuantile(*slowQuant)
 	}
 	sm := transport.NewServerMetrics()
 
@@ -200,6 +210,8 @@ func main() {
 		mux.Handle("/", sm.StatsHandler())
 		mux.Handle("/metrics", sm.PrometheusHandler())
 		mux.Handle("/debug/trace", trace.Handler())
+		mux.Handle("/debug/trace/slow", trace.SlowHandler())
+		mux.Handle("/debug/health", health.NewProbe("bsoap-server").Handler())
 		if rt != nil {
 			mux.Handle("/debug/templates", rt.TemplatesHandler())
 		}
@@ -208,7 +220,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "bsoap-server: metrics endpoint:", err)
 			}
 		}()
-		fmt.Printf("bsoap-server: metrics on http://%s/ (JSON), /metrics (Prometheus), /debug/trace, /debug/templates\n", *metrics)
+		fmt.Printf("bsoap-server: metrics on http://%s/ (JSON), /metrics (Prometheus), /debug/trace, /debug/trace/slow, /debug/health, /debug/templates\n", *metrics)
 	}
 	runtimeName := "serverpool"
 	if !soapMode {

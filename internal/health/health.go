@@ -1,0 +1,87 @@
+// Package health serves the /debug/health endpoint mounted by both
+// bsoap binaries: build identity (module version, Go version, VCS
+// revision), process uptime, goroutine count, and the flight recorder's
+// recording and slow-ring state. It is the first endpoint to hit when a
+// process misbehaves — one GET says what is running, for how long, and
+// whether tracing is armed — and `bsoap-inspect health` renders it.
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"bsoap/internal/trace"
+)
+
+// Report is the /debug/health payload.
+type Report struct {
+	// Program is the role string the binary registered ("bsoap-server",
+	// "bsoap-loadgen", ...).
+	Program string `json:"program"`
+	// Module and GoVersion come from the build info baked into the
+	// binary; Revision and DirtyBuild from its VCS stamp when present.
+	Module     string `json:"module,omitempty"`
+	Version    string `json:"version,omitempty"`
+	GoVersion  string `json:"go_version"`
+	Revision   string `json:"revision,omitempty"`
+	DirtyBuild bool   `json:"dirty_build,omitempty"`
+
+	PID           int     `json:"pid"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+
+	Trace trace.Status `json:"trace"`
+}
+
+// Probe builds Reports for one process; construct it at startup so
+// uptime is measured from process birth, not first scrape.
+type Probe struct {
+	program string
+	start   time.Time
+	pid     int
+}
+
+// NewProbe returns a probe reporting under the given program name.
+func NewProbe(program string) *Probe {
+	return &Probe{program: program, start: time.Now(), pid: os.Getpid()}
+}
+
+// Report snapshots the process.
+func (p *Probe) Report() Report {
+	r := Report{
+		Program:       p.program,
+		GoVersion:     runtime.Version(),
+		PID:           p.pid,
+		UptimeSeconds: time.Since(p.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Trace:         trace.GetStatus(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		r.Module = bi.Main.Path
+		r.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				r.Revision = s.Value
+			case "vcs.modified":
+				r.DirtyBuild = s.Value == "true"
+			}
+		}
+	}
+	return r
+}
+
+// Handler serves the report as indented JSON — the /debug/health
+// endpoint.
+func (p *Probe) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p.Report())
+	})
+}

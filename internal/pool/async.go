@@ -34,6 +34,10 @@ type Future struct {
 	ci    core.CallInfo
 	span  uint64
 	start time.Time
+	// submitted is when SendAsync returned: the request is fully on the
+	// wire (or buffered behind it), so submitted→resolve is the call's
+	// wire stage.
+	submitted time.Time
 
 	once sync.Once
 	err  error
@@ -58,10 +62,18 @@ func (f *Future) Wait() (core.CallInfo, error) {
 
 func (f *Future) resolve() {
 	err := f.pd.Wait()
-	elapsed := f.p.senders.now().Sub(f.start)
+	now := f.p.senders.now()
+	elapsed := now.Sub(f.start)
 	if err != nil {
 		f.p.store.markSuspect(f.r, f.op, f.sig, f.span)
 		err = fmt.Errorf("pool: pipelined call: %w", err)
+	}
+	if err == nil {
+		wireNs := now.Sub(f.submitted).Nanoseconds()
+		f.p.metrics.Stages.Observe(trace.StageWire, wireNs, f.span)
+		if f.span != 0 {
+			trace.Rec(f.span, trace.KindStage, int64(trace.StageWire), wireNs, 0)
+		}
 	}
 	if f.span != 0 {
 		ok := int64(1)
@@ -71,6 +83,9 @@ func (f *Future) resolve() {
 		trace.Rec(f.span, trace.KindAsyncComplete, ok, int64(elapsed), 0)
 	}
 	f.p.metrics.RecordCall(f.ci, err, elapsed)
+	if f.span != 0 && err == nil {
+		trace.ObserveCall(f.span, int64(elapsed))
+	}
 	f.err = err
 }
 
@@ -80,10 +95,16 @@ func (f *Future) resolve() {
 type submitSink struct {
 	pl *transport.Pipeline
 	pd *transport.Pending
+	// ns accumulates time spent inside SendAsync — the pipeline-queue
+	// stage (depth-stall wait plus the request write) of the call's
+	// latency attribution.
+	ns int64
 }
 
 func (ss *submitSink) Send(bufs net.Buffers) error {
+	start := time.Now()
 	pd, err := ss.pl.SendAsync(bufs)
+	ss.ns += time.Since(start).Nanoseconds()
 	ss.pd = pd
 	return err
 }
@@ -159,12 +180,15 @@ func (p *Pool) CallAsync(m *wire.Message) (*Future, error) {
 	if err != nil {
 		return nil, err
 	}
+	ckNs := p.senders.now().Sub(start).Nanoseconds()
+	p.metrics.Stages.Observe(trace.StageCheckout, ckNs, span)
 	if span != 0 {
 		w := int64(0)
 		if waited {
 			w = 1
 		}
 		trace.Rec(span, trace.KindPoolCheckout, w, 0, 0)
+		trace.Rec(span, trace.KindStage, int64(trace.StageCheckout), ckNs, 0)
 	}
 
 	var (
@@ -192,11 +216,22 @@ func (p *Pool) CallAsync(m *wire.Message) (*Future, error) {
 			r.stub.SetTraceSpan(span)
 		}
 		p.metrics.futuresPending.Add(1)
+		callStart := p.senders.now()
 		ci, err = r.stub.Call(m)
+		callNs := p.senders.now().Sub(callStart).Nanoseconds()
 		op, sig := m.Operation(), m.Signature()
 		p.store.release(r)
 		if err == nil {
-			fut = &Future{p: p, pd: ss.pd, r: r, op: op, sig: sig, ci: ci, span: span, start: start}
+			submitted := p.senders.now()
+			// Attribute the submit: SendAsync time (stall + write) is the
+			// pipeline-queue stage, the rest of Call is serialization.
+			p.metrics.Stages.Observe(trace.StagePipelineQueue, ss.ns, span)
+			p.metrics.Stages.Observe(trace.StageSerialize, callNs-ss.ns, span)
+			if span != 0 {
+				trace.Rec(span, trace.KindStage, int64(trace.StagePipelineQueue), ss.ns, 0)
+				trace.Rec(span, trace.KindStage, int64(trace.StageSerialize), callNs-ss.ns, 0)
+			}
+			fut = &Future{p: p, pd: ss.pd, r: r, op: op, sig: sig, ci: ci, span: span, start: start, submitted: submitted}
 			p.metrics.asyncCalls.Add(1)
 			if span != 0 {
 				trace.Rec(span, trace.KindAsyncSubmit, trace.OpID(op), int64(pl.InFlight()), 0)

@@ -15,6 +15,8 @@ import (
 	"bsoap/internal/core"
 	"bsoap/internal/promtext"
 	"bsoap/internal/replica"
+	"bsoap/internal/trace"
+	"bsoap/internal/transport"
 )
 
 // errKind indexes the per-kind error counters: what stopped a failed
@@ -90,6 +92,11 @@ type Metrics struct {
 	// injector (faultwire) has put on this pool's wire; snapshots read
 	// it so chaos runs can watch fault counts on the live endpoint.
 	faultSource atomic.Pointer[func() int64]
+
+	// Stages is the always-on per-stage latency attribution histogram
+	// (client stages: checkout, serialize, pipeline_queue, wire),
+	// exposed as bsoap_client_stage_seconds.
+	Stages trace.StageHist
 
 	lat histogram
 }
@@ -371,9 +378,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			{Label: "full", Value: s.FullSerializations},
 		})
 
-	p.Counter("bsoap_client_bytes_on_wire_total", "Bytes handed to the transport.", s.BytesOnWire)
-	p.Counter("bsoap_client_bytes_serialized_total", "Bytes actually converted from in-memory values.", s.BytesSerialized)
-	p.Counter("bsoap_client_bytes_saved_total", "Serialization bytes avoided by diffing.", s.BytesSaved)
+	p.Counter("bsoap_client_wire_bytes_total", "Bytes handed to the transport.", s.BytesOnWire)
+	p.Counter("bsoap_client_serialized_bytes_total", "Bytes actually converted from in-memory values.", s.BytesSerialized)
+	p.Counter("bsoap_client_saved_bytes_total", "Serialization bytes avoided by diffing.", s.BytesSaved)
+	// Deprecated aliases of the three families above (pre-rename names
+	// with the unit mid-name, kept parse-compatible for one release).
+	p.Counter("bsoap_client_bytes_on_wire_total", "Deprecated: use bsoap_client_wire_bytes_total.", s.BytesOnWire)
+	p.Counter("bsoap_client_bytes_serialized_total", "Deprecated: use bsoap_client_serialized_bytes_total.", s.BytesSerialized)
+	p.Counter("bsoap_client_bytes_saved_total", "Deprecated: use bsoap_client_saved_bytes_total.", s.BytesSaved)
 
 	p.Counter("bsoap_client_values_rewritten_total", "Dirty leaves re-serialized into templates.", s.ValuesRewritten)
 	p.Counter("bsoap_client_tag_shifts_total", "Closing-tag shifts within a field.", s.TagShifts)
@@ -413,7 +425,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p.Histogram("bsoap_client_call_latency_seconds", "Successful call latency (power-of-two buckets).",
 		uppers, s.LatencyBuckets, float64(s.LatencySumNs)/1e9, s.LatencyCount)
 
+	p.HistogramWithLabel("bsoap_client_stage_seconds",
+		"Client-side per-call latency attribution by pipeline stage.", "stage",
+		transport.StageSeconds(&m.Stages, clientStages))
+
 	return p.Err()
+}
+
+// clientStages are the stages the client side attributes latency to.
+var clientStages = []trace.Stage{
+	trace.StageCheckout, trace.StageSerialize,
+	trace.StagePipelineQueue, trace.StageWire,
 }
 
 // ServeHTTP makes the registry an http.Handler so a live system can

@@ -198,12 +198,15 @@ func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 		return core.CallInfo{}, err
 	}
 	defer p.senders.checkin(ps)
+	ckNs := p.senders.now().Sub(start).Nanoseconds()
+	p.metrics.Stages.Observe(trace.StageCheckout, ckNs, span)
 	if span != 0 {
 		w := int64(0)
 		if waited {
 			w = 1
 		}
 		trace.Rec(span, trace.KindPoolCheckout, w, 0, 0)
+		trace.Rec(span, trace.KindStage, int64(trace.StageCheckout), ckNs, 0)
 	}
 
 	var ci core.CallInfo
@@ -233,12 +236,24 @@ func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 		}
 		r := p.store.acquire(m, span)
 		r.sink.s = sink
+		r.sink.wireNs = 0
 		if span != 0 {
 			r.stub.SetTraceSpan(span)
 		}
+		callStart := p.senders.now()
 		ci, err = r.stub.Call(m)
+		callNs := p.senders.now().Sub(callStart).Nanoseconds()
+		wireNs := r.sink.wireNs
 		p.store.release(r)
 		if err == nil {
+			// Attribute the stub's Call time: what was spent inside the
+			// transport sink is wire, the rest is serialization work.
+			p.metrics.Stages.Observe(trace.StageSerialize, callNs-wireNs, span)
+			p.metrics.Stages.Observe(trace.StageWire, wireNs, span)
+			if span != 0 {
+				trace.Rec(span, trace.KindStage, int64(trace.StageSerialize), callNs-wireNs, 0)
+				trace.Rec(span, trace.KindStage, int64(trace.StageWire), wireNs, 0)
+			}
 			break
 		}
 		ps.broken = true
@@ -264,7 +279,11 @@ func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 		// classification happened".
 		trace.Rec(span, trace.KindCallErr, -1, 0, 0)
 	}
-	p.metrics.RecordCall(ci, err, p.senders.now().Sub(start))
+	elapsed := p.senders.now().Sub(start)
+	p.metrics.RecordCall(ci, err, elapsed)
+	if span != 0 && err == nil {
+		trace.ObserveCall(span, int64(elapsed))
+	}
 	return ci, err
 }
 

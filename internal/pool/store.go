@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bsoap/internal/core"
 	reg "bsoap/internal/replica"
@@ -120,9 +121,21 @@ func footGen(cs core.Stats) int64 {
 
 // swapSink routes the stub's output to whatever connection the call
 // checked out. It is set while the replica lock is held.
-type swapSink struct{ s core.Sink }
+type swapSink struct {
+	s core.Sink
+	// wireNs accumulates time spent inside the sink during the current
+	// call — the wire stage of the client's latency attribution, split
+	// out of the stub's total Call time. Reset by the pool before each
+	// call; guarded by the engine lock like s.
+	wireNs int64
+}
 
-func (w *swapSink) Send(bufs net.Buffers) error { return w.s.Send(bufs) }
+func (w *swapSink) Send(bufs net.Buffers) error {
+	start := time.Now()
+	err := w.s.Send(bufs)
+	w.wireNs += time.Since(start).Nanoseconds()
+	return err
+}
 
 // NewShardedStore builds a store with the given shard count (rounded up
 // to a power of two, default 16), per-key replica limit (default 4),

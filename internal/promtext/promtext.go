@@ -76,14 +76,64 @@ type LabeledValue struct {
 // observation count. sum is in the same unit as the bounds.
 func (p *Writer) Histogram(name, help string, uppers []float64, counts []int64, sum float64, count int64) {
 	p.header(name, help, "histogram")
+	p.histogramSeries(name, "", uppers, counts, count, nil)
+	p.printf("%s_sum %s\n", name, strconv.FormatFloat(sum, 'g', -1, 64))
+	p.printf("%s_count %d\n", name, count)
+}
+
+// Exemplar is an OpenMetrics-style exemplar attached to a histogram
+// bucket line: one label pair (typically a trace/span id) and the
+// exemplified observation value.
+type Exemplar struct {
+	LabelKey   string
+	LabelValue string
+	Value      float64
+}
+
+// LabeledHistogram is one series of a label-partitioned histogram
+// family (see HistogramWithLabel). Exemplar, when non-nil, is attached
+// to the +Inf bucket line (the bucket every observation falls into).
+type LabeledHistogram struct {
+	Label    string
+	Uppers   []float64
+	Counts   []int64
+	Sum      float64
+	Count    int64
+	Exemplar *Exemplar
+}
+
+// HistogramWithLabel emits a histogram family partitioned by one label
+// (e.g. stage="serialize"): one HELP/TYPE header, then per series the
+// cumulative buckets, +Inf, _sum and _count, each carrying the label.
+func (p *Writer) HistogramWithLabel(name, help, label string, series []LabeledHistogram) {
+	p.header(name, help, "histogram")
+	for _, s := range series {
+		pair := label + "=" + strconv.Quote(s.Label)
+		p.histogramSeries(name, pair, s.Uppers, s.Counts, s.Count, s.Exemplar)
+		p.printf("%s_sum{%s} %s\n", name, pair, strconv.FormatFloat(s.Sum, 'g', -1, 64))
+		p.printf("%s_count{%s} %d\n", name, pair, s.Count)
+	}
+}
+
+// histogramSeries emits one series' bucket lines. pair is the extra
+// label pair ("" for unlabeled); ex, when non-nil, rides the +Inf line.
+func (p *Writer) histogramSeries(name, pair string, uppers []float64, counts []int64, count int64, ex *Exemplar) {
+	sep := ""
+	if pair != "" {
+		sep = ","
+	}
 	var cum int64
 	for i, ub := range uppers {
 		cum += counts[i]
-		p.printf("%s_bucket{le=%q} %d\n", name, formatBound(ub), cum)
+		p.printf("%s_bucket{%s%sle=%q} %d\n", name, pair, sep, formatBound(ub), cum)
 	}
-	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, count)
-	p.printf("%s_sum %s\n", name, strconv.FormatFloat(sum, 'g', -1, 64))
-	p.printf("%s_count %d\n", name, count)
+	if ex != nil {
+		p.printf("%s_bucket{%s%sle=\"+Inf\"} %d # {%s=%q} %s\n",
+			name, pair, sep, count, ex.LabelKey, ex.LabelValue,
+			strconv.FormatFloat(ex.Value, 'g', -1, 64))
+		return
+	}
+	p.printf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, pair, sep, count)
 }
 
 // formatBound renders a bucket boundary the way Prometheus does: shortest

@@ -72,6 +72,125 @@ func TestValidateAcceptsSpecials(t *testing.T) {
 	}
 }
 
+func TestExemplarRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	w.HistogramWithLabel("bsoap_stage_seconds", "Stage latency.", "stage", []LabeledHistogram{
+		{
+			Label:  "serialize",
+			Uppers: []float64{0.001, 0.01},
+			Counts: []int64{4, 2},
+			Sum:    0.05,
+			Count:  7,
+			Exemplar: &Exemplar{
+				LabelKey: "span", LabelValue: "af3", Value: 0.00042,
+			},
+		},
+		{
+			Label:  "wire",
+			Uppers: []float64{0.001, 0.01},
+			Counts: []int64{1, 1},
+			Sum:    0.02,
+			Count:  2,
+		},
+	})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if _, err := Validate(strings.NewReader(out)); err != nil {
+		t.Fatalf("exemplar output fails strict validation: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`bsoap_stage_seconds_bucket{stage="serialize",le="0.001"} 4`,
+		`bsoap_stage_seconds_bucket{stage="serialize",le="+Inf"} 7 # {span="af3"} 0.00042`,
+		`bsoap_stage_seconds_bucket{stage="wire",le="+Inf"} 2`,
+		`bsoap_stage_seconds_sum{stage="serialize"} 0.05`,
+		`bsoap_stage_seconds_count{stage="wire"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE bsoap_stage_seconds") != 1 {
+		t.Errorf("labeled family should emit exactly one TYPE header:\n%s", out)
+	}
+}
+
+func TestValidateRejectsDuplicateFamily(t *testing.T) {
+	dup := "# HELP m One.\n# TYPE m counter\nm 1\n# HELP m Again.\n# TYPE m counter\nm 2\n"
+	if _, err := Validate(strings.NewReader(dup)); err == nil {
+		t.Fatal("Validate accepted a twice-declared family")
+	} else if !strings.Contains(err.Error(), "duplicate family") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateRejectsBadBucketOrder(t *testing.T) {
+	head := "# HELP h H.\n# TYPE h histogram\n"
+	for name, bad := range map[string]string{
+		"out-of-order le": head +
+			"h_bucket{le=\"0.01\"} 1\nh_bucket{le=\"0.001\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.1\nh_count 2\n",
+		"bucket after +Inf": head +
+			"h_bucket{le=\"+Inf\"} 2\nh_bucket{le=\"0.5\"} 1\nh_sum 0.1\nh_count 2\n",
+		"decreasing cumulative": head +
+			"h_bucket{le=\"0.001\"} 5\nh_bucket{le=\"0.01\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 0.1\nh_count 5\n",
+	} {
+		if _, err := Validate(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: Validate accepted malformed buckets", name)
+		}
+	}
+	// Ordering is per series: two labeled series may interleave bounds.
+	good := head +
+		"h_bucket{stage=\"a\",le=\"0.001\"} 1\nh_bucket{stage=\"a\",le=\"+Inf\"} 1\n" +
+		"h_bucket{stage=\"b\",le=\"0.001\"} 2\nh_bucket{stage=\"b\",le=\"+Inf\"} 2\n" +
+		"h_sum{stage=\"a\"} 0.1\nh_count{stage=\"a\"} 1\n"
+	if _, err := Validate(strings.NewReader(good)); err != nil {
+		t.Errorf("Validate rejected interleaved labeled series: %v", err)
+	}
+}
+
+func TestValidateRejectsExemplarOffBuckets(t *testing.T) {
+	for name, bad := range map[string]string{
+		"on counter":   "# HELP m M.\n# TYPE m counter\nm 1 # {span=\"a\"} 2\n",
+		"bad labels":   "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {span=a} 2\n",
+		"no value":     "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {span=\"a\"}\n",
+		"unterminated": "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {span=\"a\" 2\n",
+	} {
+		if _, err := Validate(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: Validate accepted malformed exemplar", name)
+		}
+	}
+}
+
+func TestReadValuesLabeledHistogram(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	w.HistogramWithLabel("bsoap_stage_seconds", "Stage latency.", "stage", []LabeledHistogram{
+		{Label: "decode", Uppers: []float64{0.001}, Counts: []int64{3}, Sum: 0.004, Count: 3,
+			Exemplar: &Exemplar{LabelKey: "span", LabelValue: "7", Value: 0.002}},
+		{Label: "handler", Uppers: []float64{0.001}, Counts: []int64{1}, Sum: 0.2, Count: 5},
+	})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ReadValues(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{
+		`bsoap_stage_seconds_count{stage="decode"}`:             3,
+		`bsoap_stage_seconds_count{stage="handler"}`:            5,
+		`bsoap_stage_seconds_sum{stage="handler"}`:              0.2,
+		`bsoap_stage_seconds_bucket{stage="decode",le="0.001"}`: 3,
+	} {
+		if got := vals[key]; got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+}
+
 func TestHelpEscaping(t *testing.T) {
 	var sb strings.Builder
 	New(&sb).Counter("m_total", "line\nbreak \\ slash", 1)

@@ -19,10 +19,17 @@ type Stats struct {
 // Validate parses r as Prometheus text format (version 0.0.4), returning
 // an error on the first malformed line. It checks the grammar a scraper
 // enforces — comment structure, metric-name charset, label syntax, float
-// sample values — without interpreting the metrics. check.sh and
-// `bsoap-inspect metrics` use it to assert the endpoints stay scrapable.
+// sample values — plus the structural rules scrapers reject expositions
+// over: no family may be TYPE-declared twice, and histogram bucket
+// series must have strictly increasing le bounds with non-decreasing
+// cumulative counts. Exemplars (`# {k="v"} value [ts]` after a _bucket
+// sample) are parsed and syntax-checked. check.sh and `bsoap-inspect
+// metrics` use it to assert the endpoints stay scrapable.
 func Validate(r io.Reader) (Stats, error) {
 	st := Stats{Names: map[string]bool{}}
+	declared := map[string]bool{}     // TYPE-declared family names
+	histograms := map[string]bool{}   // families declared histogram
+	buckets := map[string]bucketSeq{} // per bucket series: last le / cum
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
@@ -49,28 +56,51 @@ func Validate(r io.Reader) (Stats, error) {
 				default:
 					return st, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
 				}
+				if declared[fields[2]] {
+					return st, fmt.Errorf("line %d: duplicate family %q", lineNo, fields[2])
+				}
+				declared[fields[2]] = true
+				if fields[3] == "histogram" {
+					histograms[fields[2]] = true
+				}
 				st.Families++
 			}
 			continue
 		}
-		name, _, rest, err := splitSample(line)
+		name, labels, rest, err := splitSample(line)
 		if err != nil {
 			return st, fmt.Errorf("line %d: %v", lineNo, err)
 		}
 		if !validName(name) {
 			return st, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
 		}
-		// rest is "value" or "value timestamp".
+		// rest is "value", "value timestamp", or (bucket lines only)
+		// either followed by an exemplar.
+		rest, exemplar, hasEx := strings.Cut(rest, " # ")
+		if hasEx {
+			if !strings.HasSuffix(name, "_bucket") {
+				return st, fmt.Errorf("line %d: exemplar on non-bucket sample %q", lineNo, name)
+			}
+			if err := validExemplar(exemplar); err != nil {
+				return st, fmt.Errorf("line %d: bad exemplar %q: %v", lineNo, exemplar, err)
+			}
+		}
 		parts := strings.Fields(rest)
 		if len(parts) == 0 || len(parts) > 2 {
 			return st, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
 		}
-		if _, err := parseValue(parts[0]); err != nil {
+		value, err := parseValue(parts[0])
+		if err != nil {
 			return st, fmt.Errorf("line %d: bad value %q: %v", lineNo, parts[0], err)
 		}
 		if len(parts) == 2 {
 			if _, err := strconv.ParseInt(parts[1], 10, 64); err != nil {
 				return st, fmt.Errorf("line %d: bad timestamp %q", lineNo, parts[1])
+			}
+		}
+		if fam, ok := strings.CutSuffix(name, "_bucket"); ok && histograms[fam] {
+			if err := checkBucket(buckets, name, labels, value); err != nil {
+				return st, fmt.Errorf("line %d: %v", lineNo, err)
 			}
 		}
 		st.Names[name] = true
@@ -83,6 +113,81 @@ func Validate(r io.Reader) (Stats, error) {
 		return st, fmt.Errorf("no samples found")
 	}
 	return st, nil
+}
+
+// bucketSeq tracks one histogram bucket series' running order state.
+type bucketSeq struct {
+	lastLe  float64
+	lastCum float64
+	inf     bool
+}
+
+// checkBucket enforces per-series bucket ordering: le strictly
+// increasing (with "+Inf" last) and cumulative counts non-decreasing.
+// A series is the bucket sample's label set minus the le pair.
+func checkBucket(seqs map[string]bucketSeq, name, labels string, value float64) error {
+	var le string
+	var others []string
+	for _, pair := range splitLabelPairs(strings.TrimSuffix(labels, ",")) {
+		if v, ok := strings.CutPrefix(pair, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		others = append(others, pair)
+	}
+	if le == "" {
+		return fmt.Errorf("bucket sample %q without le label", name)
+	}
+	key := name + "{" + strings.Join(others, ",") + "}"
+	seq, seen := seqs[key]
+	if seq.inf {
+		return fmt.Errorf("bucket after +Inf in series %s", key)
+	}
+	if le == "+Inf" {
+		seq.inf = true
+	} else {
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("bad le bound %q in series %s", le, key)
+		}
+		if seen && bound <= seq.lastLe {
+			return fmt.Errorf("out-of-order bucket le=%q in series %s", le, key)
+		}
+		seq.lastLe = bound
+	}
+	if seen && value < seq.lastCum {
+		return fmt.Errorf("decreasing cumulative bucket count at le=%q in series %s", le, key)
+	}
+	seq.lastCum = value
+	seqs[key] = seq
+	return nil
+}
+
+// validExemplar checks `{k="v",...} value [timestamp]` exemplar syntax.
+func validExemplar(s string) error {
+	if len(s) == 0 || s[0] != '{' {
+		return fmt.Errorf("missing label set")
+	}
+	end := strings.IndexByte(s, '}')
+	if end < 0 {
+		return fmt.Errorf("unterminated label set")
+	}
+	if err := validLabels(s[1:end]); err != nil {
+		return err
+	}
+	parts := strings.Fields(s[end+1:])
+	if len(parts) == 0 || len(parts) > 2 {
+		return fmt.Errorf("missing value")
+	}
+	if _, err := parseValue(parts[0]); err != nil {
+		return fmt.Errorf("bad value %q", parts[0])
+	}
+	if len(parts) == 2 {
+		if _, err := strconv.ParseFloat(parts[1], 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", parts[1])
+		}
+	}
+	return nil
 }
 
 // ReadValues parses r as Prometheus text format and returns each

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bsoap/internal/core"
 	"bsoap/internal/diffdeser"
@@ -324,7 +325,7 @@ func (rt *Runtime) HTTPHandler() transport.Handler {
 		}
 		slot, r := rt.acquire(rt.keyFor(req))
 		defer rt.release(slot)
-		return rt.handle(r, req.Body)
+		return rt.handle(r, req.Body, req.TraceSpan, req.ConnID)
 	}
 }
 
@@ -333,7 +334,7 @@ func (rt *Runtime) HTTPHandler() transport.Handler {
 func (rt *Runtime) Handle(connID uint64, remoteAddr string, body []byte) ([]byte, error) {
 	slot, r := rt.acquire(rt.keyFor(&transport.Request{ConnID: connID, RemoteAddr: remoteAddr}))
 	defer rt.release(slot)
-	return rt.handle(r, body)
+	return rt.handle(r, body, 0, connID)
 }
 
 func (rt *Runtime) keyFor(req *transport.Request) reg.Key {
@@ -395,15 +396,28 @@ func (rt *Runtime) newReplica() *replica {
 	return r
 }
 
-// handle runs one request on r. Caller holds r.mu.
-func (rt *Runtime) handle(r *replica, body []byte) ([]byte, error) {
+// handle runs one request on r. Caller holds r.mu. clientSpan is the
+// span id propagated from the client over the X-BSoap-Trace header (0 =
+// untraced caller): when present, every event this request records
+// carries the client's id, so `bsoap-inspect trace -correlate` can
+// merge the two rings into one cross-process timeline.
+func (rt *Runtime) handle(r *replica, body []byte, clientSpan, connID uint64) ([]byte, error) {
 	rt.requests.Add(1)
 
 	var span uint64
 	traced := trace.Enabled()
 	if traced {
-		span = trace.BeginSpan()
+		if clientSpan != 0 {
+			// Adopt the client's span and link a server-local sub-span id
+			// to it: the sub-span (A) disambiguates re-sent client spans,
+			// the conn id (B) ties the timeline to a transport connection.
+			span = clientSpan
+			trace.Rec(span, trace.KindServerSpan, int64(trace.BeginSpan()), int64(connID), 0)
+		} else {
+			span = trace.BeginSpan()
+		}
 	}
+	decodeStart := time.Now()
 
 	if multiref.HasRefs(body) {
 		inlined, err := multiref.Inline(body)
@@ -462,6 +476,13 @@ func (rt *Runtime) handle(r *replica, body []byte) ([]byte, error) {
 		}
 	}
 
+	handlerStart := time.Now()
+	decodeNs := handlerStart.Sub(decodeStart).Nanoseconds()
+	rt.metrics.Stages.Observe(trace.StageDecode, decodeNs, span)
+	if traced {
+		trace.Rec(span, trace.KindStage, int64(trace.StageDecode), decodeNs, 0)
+	}
+
 	opLocal := msg.Operation()
 	h, ok := r.handlers.Lookup(opLocal)
 	if !ok {
@@ -473,6 +494,12 @@ func (rt *Runtime) handle(r *replica, body []byte) ([]byte, error) {
 		r.handlers.Note(opLocal, h)
 	}
 	resp, err := h(msg)
+	respondStart := time.Now()
+	handlerNs := respondStart.Sub(handlerStart).Nanoseconds()
+	rt.metrics.Stages.Observe(trace.StageHandler, handlerNs, span)
+	if traced {
+		trace.Rec(span, trace.KindStage, int64(trace.StageHandler), handlerNs, 0)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serverpool: %s: %w", opLocal, err)
 	}
@@ -481,11 +508,19 @@ func (rt *Runtime) handle(r *replica, body []byte) ([]byte, error) {
 	}
 
 	r.respBuf.Reset()
+	if span != 0 {
+		// The response stub's serialization events join this request's
+		// span instead of allocating their own.
+		r.stub.SetTraceSpan(span)
+	}
 	ci, err := r.stub.Call(resp)
+	respondNs := time.Since(respondStart).Nanoseconds()
+	rt.metrics.Stages.Observe(trace.StageRespond, respondNs, span)
 	if err != nil {
 		return nil, fmt.Errorf("serverpool: response serialization: %w", err)
 	}
 	if traced {
+		trace.Rec(span, trace.KindStage, int64(trace.StageRespond), respondNs, 0)
 		trace.Rec(span, trace.KindServerRespond, int64(ci.Match), int64(r.respBuf.Len()), 0)
 	}
 	out := make([]byte, r.respBuf.Len())

@@ -12,6 +12,7 @@ import (
 	"bsoap/internal/core"
 	reg "bsoap/internal/replica"
 	"bsoap/internal/soapdec"
+	"bsoap/internal/trace"
 	"bsoap/internal/transport"
 	"bsoap/internal/wire"
 )
@@ -382,7 +383,7 @@ func TestBudgetEvictionWithInFlightRequest(t *testing.T) {
 	// The held replica still decodes differentially and serializes its
 	// response on live arenas; SelfCheck re-verifies the decode.
 	a.arr.Set(0, 1234.5)
-	resp, err := rt.handle(r, a.body(t))
+	resp, err := rt.handle(r, a.body(t), 0, 0)
 	rt.release(slot)
 	if err != nil {
 		t.Fatal(err)
@@ -557,5 +558,65 @@ func TestRegisterShared(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Fatalf("shared handler ran %d times, want 2", calls)
+	}
+}
+
+// TestSpanAdoptionRecordsServerEvents drives the HTTP handler with a
+// propagated client span: the runtime must adopt it — recording a
+// server-span anchor carrying a server-local sub-span and the
+// connection id — and attribute decode/handler/respond stage events
+// under the client's id. A request without a span must record no
+// anchor (locally numbered spans of untraced clients would otherwise
+// correlate by coincidence).
+func TestSpanAdoptionRecordsServerEvents(t *testing.T) {
+	trace.Enable()
+	defer trace.Disable()
+	trace.Default.Clear()
+
+	rt := newSumRuntime(Options{DifferentialDeserialization: true})
+	h := rt.HTTPHandler()
+	c := newClient(4)
+
+	const clientSpan = 0xbeef
+	if _, err := h(&transport.Request{Method: "POST", Body: c.body(t), TraceSpan: clientSpan, ConnID: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	var anchor *trace.EventJSON
+	stages := map[trace.Stage]bool{}
+	for _, ev := range trace.Default.Snapshot().Events {
+		if ev.Span != clientSpan {
+			continue
+		}
+		switch ev.Kind {
+		case "server-span":
+			e := ev
+			anchor = &e
+		case "stage":
+			stages[trace.Stage(ev.A)] = true
+		}
+	}
+	if anchor == nil {
+		t.Fatal("no server-span anchor recorded for the propagated span")
+	}
+	if anchor.A == 0 || anchor.B != 7 {
+		t.Fatalf("anchor sub-span %d, conn %d; want nonzero sub-span, conn 7", anchor.A, anchor.B)
+	}
+	for _, st := range []trace.Stage{trace.StageDecode, trace.StageHandler, trace.StageRespond} {
+		if !stages[st] {
+			t.Errorf("stage %v not attributed to the client span (got %v)", st, stages)
+		}
+	}
+
+	// No propagated span: the server numbers its own span, no anchor.
+	trace.Default.Clear()
+	c.arr.Set(0, 9)
+	if _, err := h(&transport.Request{Method: "POST", Body: c.body(t), ConnID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range trace.Default.Snapshot().Events {
+		if ev.Kind == "server-span" {
+			t.Fatalf("anchor recorded without a propagated span: %+v", ev)
+		}
 	}
 }

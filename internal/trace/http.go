@@ -4,13 +4,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Handler serves the tracer over HTTP — the /debug/trace endpoint:
 //
-//	GET  /debug/trace          dump the ring as JSON (oldest-first)
-//	GET  /debug/trace?clear=1  dump, then clear the ring
-//	POST /debug/trace/clear    clear without dumping
+//	GET  /debug/trace              dump the ring as JSON (oldest-first)
+//	GET  /debug/trace?since=<seq>  dump only events with seq >= the cursor
+//	                               (the previous dump's "next" field)
+//	GET  /debug/trace?clear=1      dump, then clear the ring
+//	POST /debug/trace/clear        clear without dumping
 //
 // net/http is used only on the debug port; the data path stays on the
 // hand-rolled transport.
@@ -21,7 +24,16 @@ func (t *Tracer) Handler() http.Handler {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		d := t.Snapshot()
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("trace: bad since cursor %q", s), http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		d := t.SnapshotSince(since)
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
@@ -35,5 +47,29 @@ func (t *Tracer) Handler() http.Handler {
 	})
 }
 
+// SlowHandler serves the slow-call ring — the /debug/trace/slow
+// endpoint: GET dumps the captured slow calls as JSON, POST clears
+// them.
+func (t *Tracer) SlowHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			t.ClearSlow()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		d := t.SlowSnapshot()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(d); err != nil {
+			http.Error(w, fmt.Sprintf("trace: %v", err), http.StatusInternalServerError)
+		}
+	})
+}
+
 // Handler serves the default tracer (see Tracer.Handler).
 func Handler() http.Handler { return Default.Handler() }
+
+// SlowHandler serves the default tracer's slow ring (see
+// Tracer.SlowHandler).
+func SlowHandler() http.Handler { return Default.SlowHandler() }

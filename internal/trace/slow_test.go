@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotSinceCursor walks the ?since= contract: a poller that
+// passes back Next sees each event exactly once, and a poller that
+// falls more than a ring behind sees the gap via Dropped.
+func TestSnapshotSinceCursor(t *testing.T) {
+	tr := New(64)
+	tr.Enable()
+	for i := 0; i < 10; i++ {
+		tr.Rec(1, KindRewrite, int64(i), 0, 0)
+	}
+	d1 := tr.SnapshotSince(0)
+	if len(d1.Events) != 10 || d1.Next != 10 {
+		t.Fatalf("first poll: %d events, next %d", len(d1.Events), d1.Next)
+	}
+
+	// Nothing new: empty incremental snapshot, cursor unchanged.
+	d2 := tr.SnapshotSince(d1.Next)
+	if len(d2.Events) != 0 || d2.Next != 10 {
+		t.Fatalf("idle poll: %d events, next %d", len(d2.Events), d2.Next)
+	}
+
+	for i := 10; i < 15; i++ {
+		tr.Rec(1, KindRewrite, int64(i), 0, 0)
+	}
+	d3 := tr.SnapshotSince(d2.Next)
+	if len(d3.Events) != 5 || d3.Events[0].A != 10 || d3.Next != 15 {
+		t.Fatalf("incremental poll: %d events (first A=%v), next %d",
+			len(d3.Events), d3.Events[0].A, d3.Next)
+	}
+
+	// Laggard: the ring (64) laps the cursor; the snapshot starts at the
+	// oldest retained event instead of serving stale slots.
+	for i := 15; i < 200; i++ {
+		tr.Rec(1, KindRewrite, int64(i), 0, 0)
+	}
+	d4 := tr.SnapshotSince(d3.Next)
+	if len(d4.Events) != 64 {
+		t.Fatalf("lapped poll retained %d events, want 64", len(d4.Events))
+	}
+	if first := d4.Events[0].A; first != 200-64 {
+		t.Fatalf("lapped poll starts at A=%d, want %d", first, 200-64)
+	}
+	if d4.Dropped != 200-64 {
+		t.Fatalf("lapped poll dropped %d, want %d", d4.Dropped, 200-64)
+	}
+
+	// A cursor beyond the end clamps to empty rather than panicking.
+	if d5 := tr.SnapshotSince(10_000); len(d5.Events) != 0 || d5.Next != 200 {
+		t.Fatalf("future cursor: %d events, next %d", len(d5.Events), d5.Next)
+	}
+}
+
+func TestHandlerSinceParam(t *testing.T) {
+	tr := New(64)
+	tr.Enable()
+	tr.Rec(1, KindRewrite, 1, 0, 0)
+	tr.Rec(1, KindRewrite, 2, 0, 0)
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	get := func(path string) Dump {
+		res, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var d Dump
+		if err := json.NewDecoder(res.Body).Decode(&d); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if d := get("/?since=1"); len(d.Events) != 1 || d.Events[0].A != 2 {
+		t.Fatalf("?since=1: %+v", d.Events)
+	}
+	res, err := srv.Client().Get(srv.URL + "/?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 400 {
+		t.Fatalf("bad since: status %d, want 400", res.StatusCode)
+	}
+}
+
+// TestSlowCaptureAbsolute checks the tail path end to end: only calls
+// over the threshold are captured, and a captured call retains its
+// complete event set from the main ring.
+func TestSlowCaptureAbsolute(t *testing.T) {
+	tr := New(256)
+	tr.Enable()
+	tr.SetSlowThreshold(time.Millisecond)
+
+	fast := tr.BeginSpan()
+	tr.Rec(fast, KindCallStart, 1, 0, 0)
+	tr.Rec(fast, KindCallEnd, 1, 0, 0)
+	tr.ObserveCall(fast, int64(10*time.Microsecond))
+
+	slow := tr.BeginSpan()
+	tr.Rec(slow, KindCallStart, 2, 0, 0)
+	tr.Rec(slow, KindStage, int64(StageSerialize), 5000, 0)
+	tr.Rec(slow, KindStage, int64(StageWire), 2_000_000, 0)
+	tr.Rec(slow, KindCallEnd, 1, 64, 0)
+	tr.ObserveCall(slow, int64(2*time.Millisecond))
+
+	d := tr.SlowSnapshot()
+	if d.Mode != "absolute" || d.ThresholdNs != int64(time.Millisecond) {
+		t.Fatalf("dump config: %+v", d)
+	}
+	if d.Captured != 1 || len(d.Calls) != 1 {
+		t.Fatalf("captured %d calls (%d total), want 1", len(d.Calls), d.Captured)
+	}
+	c := d.Calls[0]
+	if c.Span != slow || c.LatencyNs != int64(2*time.Millisecond) || c.Truncated {
+		t.Fatalf("captured call: %+v", c)
+	}
+	if len(c.Events) != 4 {
+		t.Fatalf("captured %d events, want the complete set of 4: %+v", len(c.Events), c.Events)
+	}
+	for i, kind := range []string{"call-start", "stage", "stage", "call-end"} {
+		if c.Events[i].Kind != kind {
+			t.Fatalf("event %d kind %q, want %q", i, c.Events[i].Kind, kind)
+		}
+	}
+
+	tr.ClearSlow()
+	if d := tr.SlowSnapshot(); len(d.Calls) != 0 {
+		t.Fatalf("ClearSlow left %d calls", len(d.Calls))
+	}
+	// Threshold configuration survives a clear.
+	if tr.SlowThreshold() != time.Millisecond {
+		t.Fatalf("ClearSlow dropped the threshold")
+	}
+}
+
+// TestSlowCaptureOffIsFree pins the off-mode contract: no captures, and
+// (without -race) zero allocations per ObserveCall.
+func TestSlowCaptureOffIsFree(t *testing.T) {
+	tr := New(64)
+	tr.Enable()
+	tr.ObserveCall(1, int64(time.Hour))
+	if d := tr.SlowSnapshot(); d.Mode != "off" || len(d.Calls) != 0 {
+		t.Fatalf("off mode captured: %+v", d)
+	}
+	if raceEnabled {
+		return
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		tr.ObserveCall(1, int64(time.Hour))
+	}); got != 0 {
+		t.Errorf("off-mode ObserveCall allocates %v/op, want 0", got)
+	}
+	tr.SetSlowThreshold(time.Nanosecond)
+	if got := testing.AllocsPerRun(200, func() {
+		tr.ObserveCall(2, int64(time.Second)) // capture path, preallocated
+	}); got != 0 {
+		t.Errorf("capture path allocates %v/op, want 0", got)
+	}
+}
+
+// TestSlowCaptureQuantile drives enough uniform-latency traffic through
+// quantile mode for the threshold to establish, then checks an outlier
+// is captured.
+func TestSlowCaptureQuantile(t *testing.T) {
+	tr := New(256)
+	tr.Enable()
+	tr.SetSlowQuantile(0.99)
+
+	// 512 observations around 100µs establish a threshold near the top
+	// bucket of that range (the recompute runs every 256).
+	span := tr.BeginSpan()
+	for i := 0; i < 512; i++ {
+		tr.ObserveCall(span, int64(100*time.Microsecond))
+	}
+	if tr.SlowThreshold() == 0 {
+		t.Fatal("quantile threshold never established")
+	}
+	out := tr.BeginSpan()
+	tr.Rec(out, KindCallStart, 1, 0, 0)
+	tr.ObserveCall(out, int64(time.Second))
+	d := tr.SlowSnapshot()
+	found := false
+	for _, c := range d.Calls {
+		if c.Span == out {
+			found = true
+			if len(c.Events) != 1 {
+				t.Fatalf("outlier captured %d events, want 1", len(c.Events))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("outlier not captured (threshold %v, %d calls)", tr.SlowThreshold(), len(d.Calls))
+	}
+}
+
+// TestSlowRingConcurrent hammers capture and snapshot from many
+// goroutines; under -race this proves the slow ring's entry locking, and
+// every snapshotted call must be internally consistent (all events carry
+// the call's span).
+func TestSlowRingConcurrent(t *testing.T) {
+	tr := New(1024)
+	tr.Enable()
+	tr.SetSlowThreshold(time.Nanosecond) // capture everything
+
+	const writers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				span := tr.BeginSpan()
+				tr.Rec(span, KindCallStart, int64(i), 0, 0)
+				tr.Rec(span, KindStage, int64(StageWire), int64(i), 0)
+				tr.Rec(span, KindCallEnd, 1, 0, 0)
+				tr.ObserveCall(span, int64(time.Millisecond))
+				if i%50 == 0 {
+					tr.SlowSnapshot() // readers race writers
+					tr.ObserveCall(0, 0)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	d := tr.SlowSnapshot()
+	if d.Captured != writers*each {
+		t.Fatalf("captured %d, want %d", d.Captured, writers*each)
+	}
+	if len(d.Calls) != slowRingSize {
+		t.Fatalf("retained %d calls, want full ring (%d)", len(d.Calls), slowRingSize)
+	}
+	for _, c := range d.Calls {
+		for _, ev := range c.Events {
+			if ev.Span != c.Span {
+				t.Fatalf("call %d holds foreign event: %+v", c.Span, ev)
+			}
+		}
+	}
+}
+
+func TestSlowHandler(t *testing.T) {
+	tr := New(64)
+	tr.Enable()
+	tr.SetSlowThreshold(time.Nanosecond)
+	span := tr.BeginSpan()
+	tr.Rec(span, KindCallStart, 1, 0, 0)
+	tr.ObserveCall(span, int64(time.Millisecond))
+
+	srv := httptest.NewServer(tr.SlowHandler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var d SlowDump
+	if err := json.NewDecoder(res.Body).Decode(&d); err != nil {
+		t.Fatalf("slow endpoint output is not JSON: %v", err)
+	}
+	if len(d.Calls) != 1 || d.Calls[0].Span != span {
+		t.Fatalf("unexpected slow dump: %+v", d)
+	}
+
+	// POST clears the captures.
+	post, err := srv.Client().Post(srv.URL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 204 {
+		t.Fatalf("POST status %d, want 204", post.StatusCode)
+	}
+	if d := tr.SlowSnapshot(); len(d.Calls) != 0 {
+		t.Fatalf("POST left %d calls", len(d.Calls))
+	}
+}

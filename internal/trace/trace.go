@@ -120,8 +120,19 @@ const (
 	// 1 byte budget), C=the entry's accounted bytes. Span 0: evictions
 	// belong to the registry, not to any one call.
 	KindReplicaEvict
+	// KindServerSpan links a propagated client span to the server-local
+	// sub-span handling it: Span=the client's span id (as carried in the
+	// X-BSoap-Trace header), A=the server-local sub-span id, B=connection
+	// id. Recorded once per traced request on the server, it is the
+	// correlation anchor the inspector's -correlate mode keys on.
+	KindServerSpan
+	// KindStage is one per-call latency-attribution sample: A=Stage,
+	// B=duration in nanoseconds. Client stages carry the client span,
+	// server stages the propagated client span (or the server-local span
+	// when no header was present).
+	KindStage
 
-	kindCount = int(KindReplicaEvict) + 1
+	kindCount = int(KindStage) + 1
 )
 
 var kindNames = [kindCount]string{
@@ -150,6 +161,8 @@ var kindNames = [kindCount]string{
 	KindAsyncSubmit:     "async-submit",
 	KindAsyncComplete:   "async-complete",
 	KindReplicaEvict:    "replica-evict",
+	KindServerSpan:      "server-span",
+	KindStage:           "stage",
 }
 
 // String returns the kind's wire name (stable; the inspector and the
@@ -226,6 +239,16 @@ type Tracer struct {
 	ops    sync.Map // string -> uint32
 	nextOp atomic.Uint32
 	opsRev sync.Map // uint32 -> string
+
+	// Slow-call capture (see slow.go). slowMode gates ObserveCall down
+	// to one atomic load when capture is off.
+	slowMode     atomic.Int32
+	slowThresh   atomic.Int64  // ns; <=0 means "not yet established"
+	slowQuantile atomic.Uint64 // math.Float64bits of the rolling quantile
+	slowIdx      atomic.Uint64
+	slowCaptured atomic.Uint64
+	slowLat      latDist
+	slow         []slowEntry
 }
 
 // DefaultSize is the ring capacity tracers start with: enough for the
@@ -242,7 +265,11 @@ func New(size int) *Tracer {
 	for n < size {
 		n <<= 1
 	}
-	return &Tracer{slots: make([]slot, n), mask: uint64(n - 1)}
+	return &Tracer{
+		slots: make([]slot, n),
+		mask:  uint64(n - 1),
+		slow:  make([]slowEntry, slowRingSize),
+	}
 }
 
 // Enable turns recording on.
@@ -314,6 +341,10 @@ type Dump struct {
 	Dropped  uint64           `json:"dropped"`
 	Ops      map[int64]string `json:"ops"`
 	Events   []EventJSON      `json:"events"`
+	// Next is the cursor an incremental poller passes back as
+	// ?since=<Next> to receive only events recorded after this snapshot
+	// (it equals Recorded at snapshot time).
+	Next uint64 `json:"next"`
 }
 
 // EventJSON is the JSON rendering of an Event (kind by name).
@@ -330,18 +361,32 @@ type EventJSON struct {
 // Snapshot copies the retained events out of the ring, oldest-first.
 // Events recorded while the snapshot runs may be partially included (the
 // ring keeps moving); each individual event is read consistently.
-func (t *Tracer) Snapshot() Dump {
+func (t *Tracer) Snapshot() Dump { return t.SnapshotSince(0) }
+
+// SnapshotSince is Snapshot restricted to events with Seq >= since; it
+// backs the /debug/trace?since= incremental-polling cursor. Events
+// already overwritten are reported through Dropped as usual — a poller
+// that falls more than a ring behind sees a gap, not stale data.
+func (t *Tracer) SnapshotSince(since uint64) Dump {
 	total := t.seq.Load()
 	size := uint64(len(t.slots))
 	lo := uint64(0)
 	if total > size {
 		lo = total - size
 	}
+	dropped := lo
+	if since > lo {
+		lo = since
+	}
+	if lo > total {
+		lo = total
+	}
 	d := Dump{
 		Recorded: total,
-		Dropped:  lo,
+		Dropped:  dropped,
 		Ops:      make(map[int64]string),
 		Events:   make([]EventJSON, 0, total-lo),
+		Next:     total,
 	}
 	t.opsRev.Range(func(k, v any) bool {
 		d.Ops[int64(k.(uint32))] = v.(string)
@@ -363,6 +408,43 @@ func (t *Tracer) Snapshot() Dump {
 		})
 	}
 	return d
+}
+
+// Status is a cheap point-in-time summary of the tracer for health
+// endpoints: a handful of atomic loads, no ring scan, no event copies.
+type Status struct {
+	Enabled  bool   `json:"enabled"`
+	RingSize int    `json:"ring_size"`
+	Recorded uint64 `json:"recorded"`
+	Spans    uint64 `json:"spans"`
+
+	SlowMode        string `json:"slow_mode"` // "off", "absolute", "quantile"
+	SlowThresholdNs int64  `json:"slow_threshold_ns"`
+	SlowCaptured    uint64 `json:"slow_captured"`
+	SlowRingSize    int    `json:"slow_ring_size"`
+}
+
+// Status summarizes the tracer's recording and slow-ring state.
+func (t *Tracer) Status() Status {
+	st := Status{
+		Enabled:      t.enabled.Load(),
+		RingSize:     len(t.slots),
+		Recorded:     t.seq.Load(),
+		Spans:        t.nspan.Load(),
+		SlowCaptured: t.slowCaptured.Load(),
+		SlowRingSize: len(t.slow),
+	}
+	switch t.slowMode.Load() {
+	case slowModeAbsolute:
+		st.SlowMode = "absolute"
+		st.SlowThresholdNs = t.slowThresh.Load()
+	case slowModeQuantile:
+		st.SlowMode = "quantile"
+		st.SlowThresholdNs = t.slowThresh.Load()
+	default:
+		st.SlowMode = "off"
+	}
+	return st
 }
 
 // Clear discards all retained events and resets the sequence (span ids
@@ -401,3 +483,6 @@ func BeginSpan() uint64 { return Default.BeginSpan() }
 
 // OpID interns an operation name in the default tracer.
 func OpID(op string) int64 { return Default.OpID(op) }
+
+// GetStatus summarizes the default tracer (see Tracer.Status).
+func GetStatus() Status { return Default.Status() }

@@ -40,6 +40,17 @@ type Request struct {
 	// ConnID; zero for requests parsed outside a Server.
 	RemoteAddr string
 
+	// TraceSpan is the client's flight-recorder span id, parsed from the
+	// X-BSoap-Trace header (hex); zero when the request carried none.
+	// Server-side trace events record it so the inspector can join
+	// client and server rings into one cross-process timeline.
+	TraceSpan uint64
+
+	// recvNs is the UnixNano at which the Server finished reading the
+	// request; dispatch attributes recv→dispatch time to the
+	// server-queue latency stage. Zero outside a Server.
+	recvNs int64
+
 	scratch parseScratch
 }
 
@@ -163,6 +174,32 @@ func parseUintBytes[T ~string | ~[]byte](b T, base uint64) (uint64, bool) {
 		if n > 1<<32 {
 			return 0, false
 		}
+	}
+	return n, true
+}
+
+// parseHex64 parses a full-range lowercase/uppercase hex uint64 — the
+// X-BSoap-Trace span id, which parseUintBytes cannot carry (it rejects
+// values above 1<<32, a guard sized for lengths and status codes).
+func parseHex64(s string) (uint64, bool) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, false
+	}
+	var n uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case '0' <= c && c <= '9':
+			d = uint64(c - '0')
+		case 'a' <= c && c <= 'f':
+			d = uint64(c-'a') + 10
+		case 'A' <= c && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n<<4 | d
 	}
 	return n, true
 }
@@ -359,6 +396,14 @@ func ReadRequestInto(br *bufio.Reader, req *Request) error {
 	req.Proto = ps.intern(proto)
 	if req.Headers, err = readHeadersInto(br, req.Headers, ps); err != nil {
 		return err
+	}
+	// Reset-then-parse: a keep-alive connection must not leak a previous
+	// request's span onto one that carried no header.
+	req.TraceSpan = 0
+	if v, ok := req.Headers["x-bsoap-trace"]; ok {
+		if span, okp := parseHex64(v); okp {
+			req.TraceSpan = span
+		}
 	}
 	req.Body = nil
 	if req.Method == "GET" || req.Method == "HEAD" {

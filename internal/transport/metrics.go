@@ -6,10 +6,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 
 	"bsoap/internal/promtext"
 	"bsoap/internal/replica"
+	"bsoap/internal/trace"
 )
 
 // ServerMetrics is the server-side counterpart of pool.Metrics: a
@@ -43,6 +45,12 @@ type ServerMetrics struct {
 	// registry's byte accounting so the template-memory gauges come
 	// straight from the budget enforcer.
 	templateSource atomic.Pointer[func() replica.Counters]
+
+	// Stages is the always-on per-stage latency attribution histogram
+	// (server stages: server_queue, decode, handler, respond, write),
+	// exposed as bsoap_server_stage_seconds. The transport records queue
+	// and write; serverpool records decode, handler and respond.
+	Stages trace.StageHist
 }
 
 // NewServerMetrics returns an empty registry.
@@ -178,7 +186,10 @@ func (m *ServerMetrics) WritePrometheus(w io.Writer) error {
 	st := m.Snapshot()
 	p := promtext.New(w)
 	p.Counter("bsoap_server_requests_total", "Requests fully received.", st.Requests)
-	p.Counter("bsoap_server_bytes_in_total", "Request body bytes received.", st.BytesIn)
+	p.Counter("bsoap_server_received_bytes_total", "Request body bytes received.", st.BytesIn)
+	// Deprecated alias of bsoap_server_received_bytes_total (pre-rename
+	// name, kept parse-compatible for one release).
+	p.Counter("bsoap_server_bytes_in_total", "Deprecated: use bsoap_server_received_bytes_total.", st.BytesIn)
 	p.Counter("bsoap_server_parse_errors_total", "Requests aborted by a framing or parse error.", st.ParseErrors)
 	p.Counter("bsoap_server_deadline_hits_total", "Request reads aborted by an I/O deadline.", st.DeadlineHits)
 	p.Counter("bsoap_server_conns_total", "Connections accepted.", st.ConnsTotal)
@@ -199,7 +210,45 @@ func (m *ServerMetrics) WritePrometheus(w io.Writer) error {
 		})
 	p.Gauge("bsoap_server_template_bytes", "Template memory accounted by the server replica registry.", st.TemplateBytes)
 	p.Gauge("bsoap_server_template_bytes_high_water", "Lifetime maximum of bsoap_server_template_bytes.", st.TemplateBytesHighWater)
+	p.HistogramWithLabel("bsoap_server_stage_seconds",
+		"Server-side per-call latency attribution by pipeline stage.", "stage",
+		StageSeconds(&m.Stages, serverStages))
 	return p.Err()
+}
+
+// serverStages are the stages the server side attributes latency to.
+var serverStages = []trace.Stage{
+	trace.StageServerQueue, trace.StageDecode, trace.StageHandler,
+	trace.StageRespond, trace.StageWrite,
+}
+
+// StageSeconds renders the given stages of a StageHist as labeled
+// histogram series in seconds, attaching each stage's most recent
+// traced span as an exemplar. Shared by the client and server
+// registries (cold path: exposition only).
+func StageSeconds(h *trace.StageHist, stages []trace.Stage) []promtext.LabeledHistogram {
+	uppers := trace.StageBucketUppers()
+	out := make([]promtext.LabeledHistogram, 0, len(stages))
+	for _, st := range stages {
+		counts := make([]int64, trace.StageBucketCount)
+		n := h.Buckets(st, counts)
+		lh := promtext.LabeledHistogram{
+			Label:  st.String(),
+			Uppers: uppers,
+			Counts: counts,
+			Sum:    h.SumSeconds(st),
+			Count:  n,
+		}
+		if span, ns, ok := h.Exemplar(st); ok {
+			lh.Exemplar = &promtext.Exemplar{
+				LabelKey:   "span",
+				LabelValue: strconv.FormatUint(span, 16),
+				Value:      float64(ns) / 1e9,
+			}
+		}
+		out = append(out, lh)
+	}
+	return out
 }
 
 // PrometheusHandler serves the registry as a /metrics scrape target.

@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// raceEnabled skips the AllocsPerRun gates under the race detector,
+// whose instrumentation allocates.
+const raceEnabled = true

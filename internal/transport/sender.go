@@ -75,10 +75,27 @@ type Sender struct {
 	closed atomic.Bool
 
 	// TraceSpan attributes this sender's flight-recorder events (redial,
-	// deadline hits) to the call in progress. The pool sets it before
-	// each call; zero records the events unattributed. Written only by
-	// the sender's owner (same synchronization as every send method).
+	// deadline hits) to the call in progress, and is propagated to the
+	// server as the X-BSoap-Trace request header so server-side events
+	// join the same span. The pool sets it before each call; zero
+	// records the events unattributed and writes no header. Written only
+	// by the sender's owner (same synchronization as every send method).
 	TraceSpan uint64
+
+	// traceBuf is the persistent scratch the X-BSoap-Trace header is
+	// rendered into: a field (not a stack array) so handing it to the
+	// buffered writer does not force a per-send heap allocation.
+	traceBuf [40]byte
+
+	// head is the static request head (request line through SOAPAction),
+	// rendered once at construction so steady-state sends write it
+	// without building strings.
+	head []byte
+
+	// lenBuf is persistent scratch for the per-send variable header
+	// lines (Content-Length, chunk sizes), for the same reason as
+	// traceBuf.
+	lenBuf [80]byte
 
 	streaming bool
 	gz        *gzip.Writer
@@ -102,11 +119,23 @@ func NewSender(conn net.Conn, opts SenderOptions) *Sender {
 			opts.Host = "bsoap"
 		}
 	}
+	proto := "HTTP/1.1"
+	if opts.Version == HTTP10 {
+		proto = "HTTP/1.0"
+	}
+	head := "POST " + opts.Target + " " + proto + "\r\n" +
+		"Host: " + opts.Host + "\r\n" +
+		"Content-Type: text/xml; charset=utf-8\r\n" +
+		"SOAPAction: \"\"\r\n"
+	if opts.Version == HTTP10 {
+		head += "Connection: Keep-Alive\r\n"
+	}
 	return &Sender{
 		conn: conn,
 		bw:   bufio.NewWriterSize(conn, 32*1024),
 		br:   bufio.NewReaderSize(conn, 32*1024),
 		opts: opts,
+		head: []byte(head),
 	}
 }
 
@@ -253,23 +282,27 @@ func (s *Sender) noteIOErr(err error, read bool) error {
 // writeRequestHead writes the request line and common headers, leaving
 // body framing to the caller.
 func (s *Sender) writeRequestHead() error {
-	proto := "HTTP/1.1"
-	if s.opts.Version == HTTP10 {
-		proto = "HTTP/1.0"
-	}
-	if _, err := s.bw.WriteString("POST " + s.opts.Target + " " + proto + "\r\n" +
-		"Host: " + s.opts.Host + "\r\n" +
-		"Content-Type: text/xml; charset=utf-8\r\n" +
-		"SOAPAction: \"\"\r\n"); err != nil {
+	if _, err := s.bw.Write(s.head); err != nil {
 		return err
 	}
-	if s.opts.Version == HTTP10 {
-		if _, err := s.bw.WriteString("Connection: Keep-Alive\r\n"); err != nil {
+	if s.TraceSpan != 0 {
+		b := append(s.traceBuf[:0], traceHeaderPrefix...)
+		b = strconv.AppendUint(b, s.TraceSpan, 16)
+		b = append(b, '\r', '\n')
+		if _, err := s.bw.Write(b); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// traceHeaderPrefix starts the span-propagation header; the value is
+// the client's span id in lowercase hex (see TraceHeader).
+const traceHeaderPrefix = "X-BSoap-Trace: "
+
+// TraceHeader is the canonical name of the span-propagation header.
+// Servers see it lowercased ("x-bsoap-trace") in Request.Headers.
+const TraceHeader = "X-BSoap-Trace"
 
 // Send frames bufs as one POST with Content-Length and flushes it — the
 // engine's complete-message path. The vector is written segment by
@@ -299,7 +332,10 @@ func (s *Sender) writeRequest(bufs net.Buffers) error {
 	if err := s.writeRequestHead(); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
-	if _, err := s.bw.WriteString("Content-Length: " + strconv.Itoa(total) + "\r\n\r\n"); err != nil {
+	b := append(s.lenBuf[:0], "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(total), 10)
+	b = append(b, '\r', '\n', '\r', '\n')
+	if _, err := s.bw.Write(b); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	for _, b := range bufs {
@@ -334,8 +370,10 @@ func (s *Sender) writeRequestCompressed(bufs net.Buffers) error {
 	if err := s.writeRequestHead(); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
-	if _, err := s.bw.WriteString("Content-Encoding: gzip\r\nContent-Length: " +
-		strconv.Itoa(s.gzBuf.Len()) + "\r\n\r\n"); err != nil {
+	b := append(s.lenBuf[:0], "Content-Encoding: gzip\r\nContent-Length: "...)
+	b = strconv.AppendInt(b, int64(s.gzBuf.Len()), 10)
+	b = append(b, '\r', '\n', '\r', '\n')
+	if _, err := s.bw.Write(b); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	if _, err := s.bw.Write(s.gzBuf.Bytes()); err != nil {
@@ -376,7 +414,9 @@ func (s *Sender) StreamChunk(p []byte) error {
 		return nil // a zero-length chunk would terminate the body
 	}
 	s.armWrite()
-	if _, err := s.bw.WriteString(strconv.FormatInt(int64(len(p)), 16) + "\r\n"); err != nil {
+	b := strconv.AppendInt(s.lenBuf[:0], int64(len(p)), 16)
+	b = append(b, '\r', '\n')
+	if _, err := s.bw.Write(b); err != nil {
 		return fmt.Errorf("transport: chunk head: %w", err)
 	}
 	if _, err := s.bw.Write(p); err != nil {

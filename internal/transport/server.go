@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bsoap/internal/trace"
 )
 
 // Handler processes one parsed request and returns the response body, or
@@ -343,6 +345,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = conn.SetReadDeadline(time.Time{})
 		}
 		s.metrics.recordRequest(len(req.Body))
+		req.recvNs = time.Now().UnixNano()
 
 		if s.handler == nil {
 			// Dummy server: the body has been drained; optionally ack.
@@ -382,6 +385,18 @@ func (s *Server) dispatch(conn net.Conn, req *Request) bool {
 			return WriteResponse(conn, 503, "", nil) == nil
 		}
 	}
+	// Latency attribution: time from fully-received to dispatched is the
+	// server-queue stage (read-ahead queueing plus admission). The stage
+	// events carry the client's propagated span so the inspector can
+	// merge them into the client's timeline.
+	now := time.Now().UnixNano()
+	if req.recvNs > 0 {
+		qns := now - req.recvNs
+		s.metrics.Stages.Observe(trace.StageServerQueue, qns, req.TraceSpan)
+		if req.TraceSpan != 0 && trace.Enabled() {
+			trace.Rec(req.TraceSpan, trace.KindStage, int64(trace.StageServerQueue), qns, 0)
+		}
+	}
 	s.metrics.inFlight.Add(1)
 	body, err := s.handler(req)
 	s.metrics.inFlight.Add(-1)
@@ -392,13 +407,26 @@ func (s *Server) dispatch(conn net.Conn, req *Request) bool {
 		s.logf("handler: %v", err)
 		return WriteResponse(conn, 500, "text/plain", []byte(err.Error())) == nil
 	}
+	ok := true
 	if s.respond || body != nil {
-		if werr := WriteResponse(conn, 200, "text/xml; charset=utf-8", body); werr != nil {
+		wstart := time.Now()
+		werr := WriteResponse(conn, 200, "text/xml; charset=utf-8", body)
+		wns := time.Since(wstart).Nanoseconds()
+		s.metrics.Stages.Observe(trace.StageWrite, wns, req.TraceSpan)
+		if req.TraceSpan != 0 && trace.Enabled() {
+			trace.Rec(req.TraceSpan, trace.KindStage, int64(trace.StageWrite), wns, 0)
+		}
+		if werr != nil {
 			s.logf("write response: %v", werr)
-			return false
+			ok = false
 		}
 	}
-	return true
+	if req.TraceSpan != 0 && req.recvNs > 0 {
+		// Feed the slow ring with the server's view of the call
+		// (queue + handle + write).
+		trace.ObserveCall(req.TraceSpan, time.Now().UnixNano()-req.recvNs)
+	}
+	return ok
 }
 
 // serveConnPipelined is serveConn for ReadAhead > 0: a reader goroutine
@@ -466,6 +494,7 @@ func (s *Server) serveConnPipelined(conn net.Conn) {
 				_ = conn.SetReadDeadline(time.Time{})
 			}
 			s.metrics.recordRequest(len(req.Body))
+			req.recvNs = time.Now().UnixNano()
 			st.pending.Add(1)
 			st.noteIdle()
 			parsed <- req
