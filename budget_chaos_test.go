@@ -19,10 +19,13 @@ import (
 // pipelined chaos soak rerun with template budgets on BOTH sides sized
 // well below the working set, so budget eviction churns continuously
 // while the faultwire injector resets 5% of writes under depth-8
-// pipelines. Calls may fail; what may never happen is a lost future, a
-// server self-check divergence (a differential decode against released
-// or recycled template bytes would show up here), or either side's
-// template-bytes gauge reading above its budget.
+// pipelines. Differential transmission is on end to end, so budget
+// eviction also destroys server-held patch bases mid-stream — every
+// such loss must degrade to a clean resync, never a corrupt decode.
+// Calls may fail; what may never happen is a lost future, a server
+// self-check divergence (a differential decode against released,
+// recycled, or mis-reconstructed template bytes would show up here), or
+// either side's template-bytes gauge reading above its budget.
 func TestBudgetChaosSoak(t *testing.T) {
 	const (
 		// A single server replica (one conn's templates, differ state,
@@ -33,7 +36,11 @@ func TestBudgetChaosSoak(t *testing.T) {
 		// without tripping the oversized-entry exemption that would
 		// legitimately push the gauge over budget.
 		serverBudget = 96 << 10
-		clientBudget = 64 << 10
+		// The client budget holds roughly half the 8-shape working set (~20 KB per stuffed entry):
+		// low enough that eviction churns every round, high enough that
+		// the alternating submit order below re-hits still-resident
+		// templates — the calls that go out as patch frames.
+		clientBudget = 96 << 10
 		clients      = 4
 		window       = 8 // in-flight futures per client == pipeline depth
 		rounds       = 60
@@ -42,6 +49,7 @@ func TestBudgetChaosSoak(t *testing.T) {
 	rt, srv := harness.BenchRuntime(t,
 		serverpool.Options{
 			DifferentialDeserialization: true,
+			Delta:                       true,
 			SelfCheck:                   true,
 			Metrics:                     sm,
 			MaxTemplateBytes:            serverBudget,
@@ -69,6 +77,11 @@ func TestBudgetChaosSoak(t *testing.T) {
 			RedialBackoffMax: 10 * time.Millisecond,
 			RetryBudget:      30 * time.Second,
 			MaxTemplateBytes: clientBudget,
+			Delta:            true,
+			// Stuffed widths keep touches in place (no shifts), so calls
+			// between evictions stay delta-eligible and the soak drives
+			// real patch traffic into the churning server.
+			Config: bsoap.Config{Width: bsoap.WidthPolicy{Double: 18, Int: 9}, EnableStealing: true},
 		}
 		opts.Sender.Dialer = inj.Dial(nil)
 		pools[id] = harness.Pool(t, opts)
@@ -134,7 +147,17 @@ func TestBudgetChaosSoak(t *testing.T) {
 					r = rounds - 1 // drain pass: settle, no resubmit below
 				default:
 				}
-				for i, m := range msgs {
+				for k := range msgs {
+					// Alternate the window direction: under an LRU budget
+					// that fits only part of the working set, a strict
+					// round-robin would miss on every call; ping-ponging
+					// re-hits the resident tail, so evicted-and-rebuilt
+					// templates and warm patch-eligible ones interleave.
+					i := k
+					if r%2 == 1 {
+						i = len(msgs) - 1 - k
+					}
+					m := msgs[i]
 					settle(i)
 					if r == rounds-1 {
 						continue
@@ -192,13 +215,18 @@ func TestBudgetChaosSoak(t *testing.T) {
 	if hw := sst.TemplateBytesHighWater; hw > serverBudget {
 		t.Fatalf("server high water %d exceeds budget %d", hw, serverBudget)
 	}
-	var clientBudgetEvictions, clientHW int64
+	var clientBudgetEvictions, clientHW, deltaSends, deltaResyncs int64
 	for _, p := range pools {
 		cst := p.Stats()
 		clientBudgetEvictions += cst.TemplateBudgetEvictions
+		deltaSends += cst.DeltaSends
+		deltaResyncs += cst.DeltaResyncs
 		if cst.TemplateBytesHighWater > clientHW {
 			clientHW = cst.TemplateBytesHighWater
 		}
+	}
+	if deltaSends == 0 {
+		t.Fatal("no client ever sent a patch frame; the soak never exercised differential transmission")
 	}
 	if clientBudgetEvictions == 0 {
 		t.Fatal("no client ever budget-evicted; the budget is too loose to prove anything")
@@ -214,9 +242,10 @@ func TestBudgetChaosSoak(t *testing.T) {
 		t.Fatalf("self-check fails: %d (of %d requests, faults %v)",
 			st.SelfCheckFails, st.Requests, inj.FaultsByKind())
 	}
-	t.Logf("soak: %d submitted, %d ok, %d failed, %d requests (%d full / %d fast), server hw %d/%d (%d budget evictions), client hw %d/%d (%d budget evictions), %d faults %v",
+	t.Logf("soak: %d submitted, %d ok, %d failed, %d requests (%d full / %d fast), %d patch sends, %d resyncs (%d server-side), server hw %d/%d (%d budget evictions), client hw %d/%d (%d budget evictions), %d faults %v",
 		submitted.Load(), okCalls.Load(), failedCalls.Load(),
 		st.Requests, st.FullParses, st.DiffDecodes,
+		deltaSends, deltaResyncs, st.DeltaResyncs,
 		sst.TemplateBytesHighWater, int64(serverBudget), sst.ReplicaBudgetEvictions,
 		clientHW, int64(clientBudget), clientBudgetEvictions,
 		inj.Faults(), inj.FaultsByKind())

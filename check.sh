@@ -242,6 +242,38 @@ budget_smoke() {
 }
 budget_smoke
 
+# Delta smoke: differential transmission under concurrency. 8 RPC
+# workers on a content-match mix with negotiation on must save ≥50% of
+# wire bytes vs what the calls represent (the config measures 61-63%;
+# the floor leaves headroom for scheduler noise in replica binding),
+# with zero failed calls, zero resyncs surfacing as errors, and the
+# server-side differential fast path still ≥90% on the reconstructed
+# bodies. The loadgen enforces all three and exits nonzero itself.
+delta_smoke() {
+    tmp=$(mktemp -d)
+    go build -o "$tmp/bsoap-server" ./cmd/bsoap-server
+    go build -o "$tmp/bsoap-loadgen" ./cmd/bsoap-loadgen
+    "$tmp/bsoap-server" -mode bench -addr 127.0.0.1:29993 \
+        -metrics 127.0.0.1:28131 -quiet > "$tmp/srv.log" 2>&1 &
+    srv=$!
+    sleep 0.5
+    "$tmp/bsoap-loadgen" -addr 127.0.0.1:29993 -workers 8 -replicas 16 \
+        -n 400 -mix 100/0/0 -duration 4s -rpc -delta -max-err 0 \
+        -min-delta-saved 50 \
+        -server-metrics http://127.0.0.1:28131/metrics -min-server-fast 90 \
+        > "$tmp/lg.log" || {
+        echo "delta smoke: loadgen failed:" >&2
+        cat "$tmp/lg.log" >&2
+        exit 1
+    }
+    grep 'delta:' "$tmp/lg.log"
+    kill -TERM "$srv"
+    wait "$srv" || { echo "delta smoke: server exited nonzero" >&2; exit 1; }
+    rm -rf "$tmp"
+    echo "check.sh: delta smoke ok"
+}
+delta_smoke
+
 # Correlated-trace smoke: tracing on both processes, spans propagated
 # over the wire, slow capture armed on both sides. The correlator must
 # merge the two rings into cross-process timelines — its exit code
@@ -346,6 +378,8 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzInline$'      -fuzztime="$FUZZTIME" ./internal/multiref
     go test -run='^$' -fuzz='^FuzzReadRequest$' -fuzztime="$FUZZTIME" ./internal/transport
     go test -run='^$' -fuzz='^FuzzPipelineResponses$' -fuzztime="$FUZZTIME" ./internal/transport
+    go test -run='^$' -fuzz='^FuzzDeltaFrame$'  -fuzztime="$FUZZTIME" ./internal/wire
+    go test -run='^$' -fuzz='^FuzzDeltaFrame$'  -fuzztime="$FUZZTIME" ./internal/serverpool
     go test -run='^$' -fuzz='^FuzzUnescape$'    -fuzztime="$FUZZTIME" ./internal/xsdlex
     go test -run='^$' -fuzz='^FuzzParseDouble$' -fuzztime="$FUZZTIME" ./internal/xsdlex
 fi

@@ -38,6 +38,7 @@ import (
 	"bsoap/internal/health"
 	"bsoap/internal/promtext"
 	"bsoap/internal/trace"
+	"bsoap/internal/transport"
 	"bsoap/internal/workload"
 )
 
@@ -69,6 +70,9 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault injector seed")
 		srvMet    = flag.String("server-metrics", "", "scrape this server /metrics URL at end of run and report its differential-decode counters")
 		minFast   = flag.Float64("min-server-fast", 0, "with -server-metrics: min server DDS fast-path percent before exiting nonzero")
+		delta     = flag.Bool("delta", false, "negotiate differential transmission: send compact patch frames instead of full bodies once the server acknowledges holding the previous one")
+		minSaved  = flag.Float64("min-delta-saved", 0, "with -delta: min percent of wire bytes saved versus represented bytes before exiting nonzero")
+		bandwidth = flag.Int64("bandwidth", 0, "throttle aggregate socket throughput to this many bytes/sec (shared token bucket modelling a constrained link)")
 	)
 	flag.Parse()
 
@@ -94,6 +98,15 @@ func main() {
 		Config:           bsoap.Config{EnableStealing: true, Width: bsoap.WidthPolicy{Double: 18, Int: 9}},
 	}
 	popts.Sender.ExpectResponse = *rpc
+	if *delta {
+		popts.Delta = true
+		if *pipeline == 0 {
+			// Delta negotiation rides on responses: a fire-and-forget
+			// serial sender would never see an ack and silently keep
+			// sending full bodies.
+			popts.Sender.ExpectResponse = true
+		}
+	}
 	var inj *faultwire.Injector
 	if *chaos > 0 {
 		if *inprocess {
@@ -115,9 +128,23 @@ func main() {
 		popts.Sender.WriteTimeout = 10 * time.Second
 		popts.Sender.ReadTimeout = 10 * time.Second
 	}
+	if *bandwidth > 0 {
+		if *inprocess {
+			fmt.Fprintln(os.Stderr, "bsoap-loadgen: -bandwidth needs a real connection; drop -inprocess")
+			os.Exit(2)
+		}
+		popts.Sender.Dialer = faultwire.Bandwidth(*bandwidth).Dial(popts.Sender.Dialer)
+	}
 	if *inprocess {
-		sink := bsoap.NewDiscardSink()
-		popts.Dial = func() (bsoap.Sink, error) { return sink, nil }
+		if *delta {
+			// An always-capable in-process peer: measures the pure
+			// client-side delta encode cost without a network.
+			sink := transport.NewDeltaDiscardSink()
+			popts.Dial = func() (bsoap.Sink, error) { return sink, nil }
+		} else {
+			sink := bsoap.NewDiscardSink()
+			popts.Dial = func() (bsoap.Sink, error) { return sink, nil }
+		}
 	} else {
 		popts.Addr = *addr
 	}
@@ -231,6 +258,12 @@ func main() {
 	}
 
 	st := pool.Stats()
+	if *minSaved > 0 {
+		if pct := deltaSavedPct(st); pct < *minSaved {
+			fmt.Fprintf(os.Stderr, "bsoap-loadgen: delta saved %.1f%% of wire bytes, below -min-delta-saved %.1f%%\n", pct, *minSaved)
+			os.Exit(1)
+		}
+	}
 	errRate := 0.0
 	if st.Calls > 0 {
 		errRate = 100 * float64(errorsN.Load()) / float64(st.Calls)
@@ -381,6 +414,11 @@ func checkServerMetrics(url string, minFast float64) error {
 	fmt.Printf("  server: %.0f requests · dds fast-path %.1f%% (%.0f fast / %.0f full) · %.0f rejected · %.0f replica evictions\n",
 		vals["bsoap_server_requests_total"], rate, fast, full, rejected,
 		vals["bsoap_server_replica_evictions_total"])
+	if applied := vals["bsoap_server_delta_applied_total"]; applied > 0 || vals["bsoap_server_delta_resyncs_total"] > 0 {
+		fmt.Printf("  server delta: %.0f patches applied, %.0f syncs, %.0f resyncs — %.1f MB of frames reconstructed %.1f MB of bodies\n",
+			applied, vals["bsoap_server_delta_syncs_total"], vals["bsoap_server_delta_resyncs_total"],
+			vals["bsoap_server_delta_wire_bytes_total"]/1e6, vals["bsoap_server_delta_represented_bytes_total"]/1e6)
+	}
 	if minFast > 0 {
 		if fast+full == 0 {
 			return fmt.Errorf("server reported no decodes; cannot judge -min-server-fast %.1f", minFast)
@@ -415,11 +453,16 @@ func report(w *os.File, pool *bsoap.Pool, inj *faultwire.Injector, workers, ops 
 		st.StructuralMatches, pct(st.StructuralMatches),
 		st.PartialMatches, pct(st.PartialMatches), st.Errors)
 	saved := 0.0
-	if st.BytesOnWire > 0 {
-		saved = 100 * float64(st.BytesSaved) / float64(st.BytesOnWire)
+	if st.BytesRepresented > 0 {
+		saved = 100 * float64(st.BytesSaved) / float64(st.BytesRepresented)
 	}
 	fmt.Fprintf(w, "  bytes: %.1f MB on wire, %.1f MB serialized — %.1f%% saved by diffing\n",
 		float64(st.BytesOnWire)/1e6, float64(st.BytesSerialized)/1e6, saved)
+	if st.DeltaSends > 0 || st.DeltaResyncs > 0 {
+		fmt.Fprintf(w, "  delta: %d patch sends, %d resyncs — %.1f MB on wire for %.1f MB represented (%.1f%% wire bytes saved)\n",
+			st.DeltaSends, st.DeltaResyncs,
+			float64(st.BytesOnWire)/1e6, float64(st.BytesRepresented)/1e6, deltaSavedPct(st))
+	}
 	fmt.Fprintf(w, "  repairs: %d values rewritten, %d tag shifts, %d shifts, %d steals, %d rebinds\n",
 		st.ValuesRewritten, st.TagShifts, st.Shifts, st.Steals, st.TemplateRebinds)
 	fmt.Fprintf(w, "  pool: %d checkouts (%d waited), %d dials, %d redials, %d dial failures, %d retries\n",
@@ -453,6 +496,16 @@ func report(w *os.File, pool *bsoap.Pool, inj *faultwire.Injector, workers, ops 
 			float64(st.TemplateBytes)/1e3, float64(st.TemplateBytesHighWater)/1e3,
 			st.TemplateBudgetEvictions, st.TemplateEvictions)
 	}
+}
+
+// deltaSavedPct computes the wire-savings percentage differential
+// transmission delivered: bytes kept off the wire relative to the bytes
+// the calls represented.
+func deltaSavedPct(st bsoap.PoolStats) float64 {
+	if st.BytesRepresented == 0 {
+		return 0
+	}
+	return 100 * float64(st.DeltaBytesSaved) / float64(st.BytesRepresented)
 }
 
 // parseMix parses "a/b/c" percentages summing to 100.

@@ -68,6 +68,7 @@ func main() {
 		mode     = flag.String("mode", "discard", "discard | sum | mcs | flock | bench | record")
 		respond  = flag.Bool("respond", true, "answer every request (discard mode defaults to silent)")
 		diff     = flag.Bool("diff", true, "use differential deserialization in SOAP modes")
+		delta    = flag.Bool("delta", true, "accept differential transmission (serverpool runtime: hold each client template's last body, apply patch frames against it)")
 		locked   = flag.Bool("locked", false, "single-mutex endpoint instead of the sharded serverpool runtime")
 		selfchk  = flag.Bool("selfcheck", false, "re-verify every differential fast-path decode against a full parse")
 		quiet    = flag.Bool("quiet", false, "suppress per-connection error logging")
@@ -164,6 +165,7 @@ func main() {
 		} else {
 			rt = serverpool.New(serverpool.Options{
 				DifferentialDeserialization: *diff,
+				Delta:                       *delta,
 				MaxReplicas:                 *maxReplicas,
 				MaxTemplateBytes:            *maxTmplB,
 				SelfCheck:                   *selfchk,
@@ -268,6 +270,10 @@ func main() {
 		st := rt.Stats()
 		fmt.Printf("bsoap-server: decodes: %d full parses, %d differential (%d values reparsed), %d self-check fails\n",
 			st.FullParses, st.DiffDecodes, st.ValuesReparsed, st.SelfCheckFails)
+		if st.DeltaApplied > 0 || st.DeltaSyncs > 0 || st.DeltaResyncs > 0 {
+			fmt.Printf("bsoap-server: delta: %d patches applied, %d base syncs, %d resyncs\n",
+				st.DeltaApplied, st.DeltaSyncs, st.DeltaResyncs)
+		}
 		fmt.Printf("bsoap-server: replicas: %d resident, %d evicted, %d template keys evicted\n",
 			st.Replicas, st.ReplicaEvictions, st.DDSKeyEvictions)
 		if ss := sm.Snapshot(); ss.ReplicaBudgetEvictions > 0 || ss.TemplateBytesHighWater > 0 {

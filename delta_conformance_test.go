@@ -1,0 +1,301 @@
+package bsoap_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bsoap"
+	"bsoap/internal/baseline"
+	"bsoap/internal/harness"
+	"bsoap/internal/workload"
+)
+
+// TestPoolDeltaEquivalence is the differential-transmission half of the
+// equivalence suite: the same randomized mutation schedule as the
+// baseline property test, run through a delta-negotiating pool against
+// the recording server. Every body the server ends up holding — whether
+// it arrived in full or was reconstructed from a patch frame — must be
+// byte-equivalent (modulo padding) to a from-scratch serialization of
+// the call's values, in call order, under all four policy configs.
+func TestPoolDeltaEquivalence(t *testing.T) {
+	const rounds = 400
+	for _, tc := range equivalenceConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, p := harness.Recorder(t, nil, bsoap.PoolOptions{
+				Size:     1,
+				Replicas: 1,
+				Config:   tc.cfg,
+				Delta:    true,
+			})
+
+			targets := []*target{
+				doublesTarget("doubles-a", 64),
+				doublesTarget("doubles-b", 64),
+				intsTarget("ints", 64),
+				miosTarget("mios", 16),
+			}
+			ref := baseline.NewGSOAPLike()
+			rng := rand.New(rand.NewSource(7))
+			want := make([][]byte, 0, rounds)
+
+			for round := 0; round < rounds; round++ {
+				tg := targets[rng.Intn(len(targets))]
+				tg.mutate(rng)
+				want = append(want, canon(ref.Serialize(tg.msg)))
+				if _, err := p.Call(tg.msg); err != nil {
+					t.Fatalf("round %d (%s): %v", round, tg.name, err)
+				}
+			}
+
+			got := rec.Bodies()
+			if len(got) != rounds {
+				t.Fatalf("server holds %d bodies, want %d", len(got), rounds)
+			}
+			for i := range got {
+				if !bytes.Equal(canon(got[i]), want[i]) {
+					t.Fatalf("call %d: server body diverges from baseline\n got: %s\nwant: %s",
+						i, canon(got[i]), want[i])
+				}
+			}
+
+			st := p.Stats()
+			if st.DeltaSends == 0 {
+				t.Fatal("schedule never sent a patch frame; delta negotiation is broken")
+			}
+			if st.DeltaResyncs != 0 {
+				t.Errorf("delta resyncs = %d, want 0 (nothing evicted server state)", st.DeltaResyncs)
+			}
+			if rec.DeltaApplied() != st.DeltaSends {
+				t.Errorf("server applied %d patches, client sent %d", rec.DeltaApplied(), st.DeltaSends)
+			}
+			if st.BytesOnWire >= st.BytesRepresented {
+				t.Errorf("wire bytes %d not below represented bytes %d despite %d patch sends",
+					st.BytesOnWire, st.BytesRepresented, st.DeltaSends)
+			}
+		})
+	}
+}
+
+// TestPoolDeltaPipelinedEquivalence runs the schedule through a depth-4
+// pipelined delta pool and a serial full-body pool side by side: the
+// bodies the delta server reconstructs must be byte-identical (modulo
+// padding) to the serial pool's wire bytes, in the same order — patch
+// framing composes with pipelining without reordering or corrupting
+// anything.
+func TestPoolDeltaPipelinedEquivalence(t *testing.T) {
+	const depth = 4
+	const rounds = 400
+
+	for _, tc := range equivalenceConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			sink := &recordSink{}
+			serial, err := bsoap.NewPool(bsoap.PoolOptions{
+				Size:     1,
+				Replicas: 1,
+				Config:   tc.cfg,
+				Dial:     func() (bsoap.Sink, error) { return sink, nil },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer serial.Close()
+
+			rec, piped := harness.Recorder(t, nil, bsoap.PoolOptions{
+				Size:          1,
+				Replicas:      1,
+				Config:        tc.cfg,
+				PipelineDepth: depth,
+				Delta:         true,
+			})
+
+			mkTargets := func() []*target {
+				return []*target{
+					doublesTarget("doubles-a", 64),
+					doublesTarget("doubles-b", 64),
+					intsTarget("ints", 64),
+					miosTarget("mios", 16),
+				}
+			}
+			sTargets, pTargets := mkTargets(), mkTargets()
+			sched := rand.New(rand.NewSource(11))
+			sRng := rand.New(rand.NewSource(23))
+			pRng := rand.New(rand.NewSource(23))
+			pending := make([]*bsoap.Future, len(pTargets))
+
+			for round := 0; round < rounds; round++ {
+				i := sched.Intn(len(sTargets))
+				st, pt := sTargets[i], pTargets[i]
+				if pending[i] != nil {
+					if _, err := pending[i].Wait(); err != nil {
+						t.Fatalf("round %d (%s): wait: %v", round, pt.name, err)
+					}
+					pending[i] = nil
+				}
+				st.mutate(sRng)
+				pt.mutate(pRng)
+				if _, err := serial.Call(st.msg); err != nil {
+					t.Fatalf("round %d (%s): serial: %v", round, st.name, err)
+				}
+				f, err := piped.CallAsync(pt.msg)
+				if err != nil {
+					t.Fatalf("round %d (%s): submit: %v", round, pt.name, err)
+				}
+				pending[i] = f
+			}
+			for i, f := range pending {
+				if f == nil {
+					continue
+				}
+				if _, err := f.Wait(); err != nil {
+					t.Fatalf("drain (%s): %v", pTargets[i].name, err)
+				}
+			}
+
+			got := rec.Bodies()
+			if len(sink.msgs) != rounds || len(got) != rounds {
+				t.Fatalf("serial recorded %d bodies, server holds %d, want %d each",
+					len(sink.msgs), len(got), rounds)
+			}
+			for i := range got {
+				want := canon(sink.msgs[i])
+				if !bytes.Equal(canon(got[i]), want) {
+					t.Fatalf("call %d: reconstructed body diverges from serial\n got: %s\nwant: %s",
+						i, canon(got[i]), want)
+				}
+			}
+			s := piped.Stats()
+			if s.DeltaSends == 0 {
+				t.Fatal("pipelined pool never sent a patch frame")
+			}
+			if s.AsyncCalls != rounds || s.FuturesPending != 0 || s.Errors != 0 {
+				t.Fatalf("async_calls=%d futures_pending=%d errors=%d, want %d/0/0",
+					s.AsyncCalls, s.FuturesPending, s.Errors, rounds)
+			}
+		})
+	}
+}
+
+// TestDeltaResyncRecovery is the deterministic serial resync script: a
+// patch-synchronized client loses its server-side base mid-stream and
+// the very next patch must degrade losslessly — one 409, an immediate
+// full resend on the same connection, no error surfaced, and patch
+// traffic resuming on the call after.
+func TestDeltaResyncRecovery(t *testing.T) {
+	rec, p := harness.Recorder(t, nil, bsoap.PoolOptions{
+		Size: 1, Replicas: 1, Delta: true,
+	})
+
+	w := workload.NewDoubles(16, workload.FillMin)
+	ref := baseline.NewGSOAPLike()
+	want := make([][]byte, 0, 8)
+	call := func(step string) bsoap.CallInfo {
+		t.Helper()
+		want = append(want, canon(ref.Serialize(w.Msg)))
+		ci, err := p.Call(w.Msg)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		return ci
+	}
+
+	if ci := call("first-time"); ci.DeltaSent || ci.Match != bsoap.FirstTime {
+		t.Fatalf("call 1: delta_sent=%v match=%v, want full first-time", ci.DeltaSent, ci.Match)
+	}
+	if ci := call("patch"); !ci.DeltaSent {
+		t.Fatal("call 2: content match did not go out as a patch frame")
+	}
+	w.Arr.Set(0, workload.MinDouble2)
+	if ci := call("patch-dirty"); !ci.DeltaSent {
+		t.Fatal("call 3: width-neutral rewrite did not go out as a patch frame")
+	}
+
+	// The server loses all bases (eviction, restart): the next patch is
+	// refused and must recover within the same call.
+	rec.ForgetBases()
+	w.Arr.Set(1, workload.MinDouble2)
+	ci := call("resync")
+	if !ci.DeltaResync || ci.DeltaSent {
+		t.Fatalf("call 4: delta_resync=%v delta_sent=%v, want a resynced full resend", ci.DeltaResync, ci.DeltaSent)
+	}
+	if ci.WireBytes <= ci.Bytes {
+		t.Errorf("call 4: wire bytes %d should exceed body %d (refused frame + full body)", ci.WireBytes, ci.Bytes)
+	}
+	if ci := call("repatch"); !ci.DeltaSent || ci.DeltaResync {
+		t.Fatalf("call 5: delta_sent=%v delta_resync=%v, want patch traffic restored", ci.DeltaSent, ci.DeltaResync)
+	}
+
+	// The refused patch was never recorded; every body the server holds
+	// is byte-equivalent to the call's from-scratch serialization.
+	got := rec.Bodies()
+	if len(got) != len(want) {
+		t.Fatalf("server holds %d bodies, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(canon(got[i]), want[i]) {
+			t.Fatalf("call %d: server body diverges after resync\n got: %s\nwant: %s", i, canon(got[i]), want[i])
+		}
+	}
+	if rec.DeltaResyncs() != 1 {
+		t.Errorf("server refused %d patches, want 1", rec.DeltaResyncs())
+	}
+	if st := p.Stats(); st.DeltaResyncs != 1 || st.Errors != 0 {
+		t.Errorf("delta_resyncs=%d errors=%d, want 1/0", st.DeltaResyncs, st.Errors)
+	}
+}
+
+// TestDeltaResyncRecoveryPipelined is the same script through the async
+// path: the rejected patch fails its pending in order, the future
+// transparently resubmits as a full send, and the caller sees one
+// successful call flagged delta_resync — never an error, never a lost
+// or duplicated body.
+func TestDeltaResyncRecoveryPipelined(t *testing.T) {
+	rec, p := harness.Recorder(t, nil, bsoap.PoolOptions{
+		Size: 1, Replicas: 1, Delta: true, PipelineDepth: 4,
+	})
+
+	w := workload.NewDoubles(16, workload.FillMin)
+	ref := baseline.NewGSOAPLike()
+	want := make([][]byte, 0, 8)
+	call := func(step string) bsoap.CallInfo {
+		t.Helper()
+		want = append(want, canon(ref.Serialize(w.Msg)))
+		f, err := p.CallAsync(w.Msg)
+		if err != nil {
+			t.Fatalf("%s: submit: %v", step, err)
+		}
+		ci, err := f.Wait()
+		if err != nil {
+			t.Fatalf("%s: wait: %v", step, err)
+		}
+		return ci
+	}
+
+	call("first-time")
+	if ci := call("patch"); !ci.DeltaSent {
+		t.Fatal("call 2: content match did not go out as a patch frame")
+	}
+	rec.ForgetBases()
+	w.Arr.Set(0, workload.MinDouble2)
+	if ci := call("resync"); !ci.DeltaResync {
+		t.Fatalf("call 3: delta_resync=%v, want the future to resubmit in full", ci.DeltaResync)
+	}
+	if ci := call("repatch"); !ci.DeltaSent {
+		t.Fatal("call 4: patch traffic did not resume after the resync")
+	}
+
+	got := rec.Bodies()
+	if len(got) != len(want) {
+		t.Fatalf("server holds %d bodies, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(canon(got[i]), want[i]) {
+			t.Fatalf("call %d: server body diverges after pipelined resync\n got: %s\nwant: %s",
+				i, canon(got[i]), want[i])
+		}
+	}
+	if st := p.Stats(); st.DeltaResyncs != 1 || st.Errors != 0 || st.FuturesPending != 0 {
+		t.Errorf("delta_resyncs=%d errors=%d futures_pending=%d, want 1/0/0",
+			st.DeltaResyncs, st.Errors, st.FuturesPending)
+	}
+}

@@ -165,6 +165,30 @@ type StreamSink interface {
 	EndStream() error
 }
 
+// DeltaSink is a Sink that can negotiate differential transmission:
+// sending the dirty regions of a template as a patch frame instead of
+// the full body when the peer is known to hold the same template bytes.
+// The sink owns the per-connection synchronization state (which
+// template ids the peer has acknowledged, and at which epoch); the stub
+// owns the template ids and epochs themselves.
+type DeltaSink interface {
+	Sink
+	// DeltaEpoch reports the epoch at which the peer is believed
+	// synchronized for template tid; ok is false when the peer has not
+	// acknowledged the template (or delta is not negotiated), in which
+	// case the stub sends the full body.
+	DeltaEpoch(tid uint64) (epoch uint64, ok bool)
+	// SendFull sends the complete body, annotated with the template's
+	// id and current epoch so a capable peer can store it as the delta
+	// base for future patches.
+	SendFull(bufs net.Buffers, tid, epoch uint64) error
+	// SendDelta sends a patch frame (already encoded by the stub).
+	// Returning an error wrapping wire.ErrDeltaResync means the peer
+	// rejected the patch and the caller must fall back to SendFull;
+	// the connection itself remains healthy in that case.
+	SendDelta(bufs net.Buffers, tid, newEpoch uint64) error
+}
+
 // CallInfo reports what one Call did.
 type CallInfo struct {
 	Match MatchKind
@@ -196,6 +220,20 @@ type CallInfo struct {
 	// structure's previous template was suspect (its last send failed
 	// mid-flight), rather than because no template existed.
 	Degraded bool
+	// WireBytes is what actually went onto the wire for this call: the
+	// patch frame size on a delta send, otherwise equal to Bytes. The
+	// gap between Bytes (the message the peer reconstructs) and
+	// WireBytes is the transmission work differential transmission
+	// avoided.
+	WireBytes int
+	// DeltaSent marks a call served by a patch frame instead of the
+	// full body; DeltaResync marks a call whose patch was rejected by
+	// the peer and transparently resent in full.
+	DeltaSent   bool
+	DeltaResync bool
+	// DeltaEncodeNs is the time spent encoding the patch frame
+	// (region walk + checksum), for stage attribution.
+	DeltaEncodeNs int64
 }
 
 // Stats accumulates CallInfo across a Stub's lifetime.
@@ -210,6 +248,7 @@ type Stats struct {
 	// suspect template (graceful degradation after a failed send).
 	DegradedFTS     int64
 	BytesSent       int64
+	BytesOnWire     int64
 	BytesSerialized int64
 	ValuesRewritten int64
 	TagShifts       int64
@@ -217,6 +256,10 @@ type Stats struct {
 	Steals          int64
 	Grows           int64
 	Splits          int64
+	// DeltaSends counts calls served by a patch frame; DeltaResyncs
+	// counts patches the peer rejected (resent in full).
+	DeltaSends   int64
+	DeltaResyncs int64
 }
 
 func (s *Stats) add(ci CallInfo) {
@@ -237,7 +280,14 @@ func (s *Stats) add(ci CallInfo) {
 		s.FullSerializations++
 	}
 	s.BytesSent += int64(ci.Bytes)
+	s.BytesOnWire += int64(ci.WireBytes)
 	s.BytesSerialized += int64(ci.BytesSerialized)
+	if ci.DeltaSent {
+		s.DeltaSends++
+	}
+	if ci.DeltaResync {
+		s.DeltaResyncs++
+	}
 	s.ValuesRewritten += int64(ci.ValuesRewritten)
 	s.TagShifts += int64(ci.TagShifts)
 	s.Shifts += int64(ci.Shifts)

@@ -176,6 +176,13 @@ type scratch struct {
 	// maximum width and grows to the longest string leaf seen, so
 	// re-serializing strings stays allocation-free once warm.
 	enc []byte
+	// regs and delta are the differential-transmission working set:
+	// the coalesced dirty regions of the call in progress and the
+	// encoded frame/region headers (region payloads alias template
+	// chunks and are never copied). Both converge on the largest call
+	// seen and then stop allocating.
+	regs  []deltaRegion
+	delta []byte
 	// span is the flight-recorder span of the call in progress: set by
 	// the pool runtime (SetTraceSpan) or self-allocated at Call entry
 	// when tracing is on, consumed (reset to zero) when the call's span
@@ -281,6 +288,7 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 		ci.Match = FullSerialization
 		data := s.flat.render(m)
 		ci.Bytes = len(data)
+		ci.WireBytes = len(data)
 		ci.BytesSerialized = len(data)
 		s.scr.bufs = append(s.scr.bufs[:0], data)
 		if err := s.sink.Send(s.scr.bufs); err != nil {
@@ -353,10 +361,11 @@ func (s *Stub) Call(m *wire.Message) (CallInfo, error) {
 	}
 
 	ci.Bytes = tpl.buf.Len()
+	ci.WireBytes = ci.Bytes
 	if ci.Match == FirstTime {
 		ci.BytesSerialized = ci.Bytes
 	}
-	if err := s.sink.Send(tpl.buf.BuffersInto(&s.scr.bufs)); err != nil {
+	if err := s.send(tpl, m, &ci); err != nil {
 		// The send died with the template bytes possibly half-delivered:
 		// mark the template suspect so the next call of this structure
 		// degrades to a full re-serialization instead of an incremental

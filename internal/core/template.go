@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"bsoap/internal/chunk"
 	"bsoap/internal/dut"
@@ -31,6 +32,15 @@ type Template struct {
 	// discards the template and re-serializes from the live values (a
 	// degraded first-time send) instead of diffing against it.
 	suspect bool
+
+	// deltaID is the template's process-unique identity on the delta
+	// wire (a suspect-discarded template is rebuilt under a fresh id,
+	// so stale peer state can never match it); deltaEpoch is the
+	// template's content version, bumped whenever its bytes change.
+	// The epoch is a fast synchronization filter; the patch frame's
+	// checksum is the correctness authority.
+	deltaID    uint64
+	deltaEpoch uint64
 
 	// tags caches "<name>"/"</name>" pairs so emission does not
 	// concatenate per leaf.
@@ -63,6 +73,12 @@ func (t *Template) Suspect() bool { return t.suspect }
 
 // Bytes returns a contiguous copy of the serialized message.
 func (t *Template) Bytes() []byte { return t.buf.Bytes() }
+
+// DeltaID returns the template's process-unique delta-wire identity.
+func (t *Template) DeltaID() uint64 { return t.deltaID }
+
+// DeltaEpoch returns the template's current content version.
+func (t *Template) DeltaEpoch() uint64 { return t.deltaEpoch }
 
 // MemoryFootprint estimates the template's resident cost in bytes:
 // chunk capacity plus the DUT table — the storage the paper's §3.3
@@ -100,6 +116,10 @@ func (t *Template) release() {
 	t.buf.Release()
 }
 
+// nextDeltaID allocates process-unique template identities for the
+// delta wire. Starting at 1 keeps 0 free as "no template".
+var nextDeltaID atomic.Uint64
+
 // newTemplate fully serializes m and records the DUT table — the
 // paper's First-Time Send.
 func newTemplate(m *wire.Message, cfg Config, sc *scratch) *Template {
@@ -110,6 +130,7 @@ func newTemplate(m *wire.Message, cfg Config, sc *scratch) *Template {
 		buf:     chunk.New(cfg.Chunk),
 		cfg:     cfg,
 		tags:    make(map[string][2]string, 8),
+		deltaID: nextDeltaID.Add(1),
 	}
 	t.buf.Span = sc.span
 	t.buf.AppendString(soapenv.EnvelopeStart(m.Namespace()))

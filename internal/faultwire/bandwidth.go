@@ -1,0 +1,138 @@
+package faultwire
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Throttle is a shared token-bucket bandwidth limiter for wrapped
+// connections: every byte written to (or read from) a wrapped conn
+// consumes tokens from one bucket refilled at the configured rate, so
+// all connections together behave like one link of that capacity. It is
+// the benchmark's constrained-network model — the regime where
+// differential transmission's smaller frames translate directly into
+// latency — and composes with an Injector by stacking Wrap/Dial.
+// All methods are safe for concurrent use; a nil *Throttle is unlimited.
+type Throttle struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // bucket capacity in bytes
+	tokens float64
+	last   time.Time
+
+	bytes  atomic.Int64
+	waitNs atomic.Int64
+}
+
+// Bandwidth returns a throttle limiting aggregate throughput to
+// bytesPerSec, with a burst bucket of bytesPerSec/8 (at least 8 KiB) so
+// short messages pass unshaped. bytesPerSec <= 0 returns nil — the
+// unlimited throttle, safe to use everywhere a real one is.
+func Bandwidth(bytesPerSec int64) *Throttle {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	burst := float64(bytesPerSec) / 8
+	if burst < 8*1024 {
+		burst = 8 * 1024
+	}
+	return &Throttle{
+		rate:   float64(bytesPerSec),
+		burst:  burst,
+		tokens: burst,
+		last:   time.Now(),
+	}
+}
+
+// take consumes n tokens, sleeping for the deficit when the bucket runs
+// dry. Tokens may go negative under the lock — the debt shapes later
+// callers too, which is what holds concurrent connections to the
+// aggregate rate.
+func (t *Throttle) take(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	now := time.Now()
+	t.tokens += now.Sub(t.last).Seconds() * t.rate
+	t.last = now
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+	t.tokens -= float64(n)
+	var wait time.Duration
+	if t.tokens < 0 {
+		wait = time.Duration(-t.tokens / t.rate * float64(time.Second))
+	}
+	t.mu.Unlock()
+	t.bytes.Add(int64(n))
+	if wait > 0 {
+		t.waitNs.Add(int64(wait))
+		time.Sleep(wait)
+	}
+}
+
+// Bytes reports total bytes accounted through the throttle.
+func (t *Throttle) Bytes() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytes.Load()
+}
+
+// WaitTime reports cumulative time spent sleeping on the bucket.
+func (t *Throttle) WaitTime() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.waitNs.Load())
+}
+
+// Wrap returns c with its reads and writes drawing on the shared bucket.
+func (t *Throttle) Wrap(c net.Conn) net.Conn {
+	if t == nil {
+		return c
+	}
+	return &throttledConn{Conn: c, t: t}
+}
+
+// Dial wraps a dial function so every returned connection is throttled.
+// A nil base uses a plain net.DialTimeout (10s), mirroring Injector.Dial.
+func (t *Throttle) Dial(base DialFunc) DialFunc {
+	if base == nil {
+		base = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, 10*time.Second)
+		}
+	}
+	if t == nil {
+		return base
+	}
+	return func(network, addr string) (net.Conn, error) {
+		c, err := base(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return t.Wrap(c), nil
+	}
+}
+
+// throttledConn shapes one connection against the shared bucket: writes
+// pay before transmitting (the bytes cannot leave faster than the
+// link), reads pay for what actually arrived.
+type throttledConn struct {
+	net.Conn
+	t *Throttle
+}
+
+func (c *throttledConn) Write(p []byte) (int, error) {
+	c.t.take(len(p))
+	return c.Conn.Write(p)
+}
+
+func (c *throttledConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.t.take(n)
+	return n, err
+}

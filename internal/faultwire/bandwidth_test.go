@@ -1,0 +1,126 @@
+package faultwire
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestBandwidthShapesWrites pushes more than one burst through a
+// throttled pipe and asserts the transfer takes at least the token
+// deficit's worth of time. Bounds are loose (half the ideal) so a slow
+// CI scheduler cannot flake the test, only an absent throttle fails it.
+func TestBandwidthShapesWrites(t *testing.T) {
+	const rate = 256 * 1024 // 32 KiB burst
+	th := Bandwidth(rate)
+
+	client, server := net.Pipe()
+	defer server.Close()
+	c := th.Wrap(client)
+	defer c.Close()
+
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	// 96 KiB against a 32 KiB bucket leaves a 64 KiB deficit: >= 250ms
+	// of sleep at 256 KiB/s. Require half of that.
+	const total = 96 * 1024
+	payload := make([]byte, 4096)
+	start := time.Now()
+	for sent := 0; sent < total; sent += len(payload) {
+		if _, err := c.Write(payload); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	if want := 125 * time.Millisecond; elapsed < want {
+		t.Errorf("sent %d bytes at %d B/s in %v, want >= %v", total, rate, elapsed, want)
+	}
+	if got := th.Bytes(); got != total {
+		t.Errorf("accounted bytes = %d, want %d", got, total)
+	}
+	if th.WaitTime() == 0 {
+		t.Error("throttle reports zero wait time despite deficit")
+	}
+}
+
+// TestBandwidthReadsShareBucket asserts the receive side draws on the
+// same bucket: bytes read through a wrapped conn are accounted.
+func TestBandwidthReadsShareBucket(t *testing.T) {
+	th := Bandwidth(1 << 20)
+	client, server := net.Pipe()
+	defer server.Close()
+	c := th.Wrap(client)
+	defer c.Close()
+
+	go server.Write(make([]byte, 2048))
+
+	buf := make([]byte, 2048)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got := th.Bytes(); got != int64(n) {
+		t.Errorf("accounted bytes = %d, want %d", got, n)
+	}
+}
+
+// TestBandwidthNilUnlimited pins the nil contract: Bandwidth(0) is nil,
+// and a nil throttle wraps to the original conn with zero-value stats.
+func TestBandwidthNilUnlimited(t *testing.T) {
+	th := Bandwidth(0)
+	if th != nil {
+		t.Fatal("Bandwidth(0) should be nil (unlimited)")
+	}
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	if c := th.Wrap(client); c != client {
+		t.Error("nil throttle must return the conn unchanged")
+	}
+	if th.Bytes() != 0 || th.WaitTime() != 0 {
+		t.Error("nil throttle stats must be zero")
+	}
+	th.take(100) // must not panic
+}
+
+// TestBandwidthDialWraps asserts the dial decorator throttles the
+// resulting connection and passes dial errors through.
+func TestBandwidthDialWraps(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	th := Bandwidth(1 << 20)
+	dial := th.Dial(nil)
+	c, err := dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, ok := c.(*throttledConn); !ok {
+		t.Errorf("dialed conn is %T, want *throttledConn", c)
+	}
+
+	if _, err := dial("tcp", "127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port should fail")
+	}
+}

@@ -29,6 +29,7 @@ type Future struct {
 	p     *Pool
 	pd    *transport.Pending
 	r     *engine
+	m     *wire.Message
 	op    string
 	sig   string
 	ci    core.CallInfo
@@ -64,6 +65,32 @@ func (f *Future) resolve() {
 	err := f.pd.Wait()
 	now := f.p.senders.now()
 	elapsed := now.Sub(f.start)
+	if errors.Is(err, wire.ErrDeltaResync) {
+		// The server rejected this call's patch frame and demands a full
+		// body. The response was read in order and the connection is
+		// healthy, so this is a protocol state mismatch, not a delivery
+		// failure: the template is NOT suspect (its bytes match what the
+		// diff computed — the server just lost its base), and the call is
+		// transparently retried as a full send. The pipeline's read loop
+		// already cleared the sender's sync map, so the retry cannot
+		// encode another patch; a full send can never draw a second
+		// resync, which is what bounds the recursion.
+		f.p.metrics.RecordDeltaResync(f.ci.WireBytes)
+		if f.span != 0 {
+			trace.Rec(f.span, trace.KindDeltaResync, 0, int64(f.ci.WireBytes), 0)
+		}
+		retry, rerr := f.p.CallAsync(f.m)
+		if rerr != nil {
+			// The resubmit itself failed; CallAsync recorded that failure,
+			// so this future just adopts it.
+			f.ci, f.err = core.CallInfo{}, rerr
+			return
+		}
+		ci, werr := retry.Wait()
+		ci.DeltaResync = true
+		f.ci, f.err = ci, werr
+		return
+	}
 	if err != nil {
 		f.p.store.markSuspect(f.r, f.op, f.sig, f.span)
 		err = fmt.Errorf("pool: pipelined call: %w", err)
@@ -104,6 +131,32 @@ type submitSink struct {
 func (ss *submitSink) Send(bufs net.Buffers) error {
 	start := time.Now()
 	pd, err := ss.pl.SendAsync(bufs)
+	ss.ns += time.Since(start).Nanoseconds()
+	ss.pd = pd
+	return err
+}
+
+// submitSink also implements core.DeltaSink, so pipelined pools
+// negotiate and send patch frames exactly like serial ones: the epoch
+// view lives on the underlying Sender (shared with the pipeline's read
+// loop), and the delta-annotated writes go through the pipeline to keep
+// wire order equal to completion order.
+
+func (ss *submitSink) DeltaEpoch(tid uint64) (uint64, bool) {
+	return ss.pl.Sender().DeltaEpoch(tid)
+}
+
+func (ss *submitSink) SendFull(bufs net.Buffers, tid, epoch uint64) error {
+	start := time.Now()
+	pd, err := ss.pl.SendFullAsync(bufs, tid, epoch)
+	ss.ns += time.Since(start).Nanoseconds()
+	ss.pd = pd
+	return err
+}
+
+func (ss *submitSink) SendDelta(bufs net.Buffers, tid, newEpoch uint64) error {
+	start := time.Now()
+	pd, err := ss.pl.SendDeltaAsync(bufs, tid, newEpoch)
 	ss.ns += time.Since(start).Nanoseconds()
 	ss.pd = pd
 	return err
@@ -224,14 +277,21 @@ func (p *Pool) CallAsync(m *wire.Message) (*Future, error) {
 		if err == nil {
 			submitted := p.senders.now()
 			// Attribute the submit: SendAsync time (stall + write) is the
-			// pipeline-queue stage, the rest of Call is serialization.
+			// pipeline-queue stage, patch-frame assembly is delta encode,
+			// the rest of Call is serialization.
 			p.metrics.Stages.Observe(trace.StagePipelineQueue, ss.ns, span)
-			p.metrics.Stages.Observe(trace.StageSerialize, callNs-ss.ns, span)
+			p.metrics.Stages.Observe(trace.StageSerialize, callNs-ss.ns-ci.DeltaEncodeNs, span)
+			if ci.DeltaEncodeNs > 0 {
+				p.metrics.Stages.Observe(trace.StageDeltaEncode, ci.DeltaEncodeNs, span)
+			}
 			if span != 0 {
 				trace.Rec(span, trace.KindStage, int64(trace.StagePipelineQueue), ss.ns, 0)
-				trace.Rec(span, trace.KindStage, int64(trace.StageSerialize), callNs-ss.ns, 0)
+				trace.Rec(span, trace.KindStage, int64(trace.StageSerialize), callNs-ss.ns-ci.DeltaEncodeNs, 0)
+				if ci.DeltaEncodeNs > 0 {
+					trace.Rec(span, trace.KindStage, int64(trace.StageDeltaEncode), ci.DeltaEncodeNs, 0)
+				}
 			}
-			fut = &Future{p: p, pd: ss.pd, r: r, op: op, sig: sig, ci: ci, span: span, start: start, submitted: submitted}
+			fut = &Future{p: p, pd: ss.pd, r: r, m: m, op: op, sig: sig, ci: ci, span: span, start: start, submitted: submitted}
 			p.metrics.asyncCalls.Add(1)
 			if span != 0 {
 				trace.Rec(span, trace.KindAsyncSubmit, trace.OpID(op), int64(pl.InFlight()), 0)

@@ -50,8 +50,14 @@ type Metrics struct {
 	// matches indexes per-kind call counts by core.MatchKind.
 	matches [5]atomic.Int64
 
-	bytesWire       atomic.Int64
-	bytesSerialized atomic.Int64
+	bytesWire        atomic.Int64
+	bytesRepresented atomic.Int64
+	bytesSerialized  atomic.Int64
+
+	// Differential transmission: patch frames sent instead of full
+	// bodies, and server-demanded resynchronizations.
+	deltaSends   atomic.Int64
+	deltaResyncs atomic.Int64
 
 	valuesRewritten atomic.Int64
 	tagShifts       atomic.Int64
@@ -113,8 +119,15 @@ func NewMetrics() *Metrics { return &Metrics{} }
 // classification or meaningful service time).
 func (m *Metrics) RecordCall(ci core.CallInfo, err error, d time.Duration) {
 	m.calls.Add(1)
-	m.bytesWire.Add(int64(ci.Bytes))
+	m.bytesWire.Add(int64(ci.WireBytes))
+	m.bytesRepresented.Add(int64(ci.Bytes))
 	m.bytesSerialized.Add(int64(ci.BytesSerialized))
+	if ci.DeltaSent {
+		m.deltaSends.Add(1)
+	}
+	if ci.DeltaResync {
+		m.deltaResyncs.Add(1)
+	}
 	m.valuesRewritten.Add(int64(ci.ValuesRewritten))
 	m.tagShifts.Add(int64(ci.TagShifts))
 	m.shifts.Add(int64(ci.Shifts))
@@ -149,6 +162,15 @@ func classifyErr(err error) int {
 		return errKindDeadline
 	}
 	return errKindSend
+}
+
+// RecordDeltaResync accounts a pipelined patch send the server rejected
+// with 409/resync: the frame's bytes crossed the wire even though the
+// call itself is re-recorded by its full-body retry, so only the wasted
+// wire traffic and the resync count are folded in here.
+func (m *Metrics) RecordDeltaResync(frameBytes int) {
+	m.deltaResyncs.Add(1)
+	m.bytesWire.Add(int64(frameBytes))
 }
 
 // SetFaultSource registers a callback reporting the running fault count
@@ -193,12 +215,26 @@ type Stats struct {
 	PartialMatches     int64 `json:"partial_matches"`
 	FullSerializations int64 `json:"full_serializations"`
 
-	// BytesOnWire is what left through the sink; BytesSerialized is the
-	// portion the engine actually converted from memory. The difference
-	// is the serialization work differential serialization avoided.
-	BytesOnWire     int64 `json:"bytes_on_wire"`
-	BytesSerialized int64 `json:"bytes_serialized"`
-	BytesSaved      int64 `json:"bytes_saved"`
+	// BytesOnWire is what actually crossed the wire (a patch frame counts
+	// its framed size); BytesRepresented is the message bytes those sends
+	// stand for (always the full body); BytesSerialized is the portion
+	// the engine actually converted from memory. BytesSaved =
+	// BytesRepresented − BytesSerialized is the serialization work
+	// differential serialization avoided; DeltaBytesSaved =
+	// BytesRepresented − BytesOnWire is the wire traffic differential
+	// transmission avoided (zero with delta off, where every send's wire
+	// size equals its represented size).
+	BytesOnWire      int64 `json:"bytes_on_wire"`
+	BytesRepresented int64 `json:"bytes_represented"`
+	BytesSerialized  int64 `json:"bytes_serialized"`
+	BytesSaved       int64 `json:"bytes_saved"`
+	DeltaBytesSaved  int64 `json:"delta_bytes_saved"`
+
+	// DeltaSends counts calls that went out as compact patch frames;
+	// DeltaResyncs counts patch sends the server rejected with a 409
+	// resync demand (each one was losslessly retried as a full body).
+	DeltaSends   int64 `json:"delta_sends"`
+	DeltaResyncs int64 `json:"delta_resyncs"`
 
 	ValuesRewritten int64 `json:"values_rewritten"`
 	TagShifts       int64 `json:"tag_shifts"`
@@ -294,8 +330,11 @@ func (m *Metrics) Snapshot() Stats {
 		PartialMatches:     m.matches[core.PartialMatch].Load(),
 		FullSerializations: m.matches[core.FullSerialization].Load(),
 
-		BytesOnWire:     m.bytesWire.Load(),
-		BytesSerialized: m.bytesSerialized.Load(),
+		BytesOnWire:      m.bytesWire.Load(),
+		BytesRepresented: m.bytesRepresented.Load(),
+		BytesSerialized:  m.bytesSerialized.Load(),
+		DeltaSends:       m.deltaSends.Load(),
+		DeltaResyncs:     m.deltaResyncs.Load(),
 
 		ValuesRewritten: m.valuesRewritten.Load(),
 		TagShifts:       m.tagShifts.Load(),
@@ -339,7 +378,8 @@ func (m *Metrics) Snapshot() Stats {
 		s.TemplateBytes = c.Bytes
 		s.TemplateBytesHighWater = c.HighWater
 	}
-	s.BytesSaved = s.BytesOnWire - s.BytesSerialized
+	s.BytesSaved = s.BytesRepresented - s.BytesSerialized
+	s.DeltaBytesSaved = s.BytesRepresented - s.BytesOnWire
 	return s
 }
 
@@ -378,14 +418,19 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			{Label: "full", Value: s.FullSerializations},
 		})
 
-	p.Counter("bsoap_client_wire_bytes_total", "Bytes handed to the transport.", s.BytesOnWire)
+	p.Counter("bsoap_client_wire_bytes_total", "Bytes that crossed the wire (patch frames count their framed size).", s.BytesOnWire)
+	p.Counter("bsoap_client_represented_bytes_total", "Full-body bytes the sends stand for after reconstruction.", s.BytesRepresented)
 	p.Counter("bsoap_client_serialized_bytes_total", "Bytes actually converted from in-memory values.", s.BytesSerialized)
 	p.Counter("bsoap_client_saved_bytes_total", "Serialization bytes avoided by diffing.", s.BytesSaved)
-	// Deprecated aliases of the three families above (pre-rename names
-	// with the unit mid-name, kept parse-compatible for one release).
+	// Deprecated aliases of the wire/serialized/saved families (pre-rename
+	// names with the unit mid-name, kept parse-compatible for one release).
 	p.Counter("bsoap_client_bytes_on_wire_total", "Deprecated: use bsoap_client_wire_bytes_total.", s.BytesOnWire)
 	p.Counter("bsoap_client_bytes_serialized_total", "Deprecated: use bsoap_client_serialized_bytes_total.", s.BytesSerialized)
 	p.Counter("bsoap_client_bytes_saved_total", "Deprecated: use bsoap_client_saved_bytes_total.", s.BytesSaved)
+
+	p.Counter("bsoap_client_delta_sends_total", "Calls sent as compact patch frames (differential transmission).", s.DeltaSends)
+	p.Counter("bsoap_client_delta_resyncs_total", "Patch sends rejected 409/resync and retried in full.", s.DeltaResyncs)
+	p.Counter("bsoap_client_delta_bytes_saved_total", "Wire bytes avoided by differential transmission.", s.DeltaBytesSaved)
 
 	p.Counter("bsoap_client_values_rewritten_total", "Dirty leaves re-serialized into templates.", s.ValuesRewritten)
 	p.Counter("bsoap_client_tag_shifts_total", "Closing-tag shifts within a field.", s.TagShifts)
@@ -434,7 +479,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 
 // clientStages are the stages the client side attributes latency to.
 var clientStages = []trace.Stage{
-	trace.StageCheckout, trace.StageSerialize,
+	trace.StageCheckout, trace.StageSerialize, trace.StageDeltaEncode,
 	trace.StagePipelineQueue, trace.StageWire,
 }
 

@@ -49,7 +49,7 @@ func TestClassifyErr(t *testing.T) {
 func TestRecordCallFailure(t *testing.T) {
 	m := NewMetrics()
 	ci := core.CallInfo{
-		Match: core.PartialMatch, Bytes: 1234, BytesSerialized: 120,
+		Match: core.PartialMatch, Bytes: 1234, WireBytes: 1234, BytesSerialized: 120,
 		ValuesRewritten: 7, TagShifts: 2, Shifts: 1, Steals: 3,
 	}
 	m.RecordCall(ci, fmt.Errorf("wrapped: %w", timeoutErr{}), 5*time.Millisecond)

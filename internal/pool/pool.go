@@ -88,6 +88,14 @@ type Options struct {
 	// every pipelined request reads exactly one response, regardless of
 	// Sender.ExpectResponse. Incompatible with Options.Dial.
 	PipelineDepth int
+
+	// Delta turns on differential transmission (shorthand for
+	// Sender.Delta): full sends negotiate an X-BSoap-Delta sync with the
+	// server, after which warm content-match calls go out as compact
+	// patch frames instead of full bodies. Negotiation needs responses —
+	// a pipelined pool always reads them; a serial pool must also set
+	// Sender.ExpectResponse or every send simply stays full (lossless).
+	Delta bool
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +148,9 @@ type Pool struct {
 // them.
 func New(opts Options) (*Pool, error) {
 	o := opts.withDefaults()
+	if o.Delta {
+		o.Sender.Delta = true
+	}
 	dial := o.Dial
 	if dial == nil {
 		if o.Addr == "" {
@@ -247,12 +258,19 @@ func (p *Pool) Call(m *wire.Message) (core.CallInfo, error) {
 		p.store.release(r)
 		if err == nil {
 			// Attribute the stub's Call time: what was spent inside the
-			// transport sink is wire, the rest is serialization work.
-			p.metrics.Stages.Observe(trace.StageSerialize, callNs-wireNs, span)
+			// transport sink is wire, patch-frame assembly is delta encode,
+			// the rest is serialization work.
+			p.metrics.Stages.Observe(trace.StageSerialize, callNs-wireNs-ci.DeltaEncodeNs, span)
 			p.metrics.Stages.Observe(trace.StageWire, wireNs, span)
+			if ci.DeltaEncodeNs > 0 {
+				p.metrics.Stages.Observe(trace.StageDeltaEncode, ci.DeltaEncodeNs, span)
+			}
 			if span != 0 {
-				trace.Rec(span, trace.KindStage, int64(trace.StageSerialize), callNs-wireNs, 0)
+				trace.Rec(span, trace.KindStage, int64(trace.StageSerialize), callNs-wireNs-ci.DeltaEncodeNs, 0)
 				trace.Rec(span, trace.KindStage, int64(trace.StageWire), wireNs, 0)
+				if ci.DeltaEncodeNs > 0 {
+					trace.Rec(span, trace.KindStage, int64(trace.StageDeltaEncode), ci.DeltaEncodeNs, 0)
+				}
 			}
 			break
 		}

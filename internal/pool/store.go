@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"fmt"
 	"net"
 	"reflect"
 	"sync"
@@ -133,6 +134,44 @@ type swapSink struct {
 func (w *swapSink) Send(bufs net.Buffers) error {
 	start := time.Now()
 	err := w.s.Send(bufs)
+	w.wireNs += time.Since(start).Nanoseconds()
+	return err
+}
+
+// swapSink also implements core.DeltaSink by forwarding to the
+// checked-out connection when it is delta-capable. The stub probes
+// capability through DeltaEpoch — a connection whose sink is not a
+// DeltaSink answers false, so the stub never encodes a patch for it —
+// which keeps delta strictly per-connection: a pool mixing delta and
+// plain sinks degrades per call, losslessly.
+
+func (w *swapSink) DeltaEpoch(tid uint64) (uint64, bool) {
+	if ds, ok := w.s.(core.DeltaSink); ok {
+		return ds.DeltaEpoch(tid)
+	}
+	return 0, false
+}
+
+func (w *swapSink) SendFull(bufs net.Buffers, tid, epoch uint64) error {
+	ds, ok := w.s.(core.DeltaSink)
+	if !ok {
+		return w.Send(bufs)
+	}
+	start := time.Now()
+	err := ds.SendFull(bufs, tid, epoch)
+	w.wireNs += time.Since(start).Nanoseconds()
+	return err
+}
+
+func (w *swapSink) SendDelta(bufs net.Buffers, tid, newEpoch uint64) error {
+	ds, ok := w.s.(core.DeltaSink)
+	if !ok {
+		// Unreachable: the stub only encodes a patch after DeltaEpoch
+		// answered true, which requires a DeltaSink underneath.
+		return fmt.Errorf("pool: SendDelta on a non-delta sink")
+	}
+	start := time.Now()
+	err := ds.SendDelta(bufs, tid, newEpoch)
 	w.wireNs += time.Since(start).Nanoseconds()
 	return err
 }

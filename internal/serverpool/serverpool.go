@@ -91,6 +91,14 @@ type Options struct {
 	// from-scratch parse and compares leaf values — the conformance
 	// paranoid mode. A mismatch fails the request and is counted.
 	SelfCheck bool
+	// Delta accepts differential-transmission requests: sync-annotated
+	// full bodies are stored as per-replica patch bases (and
+	// acknowledged, which is what turns the client's patch sends on),
+	// and patch frames are applied to the held base before decoding.
+	// Any mismatch is answered 409/resync and the client falls back to a
+	// full-body send — off or on, reconstructed bodies are byte-identical
+	// to what the client would have sent in full.
+	Delta bool
 	// Metrics receives DDS and eviction counters; nil gets a private
 	// registry. Pass the same registry as the transport.Server to export
 	// everything on one /metrics page.
@@ -117,6 +125,9 @@ type Runtime struct {
 	selfCheckFails   atomic.Int64
 	replicaEvictions atomic.Int64
 	ddsKeyEvictions  atomic.Int64
+	deltaApplied     atomic.Int64
+	deltaSyncs       atomic.Int64
+	deltaResyncs     atomic.Int64
 }
 
 type operation struct {
@@ -152,6 +163,13 @@ type replica struct {
 	// change the footprint hold still.
 	stubFP  int64
 	stubGen int64
+	// bases holds this replica's differential-transmission patch bases
+	// (template id -> last synchronized body), nil until the first sync;
+	// deltaBytes tracks their aggregate capacity for the footprint, and
+	// frame is the reused patch-parse scratch. All guarded by mu.
+	bases      *reg.LRU[uint64, *deltaBase]
+	deltaBytes int64
+	frame      wire.DeltaFrame
 }
 
 // SizeBytes reports the cached footprint (replica.Entry).
@@ -178,6 +196,12 @@ type Stats struct {
 	Replicas         int // currently resident
 	ReplicaEvictions int64
 	DDSKeyEvictions  int64
+
+	// Differential transmission: patch frames applied, full bodies stored
+	// as bases, and 409/resync answers.
+	DeltaApplied int64
+	DeltaSyncs   int64
+	DeltaResyncs int64
 }
 
 // New returns an empty runtime.
@@ -260,6 +284,9 @@ func (rt *Runtime) Stats() Stats {
 		Replicas:         rt.reg.Len(),
 		ReplicaEvictions: rt.replicaEvictions.Load(),
 		DDSKeyEvictions:  rt.ddsKeyEvictions.Load(),
+		DeltaApplied:     rt.deltaApplied.Load(),
+		DeltaSyncs:       rt.deltaSyncs.Load(),
+		DeltaResyncs:     rt.deltaResyncs.Load(),
 	}
 }
 
@@ -325,7 +352,25 @@ func (rt *Runtime) HTTPHandler() transport.Handler {
 		}
 		slot, r := rt.acquire(rt.keyFor(req))
 		defer rt.release(slot)
-		return rt.handle(r, req.Body, req.TraceSpan, req.ConnID)
+		body := req.Body
+		if rt.opts.Delta {
+			switch req.DeltaMode {
+			case transport.DeltaPatch:
+				reconstructed, err := rt.applyDelta(r, req)
+				if err != nil {
+					return nil, err
+				}
+				body = reconstructed
+			case transport.DeltaSync:
+				rt.storeDeltaBase(r, req)
+			}
+		} else if req.DeltaMode == transport.DeltaPatch {
+			// A patch arrived but delta is off (e.g. disabled after a
+			// restart): demand a full body rather than failing the call.
+			rt.deltaResyncs.Add(1)
+			return nil, fmt.Errorf("serverpool: delta disabled: %w", wire.ErrDeltaResync)
+		}
+		return rt.handle(r, body, req.TraceSpan, req.ConnID)
 	}
 }
 
@@ -370,7 +415,7 @@ func (rt *Runtime) release(slot *reg.Slot[*replica]) {
 		r.stubGen = gen
 		r.stubFP = int64(r.stub.Store().Footprint())
 	}
-	fp := r.stubFP + int64(r.respBuf.Cap())
+	fp := r.stubFP + int64(r.respBuf.Cap()) + r.deltaBytes
 	if r.differ != nil {
 		fp += int64(r.differ.SizeBytes())
 	}

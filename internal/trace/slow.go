@@ -165,6 +165,15 @@ func (t *Tracer) capture(span uint64, latNs int64) {
 	ord := t.slowIdx.Add(1)
 	e := &t.slow[(ord-1)%uint64(len(t.slow))]
 	e.mu.Lock()
+	if e.seq > ord {
+		// A capture lapping this one already owns the slot: ordinals are
+		// taken before slot locks, so a delayed older capture can lock
+		// after a newer one. Dropping the older keeps slot seqs monotonic
+		// — otherwise a snapshot would skip the slot as stale.
+		e.mu.Unlock()
+		t.slowCaptured.Add(1)
+		return
+	}
 	e.seq = ord
 	e.span = span
 	e.lat = latNs

@@ -38,10 +38,16 @@ const (
 	StageRespond
 	// StageWrite is the server writing the response onto the socket.
 	StageWrite
+	// StageDeltaEncode is the client encoding a differential-transmission
+	// patch frame (dirty-region walk + body checksum).
+	StageDeltaEncode
+	// StageDeltaApply is the server applying a patch frame to its held
+	// template base (region copies + checksum verification).
+	StageDeltaApply
 
 	// StageCount is the number of stages; valid Stage values are
 	// 0..StageCount-1.
-	StageCount = int(StageWrite) + 1
+	StageCount = int(StageDeltaApply) + 1
 )
 
 var stageNames = [StageCount]string{
@@ -54,6 +60,8 @@ var stageNames = [StageCount]string{
 	StageHandler:       "handler",
 	StageRespond:       "respond",
 	StageWrite:         "write",
+	StageDeltaEncode:   "delta_encode",
+	StageDeltaApply:    "delta_apply",
 }
 
 // String returns the stage's stable wire name (used as the Prometheus

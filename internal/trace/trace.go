@@ -131,8 +131,16 @@ const (
 	// server stages the propagated client span (or the server-local span
 	// when no header was present).
 	KindStage
+	// KindDeltaSend is one warm call shipped as a patch frame instead of
+	// the full body: A=frame bytes on wire, B=body bytes represented,
+	// C=template delta id.
+	KindDeltaSend
+	// KindDeltaResync is a patch the peer rejected (epoch skew, checksum
+	// fail, evicted base), transparently resent in full: A=template
+	// delta id.
+	KindDeltaResync
 
-	kindCount = int(KindStage) + 1
+	kindCount = int(KindDeltaResync) + 1
 )
 
 var kindNames = [kindCount]string{
@@ -163,6 +171,8 @@ var kindNames = [kindCount]string{
 	KindReplicaEvict:    "replica-evict",
 	KindServerSpan:      "server-span",
 	KindStage:           "stage",
+	KindDeltaSend:       "delta-send",
+	KindDeltaResync:     "delta-resync",
 }
 
 // String returns the kind's wire name (stable; the inspector and the

@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"bsoap/internal/wire"
+)
+
+// deltaPeer is a transport server behaving like a delta-capable
+// endpoint: sync-annotated bodies are acked, patch frames are accepted
+// or refused with a resync depending on the refuse flag.
+func deltaPeer(t *testing.T, refuse *atomic.Bool) *Server {
+	t.Helper()
+	srv, err := Listen("127.0.0.1:0", ServerOptions{
+		Respond: true,
+		Handler: func(req *Request) ([]byte, error) {
+			switch req.DeltaMode {
+			case DeltaSync:
+				req.DeltaAck = true
+				req.DeltaAckTID = req.DeltaTID
+				req.DeltaAckEpoch = req.DeltaEpoch
+			case DeltaPatch:
+				if refuse.Load() {
+					return nil, fmt.Errorf("peer lost the base: %w", wire.ErrDeltaResync)
+				}
+			}
+			return []byte("ok"), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestSenderDeltaNegotiation drives the serial sender through the whole
+// negotiation lifecycle: not capable until the first ack, synchronized
+// epochs tracked per template, a 409/resync clearing the sync map (but
+// not capability) and surfacing as wire.ErrDeltaResync, and a fresh
+// sync restoring patch eligibility.
+func TestSenderDeltaNegotiation(t *testing.T) {
+	var refuse atomic.Bool
+	srv := deltaPeer(t, &refuse)
+	s, err := Dial(srv.Addr(), SenderOptions{Version: HTTP11, Delta: true, ExpectResponse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, ok := s.DeltaEpoch(5); ok {
+		t.Fatal("sender believed peer capable before any ack")
+	}
+	if err := s.SendFull(net.Buffers{[]byte("<body/>")}, 5, 1); err != nil {
+		t.Fatalf("SendFull: %v", err)
+	}
+	if e, ok := s.DeltaEpoch(5); !ok || e != 1 {
+		t.Fatalf("after acked sync: epoch %d, ok %v, want 1/true", e, ok)
+	}
+
+	refuse.Store(true)
+	err = s.SendDelta(net.Buffers{[]byte("patchbytes")}, 5, 2)
+	if !errors.Is(err, wire.ErrDeltaResync) {
+		t.Fatalf("refused patch returned %v, want ErrDeltaResync", err)
+	}
+	if _, ok := s.DeltaEpoch(5); ok {
+		t.Fatal("sync map not cleared by the resync")
+	}
+
+	refuse.Store(false)
+	if err := s.SendFull(net.Buffers{[]byte("<body/>")}, 5, 2); err != nil {
+		t.Fatalf("SendFull after resync: %v", err)
+	}
+	if e, ok := s.DeltaEpoch(5); !ok || e != 2 {
+		t.Fatalf("after re-sync: epoch %d, ok %v, want 2/true", e, ok)
+	}
+}
+
+// TestSenderDeltaOffPassthrough: with Delta off, SendFull is a plain
+// send (no header, no sync state) and DeltaEpoch never reports capable.
+func TestSenderDeltaOffPassthrough(t *testing.T) {
+	var refuse atomic.Bool
+	srv := deltaPeer(t, &refuse)
+	s, err := Dial(srv.Addr(), SenderOptions{Version: HTTP11, ExpectResponse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SendFull(net.Buffers{[]byte("<body/>")}, 5, 1); err != nil {
+		t.Fatalf("SendFull: %v", err)
+	}
+	if _, ok := s.DeltaEpoch(5); ok {
+		t.Fatal("Delta off but DeltaEpoch reported capable")
+	}
+}
+
+// TestDeltaStateOverflow: the per-connection sync map is bounded; the
+// entry past the cap clears the map wholesale (every template simply
+// resynchronizes) rather than growing without bound.
+func TestDeltaStateOverflow(t *testing.T) {
+	d := &deltaState{capable: true}
+	for i := uint64(0); i < maxDeltaSyncs; i++ {
+		d.noteSync(i, 1)
+	}
+	if e, ok := d.epoch(0); !ok || e != 1 {
+		t.Fatalf("epoch(0) = %d, %v before overflow", e, ok)
+	}
+	d.noteSync(maxDeltaSyncs, 7)
+	if _, ok := d.epoch(0); ok {
+		t.Fatal("overflow did not clear the sync map")
+	}
+	if e, ok := d.epoch(maxDeltaSyncs); !ok || e != 7 {
+		t.Fatalf("overflowing entry = %d, %v, want 7/true", e, ok)
+	}
+	// Re-noting an existing tid at the cap must NOT clear.
+	d.noteSync(maxDeltaSyncs, 8)
+	if e, ok := d.epoch(maxDeltaSyncs); !ok || e != 8 {
+		t.Fatalf("re-note = %d, %v, want 8/true", e, ok)
+	}
+}
+
+// TestPipelineDeltaAsync is the pipelined mirror of the negotiation
+// test: sync acks arrive on the read loop, a refused patch fails only
+// its own pending with wire.ErrDeltaResync, and later submits on the
+// same pipeline proceed.
+func TestPipelineDeltaAsync(t *testing.T) {
+	var refuse atomic.Bool
+	srv := deltaPeer(t, &refuse)
+	s, err := Dial(srv.Addr(), SenderOptions{Version: HTTP11, Delta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPipeline(s, 4)
+	defer func() {
+		pl.Close()
+		s.Close()
+	}()
+	if pl.Sender() != s || pl.Depth() != 4 {
+		t.Fatalf("accessors: sender %p depth %d", pl.Sender(), pl.Depth())
+	}
+
+	p, err := pl.SendFullAsync(net.Buffers{[]byte("<body/>")}, 9, 1)
+	if err != nil {
+		t.Fatalf("SendFullAsync: %v", err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("sync pending: %v", err)
+	}
+	if e, ok := s.DeltaEpoch(9); !ok || e != 1 {
+		t.Fatalf("after pipelined sync: epoch %d, ok %v, want 1/true", e, ok)
+	}
+
+	refuse.Store(true)
+	p, err = pl.SendDeltaAsync(net.Buffers{[]byte("patchbytes")}, 9, 2)
+	if err != nil {
+		t.Fatalf("SendDeltaAsync: %v", err)
+	}
+	if err := p.Wait(); !errors.Is(err, wire.ErrDeltaResync) {
+		t.Fatalf("refused pipelined patch resolved %v, want ErrDeltaResync", err)
+	}
+	if _, ok := s.DeltaEpoch(9); ok {
+		t.Fatal("pipelined resync did not clear the sync map")
+	}
+
+	// The connection survived the 409: a full send resynchronizes.
+	refuse.Store(false)
+	p, err = pl.SendFullAsync(net.Buffers{[]byte("<body/>")}, 9, 2)
+	if err != nil {
+		t.Fatalf("SendFullAsync after resync: %v", err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("re-sync pending: %v", err)
+	}
+	if e, ok := s.DeltaEpoch(9); !ok || e != 2 {
+		t.Fatalf("after pipelined re-sync: epoch %d, ok %v, want 2/true", e, ok)
+	}
+}
+
+// TestPipelineDeltaOffFallback: with Delta off, SendFullAsync degrades
+// to a plain SendAsync and patch submissions are refused up front.
+func TestPipelineDeltaOffFallback(t *testing.T) {
+	var refuse atomic.Bool
+	srv := deltaPeer(t, &refuse)
+	pl := pipelineOver(t, srv, 2)
+	p, err := pl.SendFullAsync(net.Buffers{[]byte("<body/>")}, 3, 1)
+	if err != nil {
+		t.Fatalf("SendFullAsync: %v", err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("pending: %v", err)
+	}
+	if _, ok := pl.Sender().DeltaEpoch(3); ok {
+		t.Fatal("Delta off but the pipeline tracked a sync")
+	}
+}
+
+// TestServerMetricsDeltaCounters exercises the serverpool-facing
+// recording methods directly and reads them back through Snapshot.
+func TestServerMetricsDeltaCounters(t *testing.T) {
+	m := NewServerMetrics()
+	m.RecordDeltaSync(100)
+	m.RecordDeltaApply(40, 100)
+	m.RecordDeltaBaseEviction()
+	m.RecordDDSDecode(true, 3)
+	m.RecordDDSDecode(false, 0)
+	m.AddDDSKeyEvictions(2)
+	m.AddDDSKeyEvictions(0) // no-op branch
+	m.RecordReplicaEviction(true)
+	m.RecordReplicaEviction(false)
+
+	st := m.Snapshot()
+	if st.DeltaSyncs != 1 || st.DeltaApplied != 1 || st.DeltaBaseEvictions != 1 {
+		t.Fatalf("delta counters: %+v", st)
+	}
+	if st.DeltaWireBytes != 140 || st.DeltaRepresented != 200 {
+		t.Fatalf("delta bytes: wire %d represented %d, want 140/200", st.DeltaWireBytes, st.DeltaRepresented)
+	}
+	if st.DDSFastPath != 1 || st.DDSFullParses != 1 || st.DDSValuesReparsed != 3 {
+		t.Fatalf("dds counters: %+v", st)
+	}
+	if st.DDSKeyEvictions != 2 {
+		t.Fatalf("dds key evictions: %d", st.DDSKeyEvictions)
+	}
+	if st.ReplicaEvictions != 2 || st.ReplicaBudgetEvictions != 1 {
+		t.Fatalf("replica evictions: %d/%d", st.ReplicaEvictions, st.ReplicaBudgetEvictions)
+	}
+}

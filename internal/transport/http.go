@@ -15,6 +15,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"bsoap/internal/wire"
 )
 
 // Request is one parsed HTTP request. A Request reused across messages
@@ -46,6 +48,21 @@ type Request struct {
 	// client and server rings into one cross-process timeline.
 	TraceSpan uint64
 
+	// DeltaMode classifies the request's X-BSoap-Delta header: none, a
+	// full body offered as a delta base (sync), or a patch frame body.
+	// DeltaTID/DeltaEpoch carry the sync header's template identity.
+	DeltaMode  DeltaMode
+	DeltaTID   uint64
+	DeltaEpoch uint64
+
+	// DeltaAck* are outputs: a delta-capable handler sets them after
+	// storing a sync request's body as a patch base, and the server
+	// echoes them as the response's X-BSoap-Delta ack header — the
+	// capability signal delta negotiation rides on.
+	DeltaAck      bool
+	DeltaAckTID   uint64
+	DeltaAckEpoch uint64
+
 	// recvNs is the UnixNano at which the Server finished reading the
 	// request; dispatch attributes recv→dispatch time to the
 	// server-queue latency stage. Zero outside a Server.
@@ -53,6 +70,18 @@ type Request struct {
 
 	scratch parseScratch
 }
+
+// DeltaMode classifies a request's differential-transmission intent.
+type DeltaMode uint8
+
+const (
+	// DeltaNone is a plain request (no X-BSoap-Delta header).
+	DeltaNone DeltaMode = iota
+	// DeltaSync is a full body the client offers as a patch base.
+	DeltaSync
+	// DeltaPatch is a binary patch frame in place of the XML body.
+	DeltaPatch
+)
 
 // Response is one parsed HTTP response. The reuse contract matches
 // Request's: ReadResponseInto recycles the map, body and interns.
@@ -405,6 +434,17 @@ func ReadRequestInto(br *bufio.Reader, req *Request) error {
 			req.TraceSpan = span
 		}
 	}
+	// Same reset-then-parse discipline for delta negotiation state, both
+	// the parsed inputs and the handler-set ack outputs.
+	req.DeltaMode, req.DeltaTID, req.DeltaEpoch = DeltaNone, 0, 0
+	req.DeltaAck, req.DeltaAckTID, req.DeltaAckEpoch = false, 0, 0
+	if v, ok := req.Headers[wire.DeltaHeaderKey]; ok {
+		if v == wire.DeltaValPatch {
+			req.DeltaMode = DeltaPatch
+		} else if tid, epoch, okp := wire.ParseDeltaSync(v); okp {
+			req.DeltaMode, req.DeltaTID, req.DeltaEpoch = DeltaSync, tid, epoch
+		}
+	}
 	req.Body = nil
 	if req.Method == "GET" || req.Method == "HEAD" {
 		return nil
@@ -464,7 +504,14 @@ func ReadResponseInto(br *bufio.Reader, resp *Response) error {
 // framing. The header section is assembled in one stack buffer — no
 // per-response builder.
 func WriteResponse(w io.Writer, status int, contentType string, body []byte) error {
-	var hdr [160]byte
+	return WriteResponseExtra(w, status, contentType, nil, body)
+}
+
+// WriteResponseExtra is WriteResponse with one raw extra header section
+// spliced in before the blank line. extra must be complete CRLF-
+// terminated header lines (e.g. "X-BSoap-Delta: ack=1.0\r\n"), or nil.
+func WriteResponseExtra(w io.Writer, status int, contentType string, extra, body []byte) error {
+	var hdr [224]byte
 	b := append(hdr[:0], "HTTP/1.1 "...)
 	b = strconv.AppendInt(b, int64(status), 10)
 	b = append(b, ' ')
@@ -475,6 +522,7 @@ func WriteResponse(w io.Writer, status int, contentType string, body []byte) err
 		b = append(b, contentType...)
 		b = append(b, crlf...)
 	}
+	b = append(b, extra...)
 	b = append(b, "Content-Length: "...)
 	b = strconv.AppendInt(b, int64(len(body)), 10)
 	b = append(b, crlf...)
@@ -499,6 +547,8 @@ func statusText(status int) string {
 		return "Bad Request"
 	case 404:
 		return "Not Found"
+	case 409:
+		return "Conflict"
 	case 500:
 		return "Internal Server Error"
 	case 503:

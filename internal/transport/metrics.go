@@ -41,6 +41,17 @@ type ServerMetrics struct {
 	replicaEvictions       atomic.Int64
 	replicaBudgetEvictions atomic.Int64
 
+	// Differential transmission (the delta-wire protocol): patch frames
+	// applied, bases stored from sync-annotated full sends, resync
+	// rejections, bases evicted, and the wire-vs-represented byte split
+	// for delta-negotiated requests.
+	deltaApplied       atomic.Int64
+	deltaSyncs         atomic.Int64
+	deltaResyncs       atomic.Int64
+	deltaBaseEvictions atomic.Int64
+	deltaWireBytes     atomic.Int64
+	deltaRepresented   atomic.Int64
+
 	// templateSource, when set, snapshots the serverpool replica
 	// registry's byte accounting so the template-memory gauges come
 	// straight from the budget enforcer.
@@ -80,6 +91,20 @@ type ServerStats struct {
 	// ReplicaBudgetEvictions is the subset of ReplicaEvictions driven by
 	// the MaxTemplateBytes budget; the rest is the replica count cap.
 	ReplicaBudgetEvictions int64 `json:"replica_budget_evictions"`
+
+	// Differential transmission: DeltaApplied counts patch frames applied
+	// to a held base; DeltaSyncs counts full bodies stored as bases;
+	// DeltaResyncs counts 409 resync answers; DeltaBaseEvictions counts
+	// bases dropped (cap, eviction, or checksum failure).
+	// DeltaWireBytes/DeltaRepresented split delta-negotiated request
+	// traffic into bytes that crossed the wire versus body bytes they
+	// represent after reconstruction.
+	DeltaApplied       int64 `json:"delta_applied"`
+	DeltaSyncs         int64 `json:"delta_syncs"`
+	DeltaResyncs       int64 `json:"delta_resyncs"`
+	DeltaBaseEvictions int64 `json:"delta_base_evictions"`
+	DeltaWireBytes     int64 `json:"delta_wire_bytes"`
+	DeltaRepresented   int64 `json:"delta_represented_bytes"`
 	// TemplateBytes gauges the replica registry's accounted template
 	// memory; TemplateBytesHighWater is its lifetime maximum.
 	TemplateBytes          int64 `json:"template_bytes"`
@@ -109,6 +134,13 @@ func (m *ServerMetrics) Snapshot() ServerStats {
 		ReplicaEvictions:  m.replicaEvictions.Load(),
 
 		ReplicaBudgetEvictions: m.replicaBudgetEvictions.Load(),
+
+		DeltaApplied:       m.deltaApplied.Load(),
+		DeltaSyncs:         m.deltaSyncs.Load(),
+		DeltaResyncs:       m.deltaResyncs.Load(),
+		DeltaBaseEvictions: m.deltaBaseEvictions.Load(),
+		DeltaWireBytes:     m.deltaWireBytes.Load(),
+		DeltaRepresented:   m.deltaRepresented.Load(),
 	}
 	if f := m.templateSource.Load(); f != nil {
 		c := (*f)()
@@ -147,6 +179,27 @@ func (m *ServerMetrics) RecordReplicaEviction(budget bool) {
 		m.replicaBudgetEvictions.Add(1)
 	}
 }
+
+// RecordDeltaApply counts one patch frame successfully applied to a held
+// base: wire is the frame's size on the wire, represented the size of
+// the body it reconstructs. The serverpool runtime calls this per patch.
+func (m *ServerMetrics) RecordDeltaApply(wire, represented int) {
+	m.deltaApplied.Add(1)
+	m.deltaWireBytes.Add(int64(wire))
+	m.deltaRepresented.Add(int64(represented))
+}
+
+// RecordDeltaSync counts one full body stored as a patch base (both its
+// wire and represented sizes are the body itself).
+func (m *ServerMetrics) RecordDeltaSync(bodyLen int) {
+	m.deltaSyncs.Add(1)
+	m.deltaWireBytes.Add(int64(bodyLen))
+	m.deltaRepresented.Add(int64(bodyLen))
+}
+
+// RecordDeltaBaseEviction counts one patch base dropped — LRU pressure,
+// replica eviction, or a checksum failure poisoning the base.
+func (m *ServerMetrics) RecordDeltaBaseEviction() { m.deltaBaseEvictions.Add(1) }
 
 // SetTemplateSource installs the function that snapshots the replica
 // registry's byte accounting (serverpool wires this at startup).
@@ -210,6 +263,12 @@ func (m *ServerMetrics) WritePrometheus(w io.Writer) error {
 		})
 	p.Gauge("bsoap_server_template_bytes", "Template memory accounted by the server replica registry.", st.TemplateBytes)
 	p.Gauge("bsoap_server_template_bytes_high_water", "Lifetime maximum of bsoap_server_template_bytes.", st.TemplateBytesHighWater)
+	p.Counter("bsoap_server_delta_applied_total", "Patch frames applied to a held base (differential transmission).", st.DeltaApplied)
+	p.Counter("bsoap_server_delta_syncs_total", "Full bodies stored as patch bases.", st.DeltaSyncs)
+	p.Counter("bsoap_server_delta_resyncs_total", "Patch frames rejected with 409 resync.", st.DeltaResyncs)
+	p.Counter("bsoap_server_delta_base_evictions_total", "Patch bases dropped (cap, eviction, or checksum failure).", st.DeltaBaseEvictions)
+	p.Counter("bsoap_server_delta_wire_bytes_total", "Bytes received on the wire for delta-negotiated requests.", st.DeltaWireBytes)
+	p.Counter("bsoap_server_delta_represented_bytes_total", "Body bytes those delta-negotiated requests represent after reconstruction.", st.DeltaRepresented)
 	p.HistogramWithLabel("bsoap_server_stage_seconds",
 		"Server-side per-call latency attribution by pipeline stage.", "stage",
 		StageSeconds(&m.Stages, serverStages))
@@ -218,8 +277,8 @@ func (m *ServerMetrics) WritePrometheus(w io.Writer) error {
 
 // serverStages are the stages the server side attributes latency to.
 var serverStages = []trace.Stage{
-	trace.StageServerQueue, trace.StageDecode, trace.StageHandler,
-	trace.StageRespond, trace.StageWrite,
+	trace.StageServerQueue, trace.StageDeltaApply, trace.StageDecode,
+	trace.StageHandler, trace.StageRespond, trace.StageWrite,
 }
 
 // StageSeconds renders the given stages of a StageHist as labeled

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"bsoap/internal/wire"
 )
 
 // ErrPipelineClosed is the sticky error a Pipeline fails with when it is
@@ -151,6 +153,39 @@ func (pl *Pipeline) fail(err error) {
 // error breaks the pipeline and is returned directly — no Pending is
 // created for a request that never got onto the wire.
 func (pl *Pipeline) SendAsync(bufs net.Buffers) (*Pending, error) {
+	return pl.sendAsync(bufs, deltaAsyncNone, 0, 0)
+}
+
+// SendFullAsync is SendAsync for a delta-annotated full-body send: the
+// request carries an X-BSoap-Delta sync header so a capable peer stores
+// the body as the patch base for tid at epoch. With Delta off it is
+// identical to SendAsync.
+func (pl *Pipeline) SendFullAsync(bufs net.Buffers, tid, epoch uint64) (*Pending, error) {
+	if !pl.s.opts.Delta {
+		return pl.sendAsync(bufs, deltaAsyncNone, 0, 0)
+	}
+	return pl.sendAsync(bufs, deltaAsyncSync, tid, epoch)
+}
+
+// SendDeltaAsync is SendAsync for a pre-encoded patch frame. The
+// resulting Pending resolves with wire.ErrDeltaResync when the server
+// demands resynchronization (after the sender's sync map has been
+// cleared); the connection and pipeline stay healthy, so the caller can
+// resubmit the call as a full-body send on the same pipeline.
+func (pl *Pipeline) SendDeltaAsync(bufs net.Buffers, tid, newEpoch uint64) (*Pending, error) {
+	return pl.sendAsync(bufs, deltaAsyncPatch, tid, newEpoch)
+}
+
+// deltaAsync selects the delta annotation of one pipelined submit.
+type deltaAsync uint8
+
+const (
+	deltaAsyncNone  deltaAsync = iota // plain request, no delta header
+	deltaAsyncSync                    // full body + sync header (store as base)
+	deltaAsyncPatch                   // body is a patch frame
+)
+
+func (pl *Pipeline) sendAsync(bufs net.Buffers, da deltaAsync, tid, epoch uint64) (*Pending, error) {
 	select {
 	case pl.slots <- struct{}{}:
 	default:
@@ -166,7 +201,29 @@ func (pl *Pipeline) SendAsync(bufs net.Buffers) (*Pending, error) {
 	pl.writeMu.Lock()
 	if err := pl.Err(); err != nil {
 		pl.writeMu.Unlock()
+		// The slot taken above belongs to no request; hand it back so the
+		// pipeline's accounting stays exact for any concurrent submitter
+		// still racing the failure.
+		<-pl.slots
 		return nil, err
+	}
+	switch da {
+	case deltaAsyncSync:
+		// Header set + write happen under writeMu, so the pending header
+		// cannot leak onto a concurrent submit's request. noteSync here is
+		// the same write-order optimism as the serial path: the queue push
+		// below is the wire order.
+		b := append(pl.s.deltaHdrBuf[:0], deltaHeaderPrefix...)
+		b = wire.AppendDeltaSync(b, tid, epoch)
+		b = append(b, '\r', '\n')
+		pl.s.deltaHdr = b
+		pl.s.delta.noteSync(tid, epoch)
+	case deltaAsyncPatch:
+		b := append(pl.s.deltaHdrBuf[:0], deltaHeaderPrefix...)
+		b = append(b, wire.DeltaValPatch...)
+		b = append(b, '\r', '\n')
+		pl.s.deltaHdr = b
+		pl.s.delta.noteSync(tid, epoch)
 	}
 	if err := pl.s.writeRequest(bufs); err != nil {
 		pl.fail(err)
@@ -201,7 +258,23 @@ func (pl *Pipeline) readLoop() {
 			}
 			var serr error
 			if resp.Status/100 != 2 {
-				serr = fmt.Errorf("transport: server returned %d", resp.Status)
+				if pl.s.opts.Delta && resp.Status == 409 &&
+					resp.Headers[wire.DeltaHeaderKey] == wire.DeltaValResync {
+					// The server rejected a patch and demands a full body.
+					// Only this request failed — the response was fully read
+					// and the connection is healthy — so clear the sync
+					// optimism and let this Pending's owner resubmit in full.
+					pl.s.delta.reset(true)
+					serr = wire.ErrDeltaResync
+				} else {
+					serr = fmt.Errorf("transport: server returned %d", resp.Status)
+				}
+			} else if pl.s.opts.Delta {
+				if v, ok := resp.Headers[wire.DeltaHeaderKey]; ok {
+					if _, _, oka := wire.ParseDeltaAck(v); oka {
+						pl.s.delta.noteAck()
+					}
+				}
 			}
 			pl.resolve(p, resp.Status, serr)
 			<-pl.slots

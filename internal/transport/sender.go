@@ -9,10 +9,12 @@ import (
 	"io"
 	"net"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"bsoap/internal/trace"
+	"bsoap/internal/wire"
 )
 
 // Version selects the HTTP framing used by a Sender.
@@ -56,6 +58,14 @@ type SenderOptions struct {
 	WriteTimeout time.Duration
 	// ReadTimeout bounds each response read the same way. Zero disables.
 	ReadTimeout time.Duration
+	// Delta turns on differential-transmission negotiation: full sends
+	// carry an X-BSoap-Delta sync header, and once the server
+	// acknowledges one, warm calls whose template the server holds go
+	// out as compact patch frames. Requires response reading (serial
+	// senders need ExpectResponse; the pipelined path always reads), or
+	// negotiation simply never completes and every send stays full —
+	// lossless either way.
+	Delta bool
 }
 
 // Sender frames serialized messages as HTTP POSTs over one persistent
@@ -105,6 +115,76 @@ type Sender struct {
 	// warm send is parsed into recycled storage (Roundtrip, whose caller
 	// keeps the response, reads into a fresh one instead).
 	resp Response
+
+	// delta holds the per-connection differential-transmission state:
+	// whether the peer has acknowledged delta capability and which
+	// template epochs it is believed synchronized at. Guarded by its
+	// own mutex because the pipelined read loop updates it concurrently
+	// with submits; on the serial path the lock is uncontended.
+	delta deltaState
+
+	// deltaHdr is the pending X-BSoap-Delta request header for the next
+	// writeRequestHead (set by SendFull/SendDelta, consumed by the
+	// write); deltaHdrBuf is its persistent backing.
+	deltaHdr    []byte
+	deltaHdrBuf [64]byte
+}
+
+// deltaState tracks what the peer holds for delta transmission.
+type deltaState struct {
+	mu      sync.Mutex
+	capable bool
+	syncs   map[uint64]uint64 // template id -> synchronized epoch
+}
+
+// maxDeltaSyncs bounds the per-connection sync map against template-id
+// churn; exceeding it clears the map wholesale (every template simply
+// resynchronizes with one full send).
+const maxDeltaSyncs = 256
+
+// noteSync optimistically records that the peer will hold tid at epoch
+// once the bytes now being written arrive. Sound because submits happen
+// in wire order: any patch referencing this base is written after it.
+func (d *deltaState) noteSync(tid, epoch uint64) {
+	d.mu.Lock()
+	if d.syncs == nil {
+		d.syncs = make(map[uint64]uint64, 8)
+	} else if len(d.syncs) >= maxDeltaSyncs {
+		if _, exists := d.syncs[tid]; !exists {
+			clear(d.syncs)
+		}
+	}
+	d.syncs[tid] = epoch
+	d.mu.Unlock()
+}
+
+// noteAck marks the peer delta-capable (it acknowledged storing a base).
+func (d *deltaState) noteAck() {
+	d.mu.Lock()
+	d.capable = true
+	d.mu.Unlock()
+}
+
+// epoch reports the epoch the peer is believed synchronized at for tid.
+func (d *deltaState) epoch(tid uint64) (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.capable {
+		return 0, false
+	}
+	e, ok := d.syncs[tid]
+	return e, ok
+}
+
+// reset drops all synchronization state (resync demand, redial).
+// Capability survives a resync — the peer is still delta-capable, it
+// just lost a base — but not a redial (fresh connection, fresh
+// negotiation).
+func (d *deltaState) reset(keepCapable bool) {
+	d.mu.Lock()
+	d.capable = d.capable && keepCapable
+	clear(d.syncs)
+	d.mu.Unlock()
 }
 
 // NewSender wraps an established connection.
@@ -240,6 +320,10 @@ func (s *Sender) Redial() error {
 	s.br.Reset(conn)
 	s.closed.Store(false)
 	s.streaming = false
+	// A fresh connection negotiates delta from scratch: nothing the old
+	// peer connection held can be assumed synchronized.
+	s.delta.reset(false)
+	s.deltaHdr = nil
 	return nil
 }
 
@@ -290,6 +374,15 @@ func (s *Sender) writeRequestHead() error {
 		b = strconv.AppendUint(b, s.TraceSpan, 16)
 		b = append(b, '\r', '\n')
 		if _, err := s.bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if len(s.deltaHdr) != 0 {
+		// Set-then-consume: the pending delta header belongs to exactly
+		// one request; a plain Send between delta sends must not carry it.
+		hdr := s.deltaHdr
+		s.deltaHdr = nil
+		if _, err := s.bw.Write(hdr); err != nil {
 			return err
 		}
 	}
@@ -467,9 +560,67 @@ func (s *Sender) maybeReadResponse() error {
 		return s.noteIOErr(err, true)
 	}
 	if s.resp.Status/100 != 2 {
+		if s.opts.Delta && s.resp.Status == 409 && s.resp.Headers[wire.DeltaHeaderKey] == wire.DeltaValResync {
+			// The peer rejected a patch: drop every assumed-synchronized
+			// base and let the caller resend in full. The connection
+			// itself stays healthy.
+			s.delta.reset(true)
+			return wire.ErrDeltaResync
+		}
 		return fmt.Errorf("transport: server returned %d", s.resp.Status)
 	}
+	if s.opts.Delta {
+		if v, ok := s.resp.Headers[wire.DeltaHeaderKey]; ok {
+			if _, _, oka := wire.ParseDeltaAck(v); oka {
+				s.delta.noteAck()
+			}
+		}
+	}
 	return nil
+}
+
+// deltaHeaderPrefix starts the differential-transmission negotiation
+// header (request side).
+const deltaHeaderPrefix = "X-BSoap-Delta: "
+
+// DeltaEpoch implements core.DeltaSink: the epoch the peer is believed
+// synchronized at for template tid (ok=false until the peer has
+// acknowledged delta capability, or when Delta is off).
+func (s *Sender) DeltaEpoch(tid uint64) (uint64, bool) {
+	if !s.opts.Delta {
+		return 0, false
+	}
+	return s.delta.epoch(tid)
+}
+
+// SendFull implements core.DeltaSink: a full-body send annotated with a
+// sync header so a capable peer stores it as the patch base for tid.
+// The sync map is updated optimistically at write time — submits happen
+// in wire order, so any later patch against this base is written after
+// it; if the write fails, redial/resync recovery clears the optimism.
+func (s *Sender) SendFull(bufs net.Buffers, tid, epoch uint64) error {
+	if !s.opts.Delta {
+		return s.Send(bufs)
+	}
+	b := append(s.deltaHdrBuf[:0], deltaHeaderPrefix...)
+	b = wire.AppendDeltaSync(b, tid, epoch)
+	b = append(b, '\r', '\n')
+	s.deltaHdr = b
+	s.delta.noteSync(tid, epoch)
+	return s.Send(bufs)
+}
+
+// SendDelta implements core.DeltaSink: bufs is a pre-encoded patch
+// frame. A 409/resync response surfaces as wire.ErrDeltaResync (after
+// clearing the sync map) so the stub falls back to SendFull on this
+// same connection.
+func (s *Sender) SendDelta(bufs net.Buffers, tid, newEpoch uint64) error {
+	b := append(s.deltaHdrBuf[:0], deltaHeaderPrefix...)
+	b = append(b, wire.DeltaValPatch...)
+	b = append(b, '\r', '\n')
+	s.deltaHdr = b
+	s.delta.noteSync(tid, newEpoch)
+	return s.Send(bufs)
 }
 
 // crlf is the HTTP line terminator.
@@ -535,6 +686,57 @@ func (d *DiscardSink) Bytes() int64 { return d.bytes.Load() }
 
 // Sends reports the number of messages consumed.
 func (d *DiscardSink) Sends() int64 { return d.sends.Load() }
+
+// DeltaDiscardSink is DiscardSink's delta-capable counterpart: an
+// in-process sink acting as an always-capable, never-evicting peer. It
+// lets benchmarks and alloc gates exercise the client's full delta
+// encode path (eligibility, region walk, checksum, frame assembly)
+// without a network. Safe for concurrent use.
+type DeltaDiscardSink struct {
+	DiscardSink
+	mu         sync.Mutex
+	syncs      map[uint64]uint64
+	deltaSends atomic.Int64
+	fullSends  atomic.Int64
+}
+
+// NewDeltaDiscardSink returns a fresh delta-capable discard sink.
+func NewDeltaDiscardSink() *DeltaDiscardSink {
+	return &DeltaDiscardSink{syncs: make(map[uint64]uint64, 8)}
+}
+
+// DeltaEpoch implements core.DeltaSink.
+func (d *DeltaDiscardSink) DeltaEpoch(tid uint64) (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.syncs[tid]
+	return e, ok
+}
+
+// SendFull implements core.DeltaSink.
+func (d *DeltaDiscardSink) SendFull(bufs net.Buffers, tid, epoch uint64) error {
+	d.mu.Lock()
+	d.syncs[tid] = epoch
+	d.mu.Unlock()
+	d.fullSends.Add(1)
+	return d.Send(bufs)
+}
+
+// SendDelta implements core.DeltaSink.
+func (d *DeltaDiscardSink) SendDelta(bufs net.Buffers, tid, newEpoch uint64) error {
+	d.mu.Lock()
+	d.syncs[tid] = newEpoch
+	d.mu.Unlock()
+	d.deltaSends.Add(1)
+	return d.Send(bufs)
+}
+
+// DeltaSends reports patch-frame sends consumed; FullSends reports
+// annotated full sends.
+func (d *DeltaDiscardSink) DeltaSends() int64 { return d.deltaSends.Load() }
+
+// FullSends reports sync-annotated full-body sends consumed.
+func (d *DeltaDiscardSink) FullSends() int64 { return d.fullSends.Load() }
 
 // WriterSink adapts any io.Writer into a Sink/StreamSink (tests, files).
 type WriterSink struct{ W io.Writer }

@@ -13,7 +13,12 @@ import (
 	"time"
 
 	"bsoap/internal/trace"
+	"bsoap/internal/wire"
 )
+
+// deltaResyncExtra is the response header that tells a delta client its
+// patch was rejected and a full-body resend is required.
+var deltaResyncExtra = []byte("X-BSoap-Delta: resync\r\n")
 
 // Handler processes one parsed request and returns the response body, or
 // an error which is reported as a 500.
@@ -404,13 +409,31 @@ func (s *Server) dispatch(conn net.Conn, req *Request) bool {
 		<-s.inflight
 	}
 	if err != nil {
+		if errors.Is(err, wire.ErrDeltaResync) {
+			// A patch could not be applied (unknown base, epoch skew,
+			// checksum failure): answer 409 with the resync header. The
+			// request was fully read and the failure is a protocol state
+			// mismatch, not a connection fault, so keep-alive continues and
+			// the client's full-body resend arrives on this connection.
+			s.metrics.deltaResyncs.Add(1)
+			return WriteResponseExtra(conn, 409, "", deltaResyncExtra, nil) == nil
+		}
 		s.logf("handler: %v", err)
 		return WriteResponse(conn, 500, "text/plain", []byte(err.Error())) == nil
 	}
 	ok := true
 	if s.respond || body != nil {
+		// A handler that stored a patch base asks for it to be
+		// acknowledged; the ack is what flips the client delta-capable.
+		var extra []byte
+		var ackBuf [64]byte
+		if req.DeltaAck {
+			b := append(ackBuf[:0], "X-BSoap-Delta: "...)
+			b = wire.AppendDeltaAck(b, req.DeltaAckTID, req.DeltaAckEpoch)
+			extra = append(b, '\r', '\n')
+		}
 		wstart := time.Now()
-		werr := WriteResponse(conn, 200, "text/xml; charset=utf-8", body)
+		werr := WriteResponseExtra(conn, 200, "text/xml; charset=utf-8", extra, body)
 		wns := time.Since(wstart).Nanoseconds()
 		s.metrics.Stages.Observe(trace.StageWrite, wns, req.TraceSpan)
 		if req.TraceSpan != 0 && trace.Enabled() {

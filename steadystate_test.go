@@ -153,6 +153,83 @@ func TestSteadyStateAllocsPaSMSteal(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocsDeltaMCM gates differential transmission on the
+// cheapest path: a content match against a synchronized peer goes out
+// as a zero-region patch frame — a 40-byte header proving the body is
+// unchanged — and must not allocate.
+func TestSteadyStateAllocsDeltaMCM(t *testing.T) {
+	sink := transport.NewDeltaDiscardSink()
+	stub := core.NewStub(core.Config{Chunk: chunk.Config{ChunkSize: 32 * 1024}}, sink)
+
+	m := wire.NewMessage("urn:bench", "echo")
+	arr := m.AddDoubleArray("values", 1000)
+	for i := 0; i < 1000; i++ {
+		arr.Set(i, float64(i))
+	}
+	// First call builds and sync-announces the template; the second is
+	// the first patch-eligible one and warms the encoder scratch.
+	for i := 0; i < 2; i++ {
+		if _, err := stub.Call(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := sink.DeltaSends()
+	gateAllocs(t, 0, func() {
+		if _, err := stub.Call(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if sink.DeltaSends() == before {
+		t.Fatal("warm content matches did not go out as patch frames")
+	}
+}
+
+// TestSteadyStateAllocsDeltaPatch gates the real patch path: scattered
+// in-place rewrites each call (stuffed widths, so no shifts) become a
+// multi-region frame — region walk, CRC over the whole body, header
+// assembly, gather vector — with zero allocations once warm. The
+// touches are scattered because region coalescing is adjacency-only;
+// this keeps the frame genuinely multi-region rather than one run.
+func TestSteadyStateAllocsDeltaPatch(t *testing.T) {
+	sink := transport.NewDeltaDiscardSink()
+	stub := core.NewStub(core.Config{
+		Chunk: chunk.Config{ChunkSize: 32 * 1024},
+		Width: core.WidthPolicy{Double: core.MaxWidth},
+	}, sink)
+
+	m := wire.NewMessage("urn:bench", "echo")
+	arr := m.AddDoubleArray("values", 1000)
+	for i := 0; i < 1000; i++ {
+		arr.Set(i, float64(i))
+	}
+
+	v := 1.0
+	call := func() {
+		for i := 0; i < 1000; i += 100 {
+			arr.Set(i, v)
+		}
+		v++
+		if _, err := stub.Call(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := stub.Call(m); err != nil {
+		t.Fatal(err)
+	}
+	call() // warm the region and frame scratch
+
+	before := sink.DeltaSends()
+	gateAllocs(t, 0, call)
+	after := sink.DeltaSends()
+	if after == before {
+		t.Fatal("warm scattered rewrites did not go out as patch frames")
+	}
+	if st := stub.Stats(); st.Shifts != 0 || st.Grows != 0 {
+		t.Fatalf("workload shifted/grew (shifts %d, grows %d); frames were not pure rewrites", st.Shifts, st.Grows)
+	}
+}
+
 // TestSteadyStateAllocsPool gates the concurrent runtime's whole warm
 // path: checkout, replica acquire, differential send, metrics. The
 // engine being allocation-free is not enough if the runtime around it
